@@ -1,0 +1,116 @@
+// Benchmarks that regenerate each of the paper's tables and figures at
+// smoke scale, so `go test -bench=.` exercises every experiment path and
+// reports its cost. For paper-shaped output, run the CLI instead:
+//
+//	go run ./cmd/niidbench table3 -scale quick
+package niidbench
+
+import (
+	"io"
+	"testing"
+
+	"github.com/niid-bench/niidbench/internal/experiments"
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/partition"
+)
+
+// benchExperiment runs one registered paper artifact per iteration.
+func benchExperiment(b *testing.B, id string, datasets ...string) {
+	b.Helper()
+	opt := experiments.Options{
+		Scale:    experiments.Smoke,
+		Out:      io.Discard,
+		Seed:     1,
+		Datasets: datasets,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table II: dataset inventory.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// Table III: the headline accuracy comparison. Restricted to one tabular
+// and one image dataset at bench time; the CLI regenerates the full table.
+func BenchmarkTable3Tabular(b *testing.B) { benchExperiment(b, "table3", "adult") }
+func BenchmarkTable3Image(b *testing.B)   { benchExperiment(b, "table3", "mnist") }
+
+// Table IV: computation/communication per round over the real transport.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4", "adult", "rcv1") }
+
+// Table V: mixed skews.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5", "adult") }
+
+// Figures 4-7: partition statistics and the decision tree.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Figure 8 and appendix A (figs 12-16): training curves.
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// Figure 9 and appendix B (figs 17-21): local-epoch sweeps.
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B) { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B) { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B) { benchExperiment(b, "fig21") }
+
+// Figures 10/22: party sampling; figure 11: scalability.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10", "adult") }
+func BenchmarkFig22(b *testing.B) { benchExperiment(b, "fig22", "adult") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11", "adult") }
+
+// Appendix D (fig 23): batch size; appendix E (fig 24): BN architectures.
+func BenchmarkFig23(b *testing.B) { benchExperiment(b, "fig23", "adult") }
+func BenchmarkFig24(b *testing.B) { benchExperiment(b, "fig24", "mnist") }
+
+// Design ablations called out in DESIGN.md.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations", "mnist") }
+
+// BenchmarkRound measures the cost of a single communication round per
+// algorithm on the paper CNN — the unit of work every experiment repeats.
+func BenchmarkRound(b *testing.B) {
+	for _, algo := range []fl.Algorithm{fl.FedAvg, fl.FedProx, fl.Scaffold, fl.FedNova} {
+		b.Run(string(algo), func(b *testing.B) {
+			train, test, err := LoadDataset("mnist", DataConfig{TrainN: 300, TestN: 100, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, locals, err := Split(Strategy{Kind: partition.Homogeneous}, train, 4, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec, err := DefaultModel("mnist")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim, err := fl.NewSimulation(fl.Config{
+				Algorithm: algo, Rounds: 1, LocalEpochs: 1, BatchSize: 32,
+				LR: 0.01, Mu: 0.01, Seed: 3, EvalEvery: 1 << 30,
+			}, spec, locals, test)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunRound(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/simnet"
+)
+
+// runOverTCP runs the federation with every party dialing the server over
+// a loopback TCP socket, exercising the full serialization path.
+func runOverTCP(cfg fl.Config, spec nn.ModelSpec, locals []*data.Dataset, test *data.Dataset) (*fl.Result, error) {
+	ln, err := simnet.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	addr := ln.Addr()
+
+	var wg sync.WaitGroup
+	partyErrs := make([]error, len(locals))
+	for i, ds := range locals {
+		wg.Add(1)
+		go func(i int, ds *data.Dataset) {
+			defer wg.Done()
+			partyErrs[i] = simnet.DialParty(addr, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13)
+		}(i, ds)
+	}
+	res, serveErr := ln.AcceptAndRun(len(locals), cfg, spec, test)
+	wg.Wait()
+	if serveErr != nil {
+		return nil, serveErr
+	}
+	for i, err := range partyErrs {
+		if err != nil {
+			return nil, fmt.Errorf("party %d: %w", i, err)
+		}
+	}
+	return res, nil
+}

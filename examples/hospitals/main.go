@@ -1,0 +1,64 @@
+// Hospitals: the paper's motivating label-skew scenario. Hospitals
+// specialize in different diseases, so each data silo holds records of
+// only a few diagnosis classes (quantity-based label imbalance, #C=k).
+// This example shows how federated accuracy collapses as specialization
+// tightens, and that FedProx is the most robust choice at #C=1 — the
+// paper's Finding (1) and decision-tree advice.
+//
+//	go run ./examples/hospitals
+package main
+
+import (
+	"fmt"
+	"log"
+
+	niidbench "github.com/niid-bench/niidbench"
+)
+
+func main() {
+	// An MNIST-like 10-class problem stands in for a 10-diagnosis registry
+	// shared by 10 hospitals.
+	train, test, err := niidbench.LoadDataset("mnist", niidbench.DataConfig{
+		TrainN: 1000, TestN: 300, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("10 hospitals, each specialized in k diagnosis classes (#C=k)")
+	fmt.Println()
+	fmt.Printf("%-8s %12s %12s\n", "k", "FedAvg", "FedProx")
+	for _, k := range []int{1, 2, 3, 10} {
+		strat := niidbench.Strategy{Kind: niidbench.LabelQuantity, K: k}
+		accs := map[niidbench.Algorithm]float64{}
+		for _, algo := range []niidbench.Algorithm{niidbench.FedAvg, niidbench.FedProx} {
+			res, err := niidbench.RunFederated(niidbench.RunConfig{
+				Algorithm:   algo,
+				Rounds:      8,
+				LocalEpochs: 3,
+				BatchSize:   32,
+				LR:          0.01,
+				Mu:          0.01,
+				Seed:        5,
+			}, "mnist", strat, 10, train, test)
+			if err != nil {
+				log.Fatal(err)
+			}
+			accs[algo] = res.BestAccuracy
+		}
+		fmt.Printf("#C=%-5d %11.1f%% %11.1f%%\n", k, accs[niidbench.FedAvg]*100, accs[niidbench.FedProx]*100)
+	}
+	fmt.Println()
+	fmt.Println("expected shape: accuracy rises with k; at #C=1 all algorithms")
+	fmt.Println("struggle and the proximal term gives FedProx the edge")
+
+	// Show what the silos actually look like.
+	part, _, err := niidbench.Split(niidbench.Strategy{Kind: niidbench.LabelQuantity, K: 2}, train, 10, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := niidbench.StatsOf(part, train.Y, train.NumClasses)
+	fmt.Println()
+	fmt.Println("silo contents under #C=2:")
+	fmt.Print(st.Heatmap())
+}

@@ -1,0 +1,62 @@
+// Multinational: the paper's feature-skew scenario. A corporation serves
+// users in multiple countries whose raw data cannot cross borders (GDPR);
+// the same classes appear everywhere but the feature distributions differ
+// per region (sensors, cameras, writing styles). This example uses
+// noise-based feature imbalance to grade the regional shift and compares
+// all four algorithms — SCAFFOLD is the paper's pick for feature skew.
+//
+//	go run ./examples/multinational
+package main
+
+import (
+	"fmt"
+	"log"
+
+	niidbench "github.com/niid-bench/niidbench"
+)
+
+func main() {
+	train, test, err := niidbench.LoadDataset("fmnist", niidbench.DataConfig{
+		TrainN: 1000, TestN: 300, Seed: 19,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	algos := []niidbench.Algorithm{
+		niidbench.FedAvg, niidbench.FedProx, niidbench.Scaffold, niidbench.FedNova,
+	}
+	fmt.Println("8 regional branches; branch i's sensors add Gau(sigma*i/N) feature noise")
+	fmt.Println()
+	fmt.Printf("%-12s", "sigma")
+	for _, a := range algos {
+		fmt.Printf("%12s", a)
+	}
+	fmt.Println()
+	for _, sigma := range []float64{0, 0.1, 0.5} {
+		strat := niidbench.Strategy{Kind: niidbench.Homogeneous}
+		if sigma > 0 {
+			strat = niidbench.Strategy{Kind: niidbench.FeatureNoise, NoiseSigma: sigma}
+		}
+		fmt.Printf("%-12.1f", sigma)
+		for _, algo := range algos {
+			res, err := niidbench.RunFederated(niidbench.RunConfig{
+				Algorithm:   algo,
+				Rounds:      8,
+				LocalEpochs: 3,
+				BatchSize:   32,
+				LR:          0.01,
+				Mu:          0.01,
+				Seed:        23,
+			}, "fmnist", strat, 8, train, test)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%11.1f%%", res.BestAccuracy*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("expected shape: mild feature skew barely hurts; heavier noise widens")
+	fmt.Println("the gap and variance-reduction (SCAFFOLD) tends to cope best")
+}

@@ -1,0 +1,357 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment is registered under the paper's
+// artifact name (table3, fig8, ...) and prints output in the same layout
+// as the paper, so paper-vs-measured comparison is a side-by-side read.
+//
+// Experiments run at one of three scales:
+//
+//   - smoke: seconds; used by tests and benchmarks to validate plumbing.
+//   - quick: minutes; the default CLI scale — small synthetic datasets and
+//     few rounds, enough for every qualitative shape the paper reports.
+//   - paper: the paper's round/epoch/batch settings over the full synthetic
+//     dataset sizes; hours of CPU.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/partition"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// Scale selects an experiment-size profile.
+type Scale string
+
+// The three supported scales.
+const (
+	Smoke Scale = "smoke"
+	Quick Scale = "quick"
+	Paper Scale = "paper"
+)
+
+// profile fixes the sizes a scale uses.
+type profile struct {
+	imgTrain, imgTest int
+	tabTrain, tabTest int
+	rounds            int
+	epochs            int
+	batch             int
+	parties           int
+	trials            int
+	evalEvery         int
+}
+
+var profiles = map[Scale]profile{
+	Smoke: {imgTrain: 300, imgTest: 120, tabTrain: 400, tabTest: 200, rounds: 2, epochs: 1, batch: 32, parties: 4, trials: 1, evalEvery: 1},
+	Quick: {imgTrain: 1000, imgTest: 300, tabTrain: 1500, tabTest: 500, rounds: 10, epochs: 3, batch: 32, parties: 10, trials: 1, evalEvery: 1},
+	Paper: {imgTrain: 2000, imgTest: 600, tabTrain: 3000, tabTest: 1000, rounds: 50, epochs: 10, batch: 64, parties: 10, trials: 3, evalEvery: 1},
+}
+
+// Options configures a harness run.
+type Options struct {
+	Scale  Scale
+	Out    io.Writer
+	Seed   uint64
+	Trials int // 0 = the scale's default
+	// Datasets restricts multi-dataset experiments to a subset; nil runs
+	// every dataset the experiment covers.
+	Datasets []string
+	// TuneMu makes FedProx runs sweep mu over the paper's grid
+	// {0.001, 0.01, 0.1, 1} and report the best, as Table III does.
+	TuneMu bool
+}
+
+func (o Options) normalize() Options {
+	if o.Scale == "" {
+		o.Scale = Quick
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Trials == 0 {
+		o.Trials = profiles[o.Scale].trials
+	}
+	return o
+}
+
+func (o Options) wantDataset(name string) bool {
+	if len(o.Datasets) == 0 {
+		return true
+	}
+	for _, d := range o.Datasets {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Experiment is one registered paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(h *Harness) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment registered under id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (run `niidbench list`)", id)
+	}
+	return e, nil
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opt Options) error {
+	e, err := Get(id)
+	if err != nil {
+		return err
+	}
+	h := NewHarness(opt)
+	fmt.Fprintf(h.Out, "== %s: %s (scale=%s) ==\n", e.ID, e.Title, h.opt.Scale)
+	return e.Run(h)
+}
+
+// Harness carries shared state across an experiment run: options, the
+// active profile and a dataset cache.
+type Harness struct {
+	Out io.Writer
+	opt Options
+	p   profile
+
+	mu    sync.Mutex
+	cache map[string][2]*data.Dataset
+}
+
+// NewHarness builds a harness for the given options.
+func NewHarness(opt Options) *Harness {
+	opt = opt.normalize()
+	out := opt.Out
+	if out == nil {
+		out = io.Discard
+	}
+	return &Harness{Out: out, opt: opt, p: profiles[opt.Scale], cache: map[string][2]*data.Dataset{}}
+}
+
+// Profile exposes the active scale profile (for tests).
+func (h *Harness) Profile() (rounds, epochs, batch, parties, trials int) {
+	return h.p.rounds, h.p.epochs, h.p.batch, h.p.parties, h.p.trials
+}
+
+// Dataset loads (and caches) the named dataset at the harness scale.
+func (h *Harness) Dataset(name string) (train, test *data.Dataset, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if pair, ok := h.cache[name]; ok {
+		return pair[0], pair[1], nil
+	}
+	cfg := data.Config{Seed: h.opt.Seed}
+	if isImage(name) {
+		cfg.TrainN, cfg.TestN = h.p.imgTrain, h.p.imgTest
+	} else {
+		cfg.TrainN, cfg.TestN = h.p.tabTrain, h.p.tabTest
+	}
+	if name == "fcube" {
+		cfg.TrainN, cfg.TestN = 4000, 1000 // the paper's exact FCUBE size
+		if h.opt.Scale == Smoke {
+			cfg.TrainN, cfg.TestN = 400, 100
+		}
+	}
+	train, test, err = data.Load(name, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.cache[name] = [2]*data.Dataset{train, test}
+	return train, test, nil
+}
+
+func isImage(name string) bool {
+	switch name {
+	case "mnist", "fmnist", "cifar10", "svhn", "femnist":
+		return true
+	}
+	return false
+}
+
+// lrFor mirrors the paper's tuning: 0.1 for rcv1, 0.01 otherwise.
+func lrFor(dataset string) float64 {
+	if dataset == "rcv1" {
+		return 0.1
+	}
+	return 0.01
+}
+
+// Setting is one fully specified federated run.
+type Setting struct {
+	Dataset  string
+	Strategy partition.Strategy
+	Algo     fl.Algorithm
+	// Overrides; zero values take the profile/paper defaults.
+	Parties        int
+	Rounds         int
+	Epochs         int
+	Batch          int
+	LR             float64
+	Mu             float64
+	SampleFraction float64
+	Model          nn.ModelKind
+	Seed           uint64
+	EvalEvery      int
+	KeepBNLocal    bool
+	Unweighted     bool
+	Variant        fl.ScaffoldVariant
+}
+
+// applyDefaults resolves a Setting against the harness profile.
+func (h *Harness) applyDefaults(s Setting) Setting {
+	if s.Parties == 0 {
+		s.Parties = h.p.parties
+	}
+	if s.Dataset == "fcube" && s.Strategy.Kind == partition.FeatureSynthetic {
+		s.Parties = 4 // the paper fixes FCUBE at 4 parties
+	}
+	if s.Rounds == 0 {
+		s.Rounds = h.p.rounds
+	}
+	if s.Epochs == 0 {
+		s.Epochs = h.p.epochs
+	}
+	if s.Batch == 0 {
+		s.Batch = h.p.batch
+	}
+	if s.LR == 0 {
+		s.LR = lrFor(s.Dataset)
+	}
+	if s.Mu == 0 {
+		s.Mu = 0.01
+	}
+	if s.SampleFraction == 0 {
+		s.SampleFraction = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = h.opt.Seed
+	}
+	if s.EvalEvery == 0 {
+		s.EvalEvery = h.p.evalEvery
+	}
+	return s
+}
+
+// RunSetting executes one federated run and returns its result.
+func (h *Harness) RunSetting(s Setting) (*fl.Result, error) {
+	s = h.applyDefaults(s)
+	train, test, err := h.Dataset(s.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	_, locals, err := s.Strategy.Split(train, s.Parties, rng.New(s.Seed*2654435761+uint64(len(s.Dataset))))
+	if err != nil {
+		return nil, err
+	}
+	spec, err := data.Model(s.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	if s.Model != "" {
+		spec.Kind = s.Model
+	}
+	cfg := fl.Config{
+		Algorithm:        s.Algo,
+		Rounds:           s.Rounds,
+		LocalEpochs:      s.Epochs,
+		BatchSize:        s.Batch,
+		LR:               s.LR,
+		Momentum:         0.9,
+		Mu:               s.Mu,
+		SampleFraction:   s.SampleFraction,
+		Seed:             s.Seed,
+		EvalEvery:        s.EvalEvery,
+		KeepBNStatsLocal: s.KeepBNLocal,
+		Unweighted:       s.Unweighted,
+		Variant:          s.Variant,
+	}
+	sim, err := fl.NewSimulation(cfg, spec, locals, test)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+// MuGrid is the paper's FedProx tuning grid.
+var MuGrid = []float64{0.001, 0.01, 0.1, 1}
+
+// RunTrials executes the setting h.opt.Trials times with distinct seeds
+// and returns each trial's final accuracy. When TuneMu is set and the
+// setting runs FedProx, the whole trial set is repeated for each mu in
+// MuGrid and the best-by-mean grid point is reported — the paper's Table
+// III protocol.
+func (h *Harness) RunTrials(s Setting) ([]float64, error) {
+	if h.opt.TuneMu && s.Algo == fl.FedProx {
+		var best []float64
+		bestMean := -1.0
+		for _, mu := range MuGrid {
+			s.Mu = mu
+			accs, err := h.runTrialsOnce(s)
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			for _, a := range accs {
+				sum += a
+			}
+			if mean := sum / float64(len(accs)); mean > bestMean {
+				bestMean, best = mean, accs
+			}
+		}
+		return best, nil
+	}
+	return h.runTrialsOnce(s)
+}
+
+func (h *Harness) runTrialsOnce(s Setting) ([]float64, error) {
+	accs := make([]float64, 0, h.opt.Trials)
+	for trial := 0; trial < h.opt.Trials; trial++ {
+		s.Seed = h.opt.Seed + uint64(trial)*1000003
+		res, err := h.RunSetting(s)
+		if err != nil {
+			return nil, err
+		}
+		accs = append(accs, res.FinalAccuracy)
+	}
+	return accs, nil
+}
+
+// AccuracyCurve extracts the evaluated accuracy series from a result.
+func AccuracyCurve(res *fl.Result) []float64 {
+	out := make([]float64, 0, len(res.Curve))
+	for _, m := range res.Curve {
+		out = append(out, m.TestAccuracy)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/partition"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+func init() {
+	register(Experiment{ID: "fig3", Title: "Non-IID properties of real data: Criteo label/quantity skew, Digits feature skew (Figure 3)", Run: runFig3})
+}
+
+// runFig3 reproduces the paper's two motivating measurements: (a) a
+// Criteo-like CTR log partitioned by user shows natural label and quantity
+// skew; (b) two digit corpora (MNIST-like and SVHN-like) share labels but
+// have different feature distributions.
+func runFig3(h *Harness) error {
+	// (a) Criteo: take each user group as a party.
+	train, _, err := h.Dataset("criteo")
+	if err != nil {
+		return err
+	}
+	parties := 10
+	part := partition.ByWriter(train.Writers, parties, rng.New(h.opt.Seed))
+	st := partition.ComputeStats(part, train.Y, train.NumClasses)
+	fmt.Fprintln(h.Out, "(a) Criteo-like CTR log, one user group per party:")
+	fmt.Fprintln(h.Out)
+	fmt.Fprint(h.Out, st.Heatmap())
+	fmt.Fprintf(h.Out, "\nlabel imbalance: %.4f, quantity imbalance: %.4f\n", st.LabelImbalance, st.QuantityImbalance)
+	fmt.Fprintln(h.Out, "-> both label distribution skew and quantity skew arise naturally")
+
+	// (b) Digits: same labels, different domains. Compare per-class
+	// feature centroids within a domain against across domains.
+	mnist, _, err := h.Dataset("mnist")
+	if err != nil {
+		return err
+	}
+	svhnGray, _, err := h.Dataset("fmnist") // a second 1-channel domain
+	if err != nil {
+		return err
+	}
+	within, across := centroidDistances(mnist, svhnGray)
+	fmt.Fprintln(h.Out, "\n(b) Digits: two domains with the same label space:")
+	fmt.Fprintf(h.Out, "mean centroid distance between classes within a domain:  %.3f\n", within)
+	fmt.Fprintf(h.Out, "mean centroid distance of the SAME class across domains: %.3f\n", across)
+	if across > within/2 {
+		fmt.Fprintln(h.Out, "-> same-class features differ across domains: feature distribution skew")
+	}
+	return nil
+}
+
+// centroidDistances computes (1) the mean distance between different-class
+// centroids inside dataset a and (2) the mean distance between same-class
+// centroids across a and b. Both datasets must share FeatLen and classes.
+func centroidDistances(a, b *data.Dataset) (within, across float64) {
+	ca := classCentroids(a)
+	cb := classCentroids(b)
+	var wSum float64
+	wCount := 0
+	for i := range ca {
+		for j := i + 1; j < len(ca); j++ {
+			wSum += euclid(ca[i], ca[j])
+			wCount++
+		}
+	}
+	var aSum float64
+	for i := range ca {
+		aSum += euclid(ca[i], cb[i])
+	}
+	return wSum / float64(wCount), aSum / float64(len(ca))
+}
+
+func classCentroids(d *data.Dataset) [][]float64 {
+	cents := make([][]float64, d.NumClasses)
+	counts := make([]int, d.NumClasses)
+	for c := range cents {
+		cents[c] = make([]float64, d.FeatLen)
+	}
+	for i := 0; i < d.Len(); i++ {
+		y := d.Y[i]
+		row := d.Sample(i)
+		for j, v := range row {
+			cents[y][j] += v
+		}
+		counts[y]++
+	}
+	for c := range cents {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		for j := range cents[c] {
+			cents[c][j] *= inv
+		}
+	}
+	return cents
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

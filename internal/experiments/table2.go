@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Title: "Dataset statistics (Table II)",
+		Run:   runTable2,
+	})
+}
+
+// runTable2 prints the statistics of every dataset at the harness scale
+// next to the original sizes from the paper's Table II.
+func runTable2(h *Harness) error {
+	tb := report.NewTable("Datasets (synthetic stand-ins; paper sizes for reference)",
+		"dataset", "#train", "#test", "#features", "#classes", "paper #train", "paper #test")
+	for _, name := range data.Names() {
+		if !h.opt.wantDataset(name) {
+			continue
+		}
+		train, test, err := h.Dataset(name)
+		if err != nil {
+			return err
+		}
+		pTrain, pTest, err := data.PaperSizes(name)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(name,
+			fmt.Sprint(train.Len()), fmt.Sprint(test.Len()),
+			fmt.Sprint(train.FeatLen), fmt.Sprint(train.NumClasses),
+			fmt.Sprint(pTrain), fmt.Sprint(pTest))
+	}
+	tb.Render(h.Out)
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package fedcli holds the configuration contract shared by the fedserver
+// and fedparty binaries: both sides regenerate the same synthetic dataset
+// and partition deterministically from identical flags, standing in for
+// silos that own their local data.
+package fedcli
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/partition"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// Shared carries every flag the server and the parties must agree on.
+type Shared struct {
+	Dataset   string
+	Partition string
+	K         int
+	Beta      float64
+	Sigma     float64
+	Algo      string
+	Parties   int
+	Rounds    int
+	Epochs    int
+	Batch     int
+	LR        float64
+	Mu        float64
+	TrainN    int
+	TestN     int
+	Seed      uint64
+}
+
+// Register wires the shared flags into fs.
+func (s *Shared) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Dataset, "dataset", "adult", "dataset family")
+	fs.StringVar(&s.Partition, "partition", "label-dirichlet", "partition kind (iid, label-quantity, label-dirichlet, feature-noise, feature-synthetic, feature-realworld, quantity)")
+	fs.IntVar(&s.K, "k", 2, "classes per party for label-quantity")
+	fs.Float64Var(&s.Beta, "beta", 0.5, "Dirichlet concentration")
+	fs.Float64Var(&s.Sigma, "sigma", 0.1, "noise level for feature-noise")
+	fs.StringVar(&s.Algo, "algo", "fedavg", "fedavg, fedprox, scaffold, fednova, feddyn, moon")
+	fs.IntVar(&s.Parties, "parties", 4, "number of parties")
+	fs.IntVar(&s.Rounds, "rounds", 10, "communication rounds")
+	fs.IntVar(&s.Epochs, "epochs", 3, "local epochs")
+	fs.IntVar(&s.Batch, "batch", 32, "batch size")
+	fs.Float64Var(&s.LR, "lr", 0.01, "learning rate")
+	fs.Float64Var(&s.Mu, "mu", 0.01, "FedProx mu")
+	fs.IntVar(&s.TrainN, "train", 0, "training samples (0 = family default)")
+	fs.IntVar(&s.TestN, "test", 0, "test samples (0 = family default)")
+	fs.Uint64Var(&s.Seed, "seed", 1, "shared seed; all processes must use the same value")
+}
+
+// Build regenerates the dataset, partition, model spec and training config
+// from the shared flags. Every process calling Build with identical flags
+// gets identical local datasets.
+func (s *Shared) Build() (fl.Config, nn.ModelSpec, []*data.Dataset, *data.Dataset, error) {
+	strat := partition.Strategy{Kind: partition.Kind(s.Partition), K: s.K, Beta: s.Beta}
+	if strat.Kind == partition.FeatureNoise {
+		strat.NoiseSigma = s.Sigma
+	}
+	if strat.Kind == partition.FeatureSynthetic {
+		s.Parties = 4
+	}
+	train, test, err := data.Load(s.Dataset, data.Config{TrainN: s.TrainN, TestN: s.TestN, Seed: s.Seed})
+	if err != nil {
+		return fl.Config{}, nn.ModelSpec{}, nil, nil, err
+	}
+	spec, err := data.Model(s.Dataset)
+	if err != nil {
+		return fl.Config{}, nn.ModelSpec{}, nil, nil, err
+	}
+	_, locals, err := strat.Split(train, s.Parties, rng.New(s.Seed+17))
+	if err != nil {
+		return fl.Config{}, nn.ModelSpec{}, nil, nil, err
+	}
+	cfg := fl.Config{
+		Algorithm:   fl.Algorithm(s.Algo),
+		Rounds:      s.Rounds,
+		LocalEpochs: s.Epochs,
+		BatchSize:   s.Batch,
+		LR:          s.LR,
+		Momentum:    0.9,
+		Mu:          s.Mu,
+		Seed:        s.Seed,
+	}
+	if _, err := cfg.Normalize(); err != nil {
+		return fl.Config{}, nn.ModelSpec{}, nil, nil, err
+	}
+	return cfg, spec, locals, test, nil
+}
+
+// PartySeed returns the deterministic training seed for party index i.
+func (s *Shared) PartySeed(i int) uint64 {
+	return s.Seed + uint64(i)*7919 + 13
+}
+
+// Validate checks the party index against the federation size.
+func (s *Shared) Validate(index int) error {
+	if index < 0 || index >= s.Parties {
+		return fmt.Errorf("fedcli: party index %d outside [0,%d)", index, s.Parties)
+	}
+	return nil
+}

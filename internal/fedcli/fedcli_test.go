@@ -1,0 +1,122 @@
+package fedcli
+
+import (
+	"flag"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *Shared {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var s Shared
+	s.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &s
+}
+
+func TestBuildDeterministicAcrossProcesses(t *testing.T) {
+	// Two independent Shared values with the same flags must produce
+	// identical local shards — the contract multi-process federation
+	// relies on.
+	args := []string{"-dataset", "adult", "-parties", "3", "-train", "200", "-test", "50", "-seed", "9"}
+	a, b := parse(t, args...), parse(t, args...)
+	_, _, localsA, testA, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, localsB, testB, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(localsA) != 3 || len(localsB) != 3 {
+		t.Fatalf("parties: %d/%d", len(localsA), len(localsB))
+	}
+	for p := range localsA {
+		if localsA[p].Len() != localsB[p].Len() {
+			t.Fatalf("party %d sizes differ", p)
+		}
+		for i := range localsA[p].X {
+			if localsA[p].X[i] != localsB[p].X[i] {
+				t.Fatalf("party %d features differ at %d", p, i)
+			}
+		}
+	}
+	for i := range testA.X {
+		if testA.X[i] != testB.X[i] {
+			t.Fatal("test sets differ")
+		}
+	}
+}
+
+func TestBuildSeedChangesData(t *testing.T) {
+	a := parse(t, "-dataset", "adult", "-train", "200", "-test", "50", "-seed", "1")
+	b := parse(t, "-dataset", "adult", "-train", "200", "-test", "50", "-seed", "2")
+	_, _, localsA, _, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, localsB, _, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range localsA[0].X {
+		if i < len(localsB[0].X) && localsA[0].X[i] != localsB[0].X[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical shards")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, _, _, _, err := parse(t, "-dataset", "nope").Build(); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if _, _, _, _, err := parse(t, "-algo", "nope").Build(); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	if _, _, _, _, err := parse(t, "-partition", "nope").Build(); err == nil {
+		t.Fatal("expected error for unknown partition")
+	}
+}
+
+func TestValidateIndex(t *testing.T) {
+	s := parse(t, "-parties", "4")
+	if err := s.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(4); err == nil {
+		t.Fatal("expected error for index == parties")
+	}
+	if err := s.Validate(-1); err == nil {
+		t.Fatal("expected error for negative index")
+	}
+}
+
+func TestPartySeedsDistinct(t *testing.T) {
+	s := parse(t)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		seed := s.PartySeed(i)
+		if seen[seed] {
+			t.Fatalf("duplicate party seed %d", seed)
+		}
+		seen[seed] = true
+	}
+}
+
+func TestFCubeForcesFourParties(t *testing.T) {
+	s := parse(t, "-dataset", "fcube", "-partition", "feature-synthetic", "-parties", "10", "-train", "400", "-test", "100")
+	_, _, locals, _, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locals) != 4 {
+		t.Fatalf("fcube parties: %d", len(locals))
+	}
+}

@@ -1,0 +1,120 @@
+package fl
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/niid-bench/niidbench/internal/partition"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	state := []float64{1.5, -2.25, 0, math.Pi}
+	var buf bytes.Buffer
+	if err := SaveState(&buf, state); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(state) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range state {
+		if got[i] != state[i] {
+			t.Fatalf("value %d: %v != %v", i, got[i], state[i])
+		}
+	}
+}
+
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(state []float64) bool {
+		var buf bytes.Buffer
+		if err := SaveState(&buf, state); err != nil {
+			return false
+		}
+		got, err := LoadState(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(state) {
+			return false
+		}
+		for i := range state {
+			if got[i] != state[i] && !(math.IsNaN(got[i]) && math.IsNaN(state[i])) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadState(bytes.NewReader([]byte("not a checkpoint file"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	if err := SaveState(&buf, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-4]
+	if _, err := LoadState(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestCheckpointFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.niidb")
+	state := []float64{9, 8, 7}
+	if err := SaveStateFile(path, state); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 7 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := LoadStateFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStateFile(path); err == nil {
+		t.Fatal("expected error for corrupted file")
+	}
+}
+
+func TestResumeFromCheckpoint(t *testing.T) {
+	// Train, checkpoint, resume in a fresh simulation: the resumed run's
+	// first evaluation should match the checkpoint's accuracy.
+	cfg := quickCfg(FedAvg)
+	cfg.Rounds = 2
+	sim, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 3, cfg)
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	state := append([]float64{}, sim.GlobalState()...)
+
+	sim2, test := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 3, cfg)
+	if err := sim2.SetInitialState(state); err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(sim2.Spec, test)
+	if got, want := ev.Accuracy(sim2.GlobalState()), ev.Accuracy(state); got != want {
+		t.Fatalf("resumed state accuracy %v, want %v", got, want)
+	}
+	if err := sim2.SetInitialState([]float64{1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}

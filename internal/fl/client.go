@@ -1,0 +1,239 @@
+package fl
+
+import (
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/optim"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// Update is what a party returns to the server after local training
+// (Algorithm 1 lines 22-23 / Algorithm 2 lines 22-26).
+type Update struct {
+	// Delta is w^t - w_i^t over the full model state (parameters followed
+	// by buffers), so the server applies the update by subtracting it.
+	Delta []float64
+	// Tau is the number of local SGD steps taken (mini-batches).
+	Tau int
+	// DeltaC is SCAFFOLD's control-variate delta over parameters; nil for
+	// other algorithms.
+	DeltaC []float64
+	// Kept is the number of non-zero parameter-delta entries after top-k
+	// compression (equals the parameter count when compression is off).
+	Kept int
+	// N is the local dataset size used for weighting.
+	N int
+	// TrainLoss is the mean mini-batch loss over the final local epoch.
+	TrainLoss float64
+}
+
+// Client is one party in the federation. It owns a local dataset, a model
+// replica and (for SCAFFOLD) a persistent control variate.
+type Client struct {
+	ID    int
+	Data  *data.Dataset
+	Spec  nn.ModelSpec
+	model *nn.Sequential
+	r     *rng.RNG
+	// scaffoldC is the party's control variate c_i (parameter-length),
+	// persisted across rounds per Algorithm 2.
+	scaffoldC []float64
+	// localBN holds this party's batch-norm buffer values when the
+	// KeepBNStatsLocal ablation is enabled.
+	localBN []float64
+	// dynH is FedDyn's accumulated first-order state (parameter-length),
+	// persisted across rounds.
+	dynH []float64
+	// prevState is MOON's previous-round local model state; auxGlobal and
+	// auxPrev are frozen replicas used to extract representations.
+	prevState []float64
+	auxGlobal *nn.Sequential
+	auxPrev   *nn.Sequential
+}
+
+// NewClient builds a party with its own deterministic RNG stream.
+func NewClient(id int, local *data.Dataset, spec nn.ModelSpec, r *rng.RNG) *Client {
+	return &Client{ID: id, Data: local, Spec: spec, model: nn.Build(spec, r), r: r}
+}
+
+// ParamCount returns the learnable parameter count of the party's model.
+func (c *Client) ParamCount() int { return c.model.ParamCount() }
+
+// StateCount returns the full state length of the party's model.
+func (c *Client) StateCount() int { return c.model.StateCount() }
+
+// LocalTrain runs E local epochs of mini-batch SGD from the given global
+// state and returns the update. serverC is SCAFFOLD's server control
+// variate (nil otherwise). The config must be normalized.
+func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Update {
+	paramLen := c.model.ParamCount()
+	if cfg.KeepBNStatsLocal && c.localBN != nil {
+		// FedBN-style ablation: take the global parameters but keep this
+		// party's own batch-norm statistics.
+		full := make([]float64, len(global))
+		copy(full, global)
+		copy(full[paramLen:], c.localBN)
+		c.model.SetState(full)
+	} else {
+		c.model.SetState(global)
+	}
+
+	opt := optim.NewSGD(cfg.LR, cfg.Momentum)
+	if cfg.Algorithm == FedProx && cfg.Mu > 0 {
+		opt.AddCorrector(&optim.Proximal{Mu: cfg.Mu, Global: global[:paramLen]})
+	}
+	if cfg.Algorithm == Scaffold {
+		if c.scaffoldC == nil {
+			c.scaffoldC = make([]float64, paramLen)
+		}
+		opt.AddCorrector(&optim.Scaffold{Local: c.scaffoldC, Server: serverC})
+	}
+	if cfg.Algorithm == FedDyn {
+		if c.dynH == nil {
+			c.dynH = make([]float64, paramLen)
+		}
+		opt.AddCorrector(&optim.Dyn{Alpha: cfg.Alpha, Global: global[:paramLen], H: c.dynH})
+	}
+	if cfg.Algorithm == Moon {
+		return c.localTrainMoon(global, cfg, opt)
+	}
+
+	n := c.Data.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	tau := 0
+	var lastEpochLoss float64
+	loss := nn.SoftmaxCrossEntropy{}
+	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
+		c.r.Shuffle(idx)
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			x, y := c.Data.Batch(idx[start:end])
+			c.model.ZeroGrads()
+			logits := c.model.Forward(c.Spec.ShapeBatch(x), true)
+			l, g := loss.Loss(logits, y)
+			c.model.Backward(g)
+			if cfg.DPClip > 0 {
+				dpSanitize(c.model, cfg.DPClip, cfg.DPNoise, end-start, c.r)
+			}
+			opt.Step(c.model)
+			epochLoss += l
+			batches++
+			tau++
+		}
+		if batches > 0 {
+			lastEpochLoss = epochLoss / float64(batches)
+		}
+	}
+
+	state := c.model.State()
+	delta := make([]float64, len(state))
+	for i := range delta {
+		delta[i] = global[i] - state[i]
+	}
+	if cfg.KeepBNStatsLocal {
+		// Remember local BN stats and report no buffer delta so the server
+		// keeps its own statistics untouched.
+		c.localBN = append(c.localBN[:0], state[paramLen:]...)
+		for i := paramLen; i < len(delta); i++ {
+			delta[i] = 0
+		}
+	}
+
+	up := Update{Delta: delta, Tau: tau, N: n, TrainLoss: lastEpochLoss, Kept: paramLen}
+	if cfg.CompressTopK > 0 {
+		up.Kept = compressTopK(delta, paramLen, cfg.CompressTopK)
+	}
+	if cfg.Algorithm == Scaffold {
+		up.DeltaC = c.updateControlVariate(global, state, serverC, tau, cfg)
+	}
+	if cfg.Algorithm == FedDyn {
+		// h_i <- h_i - alpha*(w_i - w^t) = h_i + alpha*delta (params only).
+		for i := 0; i < paramLen; i++ {
+			c.dynH[i] += cfg.Alpha * delta[i]
+		}
+	}
+	return up
+}
+
+// updateControlVariate implements Algorithm 2 lines 23-25 and returns
+// Delta c = c_i* - c_i, persisting c_i* as the new local control variate.
+func (c *Client) updateControlVariate(global, state, serverC []float64, tau int, cfg Config) []float64 {
+	paramLen := c.model.ParamCount()
+	cStar := make([]float64, paramLen)
+	switch cfg.Variant {
+	case ScaffoldGradient:
+		// Option (i): gradient of the local data at the *global* model.
+		c.model.SetState(global)
+		c.model.ZeroGrads()
+		gsum := make([]float64, paramLen)
+		loss := nn.SoftmaxCrossEntropy{}
+		n := c.Data.Len()
+		// Full pass in batches; gradients of the mean loss per batch are
+		// combined weighted by batch size.
+		tmp := make([]float64, paramLen)
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			idx := make([]int, end-start)
+			for i := range idx {
+				idx[i] = start + i
+			}
+			x, y := c.Data.Batch(idx)
+			c.model.ZeroGrads()
+			logits := c.model.Forward(c.Spec.ShapeBatch(x), true)
+			_, g := loss.Loss(logits, y)
+			c.model.Backward(g)
+			c.model.GetGrads(tmp)
+			w := float64(end-start) / float64(n)
+			for i := range gsum {
+				gsum[i] += w * tmp[i]
+			}
+		}
+		copy(cStar, gsum)
+		// Restore the trained state: the delta was already computed.
+		c.model.SetState(state)
+	default: // ScaffoldReuse, option (ii)
+		// (w^t - w_i^t)/(tau*eta) estimates the mean gradient, but that
+		// identity assumes plain SGD. With classical momentum m the total
+		// displacement of tau steps of a constant gradient is
+		// eta*g*sum_{t=1..tau} (1-m^t)/(1-m), so we divide by that
+		// effective step count instead; otherwise the control variates are
+		// overestimated by up to 1/(1-m) and SCAFFOLD diverges.
+		inv := 1 / (effectiveSteps(tau, cfg.Momentum) * cfg.LR)
+		for i := 0; i < paramLen; i++ {
+			cStar[i] = c.scaffoldC[i] - serverC[i] + (global[i]-state[i])*inv
+		}
+	}
+	deltaC := make([]float64, paramLen)
+	for i := range deltaC {
+		deltaC[i] = cStar[i] - c.scaffoldC[i]
+	}
+	copy(c.scaffoldC, cStar)
+	return deltaC
+}
+
+// effectiveSteps returns the momentum-adjusted step count: the factor k
+// such that tau steps of SGD-with-momentum on a constant gradient g move
+// the weights by eta*g*k. For momentum 0 it is exactly tau.
+func effectiveSteps(tau int, momentum float64) float64 {
+	if momentum <= 0 {
+		return float64(tau)
+	}
+	total := 0.0
+	mPow := 1.0
+	for t := 1; t <= tau; t++ {
+		mPow *= momentum
+		total += (1 - mPow) / (1 - momentum)
+	}
+	return total
+}

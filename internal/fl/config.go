@@ -1,0 +1,231 @@
+// Package fl implements the four federated-learning algorithms NIID-Bench
+// compares — FedAvg, FedProx, SCAFFOLD and FedNova — over a pluggable
+// party/server simulation with per-round accuracy curves, communication
+// accounting and computation timing.
+//
+// The algorithms follow the paper's Algorithm 1 and Algorithm 2 exactly:
+// every party performs E local epochs of mini-batch SGD starting from the
+// round's global model and returns the model delta (and, for SCAFFOLD, a
+// control-variate delta); the server aggregates deltas weighted by local
+// dataset size (FedNova additionally normalizes by the local step count).
+package fl
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Algorithm selects the federated optimization algorithm.
+type Algorithm string
+
+// The four algorithms studied by the paper.
+const (
+	FedAvg   Algorithm = "fedavg"
+	FedProx  Algorithm = "fedprox"
+	Scaffold Algorithm = "scaffold"
+	FedNova  Algorithm = "fednova"
+)
+
+// Extension algorithms from the paper's Section III-D ("other studies"),
+// which the paper leaves as future comparisons: FedDyn's dynamic
+// regularization (reference [2]) and MOON's model-contrastive learning
+// (reference [40]).
+const (
+	FedDyn Algorithm = "feddyn"
+	Moon   Algorithm = "moon"
+)
+
+// Algorithms lists the studied algorithms in the paper's column order.
+func Algorithms() []Algorithm {
+	return []Algorithm{FedAvg, FedProx, Scaffold, FedNova}
+}
+
+// ExtendedAlgorithms lists the studied algorithms plus the Section III-D
+// extensions implemented by this reproduction.
+func ExtendedAlgorithms() []Algorithm {
+	return []Algorithm{FedAvg, FedProx, Scaffold, FedNova, FedDyn, Moon}
+}
+
+// ServerOpt selects the server-side optimizer applied to the aggregated
+// pseudo-gradient (the FedOpt family; Reddi et al., reference [62]).
+type ServerOpt string
+
+// Server optimizer choices.
+const (
+	// ServerSGD applies the aggregated delta directly (the paper's setup).
+	ServerSGD ServerOpt = "sgd"
+	// ServerMomentum adds server-side momentum (FedAvgM).
+	ServerMomentum ServerOpt = "momentum"
+	// ServerAdam applies an Adam update to the pseudo-gradient (FedAdam).
+	ServerAdam ServerOpt = "adam"
+)
+
+// ScaffoldVariant selects how SCAFFOLD updates the local control variate
+// (Algorithm 2, line 23).
+type ScaffoldVariant int
+
+const (
+	// ScaffoldGradient recomputes the full local gradient at the global
+	// model (option i): more stable, more compute.
+	ScaffoldGradient ScaffoldVariant = iota + 1
+	// ScaffoldReuse reuses the accumulated update (option ii):
+	// c* = c_i - c + (w^t - w_i^t)/(tau*eta). The paper's default.
+	ScaffoldReuse
+)
+
+// Config holds every training hyper-parameter of a federated run. The
+// defaults (applied by Normalize) match the paper: batch size 64, 10 local
+// epochs, SGD momentum 0.9, full participation, 50 rounds.
+type Config struct {
+	Algorithm   Algorithm
+	Rounds      int
+	LocalEpochs int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	// Mu is FedProx's proximal weight; ignored by other algorithms.
+	Mu float64
+	// SampleFraction is the fraction of parties selected each round
+	// (1 = full participation, the paper's default).
+	SampleFraction float64
+	// Variant selects SCAFFOLD's control-variate update rule.
+	Variant ScaffoldVariant
+	// ServerLR is the server-side step applied to the aggregated delta.
+	ServerLR float64
+	// Seed drives party sampling, batch shuffling and model init.
+	Seed uint64
+	// Parallelism bounds how many parties train concurrently within a
+	// round (simulation-level only; it does not change the math).
+	Parallelism int
+	// EvalEvery evaluates test accuracy every k rounds (default 1).
+	EvalEvery int
+	// KeepBNStatsLocal, when true, excludes batch-norm running statistics
+	// from aggregation (the FedBN-style fix discussed in Section VI-B);
+	// the default is the paper's plain averaging of the full state.
+	KeepBNStatsLocal bool
+	// WeightedAggregation controls whether deltas are weighted by local
+	// dataset size (the paper's setting). Disabling it is an ablation.
+	Unweighted bool
+	// Alpha is FedDyn's regularization weight; ignored by other
+	// algorithms.
+	Alpha float64
+	// MoonMu weighs MOON's model-contrastive loss; MoonTemp is its
+	// softmax temperature. Ignored by other algorithms.
+	MoonMu   float64
+	MoonTemp float64
+	// ServerOptimizer selects how the server applies the aggregated
+	// pseudo-gradient (default plain SGD, the paper's setup).
+	ServerOptimizer ServerOpt
+	// ServerMomentumBeta is the momentum coefficient for ServerMomentum.
+	ServerMomentumBeta float64
+	// Sampling selects the party-sampling strategy under partial
+	// participation (default uniform random, the paper's setting;
+	// stratified is the Section VI-A future-direction extension).
+	Sampling PartySampling
+	// DPClip, when positive, clips each mini-batch's parameter gradient to
+	// this L2 norm; DPNoise adds Gaussian noise with standard deviation
+	// DPNoise*DPClip/batch per coordinate (DP-SGD-style sanitization, no
+	// accountant).
+	DPClip  float64
+	DPNoise float64
+	// CompressTopK, in (0,1), keeps only that fraction of the largest-
+	// magnitude parameter-delta entries per upload (top-k gradient
+	// compression). 0 disables compression.
+	CompressTopK float64
+}
+
+// Normalize fills zero fields with the paper's defaults and validates the
+// result.
+func (c Config) Normalize() (Config, error) {
+	if c.Algorithm == "" {
+		c.Algorithm = FedAvg
+	}
+	switch c.Algorithm {
+	case FedAvg, FedProx, Scaffold, FedNova, FedDyn, Moon:
+	default:
+		return c, fmt.Errorf("fl: unknown algorithm %q", c.Algorithm)
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 50
+	}
+	if c.LocalEpochs <= 0 {
+		c.LocalEpochs = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if c.Momentum < 0 {
+		return c, fmt.Errorf("fl: negative momentum %v", c.Momentum)
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.SampleFraction <= 0 || c.SampleFraction > 1 {
+		if c.SampleFraction == 0 {
+			c.SampleFraction = 1
+		} else {
+			return c, fmt.Errorf("fl: sample fraction %v outside (0,1]", c.SampleFraction)
+		}
+	}
+	if c.Variant == 0 {
+		c.Variant = ScaffoldReuse
+	}
+	if c.ServerLR == 0 {
+		c.ServerLR = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	if c.Mu < 0 {
+		return c, fmt.Errorf("fl: negative mu %v", c.Mu)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	if c.Alpha < 0 {
+		return c, fmt.Errorf("fl: negative alpha %v", c.Alpha)
+	}
+	if c.MoonMu == 0 {
+		c.MoonMu = 1
+	}
+	if c.MoonTemp == 0 {
+		c.MoonTemp = 0.5
+	}
+	if c.ServerOptimizer == "" {
+		c.ServerOptimizer = ServerSGD
+	}
+	switch c.ServerOptimizer {
+	case ServerSGD, ServerMomentum, ServerAdam:
+	default:
+		return c, fmt.Errorf("fl: unknown server optimizer %q", c.ServerOptimizer)
+	}
+	if c.ServerMomentumBeta == 0 {
+		c.ServerMomentumBeta = 0.9
+	}
+	if c.Sampling == "" {
+		c.Sampling = SampleRandom
+	}
+	if c.DPClip < 0 || c.DPNoise < 0 {
+		return c, fmt.Errorf("fl: negative DP parameter (clip %v, noise %v)", c.DPClip, c.DPNoise)
+	}
+	if c.CompressTopK < 0 || c.CompressTopK >= 1 {
+		if c.CompressTopK != 0 {
+			return c, fmt.Errorf("fl: CompressTopK %v outside (0,1)", c.CompressTopK)
+		}
+	}
+	switch c.Sampling {
+	case SampleRandom, SampleStratified:
+	default:
+		return c, fmt.Errorf("fl: unknown sampling strategy %q", c.Sampling)
+	}
+	return c, nil
+}

@@ -1,0 +1,501 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/partition"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// testFederation builds a small adult-like federation for fast tests.
+func testFederation(t *testing.T, strat partition.Strategy, parties int, cfg Config) (*Simulation, *data.Dataset) {
+	t.Helper()
+	train, test, err := data.Load("adult", data.Config{TrainN: 600, TestN: 300, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := strat.Split(train, parties, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := data.Model("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, test
+}
+
+func quickCfg(alg Algorithm) Config {
+	return Config{
+		Algorithm:   alg,
+		Rounds:      4,
+		LocalEpochs: 2,
+		BatchSize:   32,
+		LR:          0.05,
+		Momentum:    0.9,
+		Mu:          0.01,
+		Seed:        3,
+	}
+}
+
+func TestConfigNormalizeDefaults(t *testing.T) {
+	cfg, err := Config{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Algorithm != FedAvg || cfg.Rounds != 50 || cfg.LocalEpochs != 10 ||
+		cfg.BatchSize != 64 || cfg.LR != 0.01 || cfg.Momentum != 0.9 ||
+		cfg.SampleFraction != 1 || cfg.Variant != ScaffoldReuse || cfg.ServerLR != 1 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestConfigNormalizeErrors(t *testing.T) {
+	if _, err := (Config{Algorithm: "bogus"}).Normalize(); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	if _, err := (Config{SampleFraction: 1.5}).Normalize(); err == nil {
+		t.Fatal("expected error for fraction > 1")
+	}
+	if _, err := (Config{Mu: -1}).Normalize(); err == nil {
+		t.Fatal("expected error for negative mu")
+	}
+}
+
+func TestAllAlgorithmsRunAndLearn(t *testing.T) {
+	for _, alg := range Algorithms() {
+		sim, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 4, quickCfg(alg))
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Curve) != 4 {
+			t.Fatalf("%s: %d rounds recorded", alg, len(res.Curve))
+		}
+		// adult-like is ~76/24 imbalanced; learning should beat the
+		// majority class by a reasonable margin under IID.
+		if res.FinalAccuracy < 0.70 {
+			t.Fatalf("%s: final accuracy %v too low", alg, res.FinalAccuracy)
+		}
+		if res.ParamCount <= 0 || res.StateCount < res.ParamCount {
+			t.Fatalf("%s: bad counts %d/%d", alg, res.ParamCount, res.StateCount)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() *Result {
+		sim, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 4, quickCfg(FedAvg))
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.FinalAccuracy != b.FinalAccuracy {
+		t.Fatalf("same seed, different accuracy: %v vs %v", a.FinalAccuracy, b.FinalAccuracy)
+	}
+	for i := range a.Curve {
+		if a.Curve[i].TrainLoss != b.Curve[i].TrainLoss {
+			t.Fatalf("round %d losses differ", i)
+		}
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	cfg := quickCfg(FedAvg)
+	sim1, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 4, cfg)
+	cfg.Seed = 99
+	sim2, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 4, cfg)
+	r1, err := sim1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Curve[0].TrainLoss == r2.Curve[0].TrainLoss {
+		t.Fatal("different seeds produced identical first-round losses")
+	}
+}
+
+func TestScaffoldCommTwiceFedAvg(t *testing.T) {
+	simA, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 4, quickCfg(FedAvg))
+	simS, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 4, quickCfg(Scaffold))
+	mA, err := simA.RunRound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mS, err := simS.RunRound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SCAFFOLD moves the two control variates in addition to the model.
+	if mS.CommBytes <= mA.CommBytes {
+		t.Fatalf("scaffold comm %d should exceed fedavg %d", mS.CommBytes, mA.CommBytes)
+	}
+	ratio := float64(mS.CommBytes) / float64(mA.CommBytes)
+	if ratio < 1.8 || ratio > 2.1 {
+		t.Fatalf("scaffold/fedavg comm ratio %v, want ~2 (state has few buffers)", ratio)
+	}
+}
+
+func TestPartySampling(t *testing.T) {
+	cfg := quickCfg(FedAvg)
+	cfg.SampleFraction = 0.5
+	sim, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 8, cfg)
+	m, err := sim.RunRound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sampled) != 4 {
+		t.Fatalf("sampled %d of 8 parties, want 4", len(m.Sampled))
+	}
+	seen := map[int]bool{}
+	for _, id := range m.Sampled {
+		if seen[id] {
+			t.Fatal("party sampled twice in one round")
+		}
+		seen[id] = true
+	}
+}
+
+func TestSamplingReducesComm(t *testing.T) {
+	full := quickCfg(FedAvg)
+	part := quickCfg(FedAvg)
+	part.SampleFraction = 0.25
+	simF, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 8, full)
+	simP, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 8, part)
+	mF, _ := simF.RunRound(0)
+	mP, _ := simP.RunRound(0)
+	if mP.CommBytes*4 != mF.CommBytes {
+		t.Fatalf("comm should scale with sampled parties: %d vs %d", mP.CommBytes, mF.CommBytes)
+	}
+}
+
+func TestFedProxStaysCloserToGlobal(t *testing.T) {
+	// With a huge mu the local model barely moves, so the aggregated
+	// delta's norm must be much smaller than FedAvg's.
+	train, _, err := data.Load("adult", data.Config{TrainN: 400, TestN: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := data.Model("adult")
+	deltaNorm := func(alg Algorithm, mu float64) float64 {
+		_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, 2, rng.New(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := quickCfg(alg)
+		cfg.Mu = mu
+		sim, err := NewSimulation(cfg, spec, locals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := append([]float64{}, sim.GlobalState()...)
+		if _, err := sim.RunRound(0); err != nil {
+			t.Fatal(err)
+		}
+		after := sim.GlobalState()
+		var norm float64
+		for i := range before {
+			d := after[i] - before[i]
+			norm += d * d
+		}
+		return math.Sqrt(norm)
+	}
+	// mu must keep lr*mu well below the SGD stability limit; the paper
+	// tunes mu in {0.001..1} for the same reason.
+	avg := deltaNorm(FedAvg, 0)
+	prox := deltaNorm(FedProx, 1)
+	if prox >= avg*0.9 {
+		t.Fatalf("fedprox(mu=1) delta %v should be below fedavg %v", prox, avg)
+	}
+}
+
+func TestFedNovaNormalizesUnequalSteps(t *testing.T) {
+	// Two parties with very different dataset sizes take different numbers
+	// of local steps. FedNova's tau-normalized aggregate must differ from
+	// FedAvg's plain weighted average on identical inputs.
+	paramLen := 3
+	mk := func(alg Algorithm) *Server {
+		cfg, _ := Config{Algorithm: alg, ServerLR: 1}.Normalize()
+		return NewServer(cfg, []float64{0, 0, 0}, paramLen, 2)
+	}
+	updates := []Update{
+		{Delta: []float64{10, 10, 10}, Tau: 10, N: 100},
+		{Delta: []float64{1, 1, 1}, Tau: 1, N: 100},
+	}
+	sAvg, sNova := mk(FedAvg), mk(FedNova)
+	if err := sAvg.Aggregate(updates); err != nil {
+		t.Fatal(err)
+	}
+	if err := sNova.Aggregate(updates); err != nil {
+		t.Fatal(err)
+	}
+	// FedAvg: -(0.5*10 + 0.5*1) = -5.5.
+	if math.Abs(sAvg.State()[0]+5.5) > 1e-9 {
+		t.Fatalf("fedavg aggregate: %v", sAvg.State())
+	}
+	// FedNova: tau_eff = 5.5; normalized deltas both are 1 per step, so
+	// -(5.5 * (0.5*10/10 + 0.5*1/1)) = -5.5 * 1 = -5.5 ... same here
+	// because per-step updates are equal. Check a case where they differ:
+	updates2 := []Update{
+		{Delta: []float64{10, 10, 10}, Tau: 10, N: 100},
+		{Delta: []float64{5, 5, 5}, Tau: 1, N: 100},
+	}
+	sAvg2, sNova2 := mk(FedAvg), mk(FedNova)
+	if err := sAvg2.Aggregate(updates2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sNova2.Aggregate(updates2); err != nil {
+		t.Fatal(err)
+	}
+	// FedAvg: -7.5. FedNova: tau_eff=5.5, sum w*delta/tau = 0.5*1+0.5*5=3
+	// -> -16.5.
+	if math.Abs(sAvg2.State()[0]+7.5) > 1e-9 {
+		t.Fatalf("fedavg aggregate2: %v", sAvg2.State())
+	}
+	if math.Abs(sNova2.State()[0]+16.5) > 1e-9 {
+		t.Fatalf("fednova aggregate2: %v", sNova2.State())
+	}
+}
+
+func TestAggregateWeighting(t *testing.T) {
+	cfg, _ := Config{Algorithm: FedAvg}.Normalize()
+	s := NewServer(cfg, []float64{0}, 1, 2)
+	updates := []Update{
+		{Delta: []float64{1}, Tau: 1, N: 300},
+		{Delta: []float64{-1}, Tau: 1, N: 100},
+	}
+	if err := s.Aggregate(updates); err != nil {
+		t.Fatal(err)
+	}
+	// -(0.75*1 + 0.25*(-1)) = -0.5.
+	if math.Abs(s.State()[0]+0.5) > 1e-9 {
+		t.Fatalf("weighted aggregate: %v", s.State()[0])
+	}
+
+	cfgU, _ := Config{Algorithm: FedAvg, Unweighted: true}.Normalize()
+	su := NewServer(cfgU, []float64{0}, 1, 2)
+	if err := su.Aggregate(updates); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(su.State()[0]) > 1e-9 {
+		t.Fatalf("unweighted aggregate should cancel: %v", su.State()[0])
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	cfg, _ := Config{Algorithm: FedAvg}.Normalize()
+	s := NewServer(cfg, []float64{0, 0}, 2, 2)
+	if err := s.Aggregate(nil); err == nil {
+		t.Fatal("expected error for empty updates")
+	}
+	if err := s.Aggregate([]Update{{Delta: []float64{1}, Tau: 1, N: 1}}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if err := s.Aggregate([]Update{{Delta: []float64{1, 1}, Tau: 0, N: 1}}); err == nil {
+		t.Fatal("expected error for tau=0")
+	}
+	cfgS, _ := Config{Algorithm: Scaffold}.Normalize()
+	ss := NewServer(cfgS, []float64{0, 0}, 2, 2)
+	if err := ss.Aggregate([]Update{{Delta: []float64{1, 1}, Tau: 1, N: 1}}); err == nil {
+		t.Fatal("expected error for missing DeltaC")
+	}
+}
+
+func TestScaffoldControlVariateUpdates(t *testing.T) {
+	sim, _ := testFederation(t, partition.Strategy{Kind: partition.LabelDirichlet, Beta: 0.5}, 4, quickCfg(Scaffold))
+	if _, err := sim.RunRound(0); err != nil {
+		t.Fatal(err)
+	}
+	c := sim.server.Control()
+	var norm float64
+	for _, v := range c {
+		norm += v * v
+	}
+	if norm == 0 {
+		t.Fatal("server control variate never updated")
+	}
+	// Client control variates must persist too.
+	nonzero := false
+	for _, cl := range sim.Clients {
+		for _, v := range cl.scaffoldC {
+			if v != 0 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Fatal("client control variates never updated")
+	}
+}
+
+func TestScaffoldVariants(t *testing.T) {
+	for _, v := range []ScaffoldVariant{ScaffoldGradient, ScaffoldReuse} {
+		cfg := quickCfg(Scaffold)
+		cfg.Variant = v
+		sim, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 3, cfg)
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("variant %d: %v", v, err)
+		}
+		if res.FinalAccuracy < 0.6 {
+			t.Fatalf("variant %d accuracy %v", v, res.FinalAccuracy)
+		}
+	}
+}
+
+func TestEvaluatorMajorityBaseline(t *testing.T) {
+	// An untrained (random) model on a 2-class problem should land near
+	// 50% or the majority rate; mainly this checks the evaluator plumbing.
+	train, test, err := data.Load("adult", data.Config{TrainN: 100, TestN: 400, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = train
+	spec, _ := data.Model("adult")
+	ev := NewEvaluator(spec, test)
+	m := nn.Build(spec, rng.New(123))
+	acc := ev.Accuracy(m.State())
+	if acc < 0.05 || acc > 0.95 {
+		t.Fatalf("suspicious untrained accuracy %v", acc)
+	}
+}
+
+func TestEvalEvery(t *testing.T) {
+	cfg := quickCfg(FedAvg)
+	cfg.Rounds = 4
+	cfg.EvalEvery = 2
+	sim, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 3, cfg)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluated := 0
+	for _, m := range res.Curve {
+		if m.TestAccuracy >= 0 {
+			evaluated++
+		}
+	}
+	if evaluated != 2 {
+		t.Fatalf("evaluated %d rounds, want 2", evaluated)
+	}
+}
+
+func TestKeepBNStatsLocal(t *testing.T) {
+	// With the FedBN-style ablation the server's BN buffers must stay at
+	// their initial values (no buffer deltas are sent).
+	train, test, err := data.Load("mnist", data.Config{TrainN: 200, TestN: 100, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, 2, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := nn.ModelSpec{Kind: nn.KindVGG, Channels: 1, Height: 16, Width: 16, Classes: 10}
+	cfg := quickCfg(FedAvg)
+	cfg.Rounds = 1
+	cfg.LocalEpochs = 1
+	cfg.KeepBNStatsLocal = true
+	sim, err := NewSimulation(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64{}, sim.GlobalState()[sim.server.paramLen:]...)
+	if _, err := sim.RunRound(0); err != nil {
+		t.Fatal(err)
+	}
+	after := sim.GlobalState()[sim.server.paramLen:]
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("KeepBNStatsLocal leaked buffer updates to the server")
+		}
+	}
+	// And the opposite: plain averaging must move the buffers.
+	cfg.KeepBNStatsLocal = false
+	sim2, err := NewSimulation(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before2 := append([]float64{}, sim2.GlobalState()[sim2.server.paramLen:]...)
+	if _, err := sim2.RunRound(0); err != nil {
+		t.Fatal(err)
+	}
+	after2 := sim2.GlobalState()[sim2.server.paramLen:]
+	moved := false
+	for i := range before2 {
+		if before2[i] != after2[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("plain averaging should move BN buffers")
+	}
+}
+
+func TestLabelSkewHurts(t *testing.T) {
+	// The paper's core finding at miniature scale: #C=1 must be much worse
+	// than IID for FedAvg on a multi-class problem.
+	train, test, err := data.Load("mnist", data.Config{TrainN: 600, TestN: 300, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := data.Model("mnist")
+	run := func(strat partition.Strategy) float64 {
+		_, locals, err := strat.Split(train, 10, rng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Algorithm: FedAvg, Rounds: 3, LocalEpochs: 2, BatchSize: 32, LR: 0.02, Momentum: 0.9, Seed: 3, EvalEvery: 3}
+		sim, err := NewSimulation(cfg, spec, locals, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalAccuracy
+	}
+	iid := run(partition.Strategy{Kind: partition.Homogeneous})
+	skew := run(partition.Strategy{Kind: partition.LabelQuantity, K: 1})
+	if iid <= skew {
+		t.Fatalf("IID accuracy %v should beat #C=1 %v", iid, skew)
+	}
+}
+
+func TestTrainLossDecreasesAcrossRounds(t *testing.T) {
+	cfg := quickCfg(FedAvg)
+	cfg.Rounds = 5
+	sim, _ := testFederation(t, partition.Strategy{Kind: partition.Homogeneous}, 4, cfg)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Curve[0].TrainLoss
+	last := res.Curve[len(res.Curve)-1].TrainLoss
+	if last >= first {
+		t.Fatalf("train loss did not decrease: %v -> %v", first, last)
+	}
+	for _, m := range res.Curve {
+		if m.Duration <= 0 {
+			t.Fatal("round duration not recorded")
+		}
+	}
+	if res.FinalState == nil || len(res.FinalState) != res.StateCount {
+		t.Fatalf("final state missing or wrong length: %d", len(res.FinalState))
+	}
+}

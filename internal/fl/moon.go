@@ -1,0 +1,173 @@
+package fl
+
+import (
+	"math"
+
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/optim"
+	"github.com/niid-bench/niidbench/internal/tensor"
+)
+
+// localTrainMoon implements MOON's model-contrastive local training (Li,
+// He, Song — CVPR 2021, reference [40] of the paper). The local loss is
+//
+//	CE(w; x, y) + mu * L_con
+//	L_con = -log( exp(sim(z, z_glob)/T) / (exp(sim(z, z_glob)/T) + exp(sim(z, z_prev)/T)) )
+//
+// where z is the representation (the input of the final classifier layer)
+// of the current local model, z_glob that of the round's global model, and
+// z_prev that of the party's previous local model. The contrastive term
+// pulls the local representation toward the global model's and pushes it
+// away from the stale local one, countering drift.
+func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD) Update {
+	if c.auxGlobal == nil {
+		// Frozen replicas for representation extraction. Their weights are
+		// overwritten every round, so the init RNG does not matter.
+		c.auxGlobal = nn.Build(c.Spec, c.r.Split())
+		c.auxPrev = nn.Build(c.Spec, c.r.Split())
+	}
+	if c.prevState == nil {
+		// First round: the "previous" model is the global one; the
+		// contrastive gradient vanishes, which is MOON's cold start.
+		c.prevState = append([]float64{}, global...)
+	}
+	c.auxGlobal.SetState(global)
+	c.auxPrev.SetState(c.prevState)
+
+	n := c.Data.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	tau := 0
+	var lastEpochLoss float64
+	loss := nn.SoftmaxCrossEntropy{}
+	head := c.model.Layers[len(c.model.Layers)-1]
+	body := c.model.Layers[:len(c.model.Layers)-1]
+
+	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
+		c.r.Shuffle(idx)
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			x, y := c.Data.Batch(idx[start:end])
+			shaped := c.Spec.ShapeBatch(x)
+
+			c.model.ZeroGrads()
+			// Forward through the body to the representation, then the head.
+			h := shaped
+			for _, l := range body {
+				h = l.Forward(h, true)
+			}
+			z := h
+			logits := head.Forward(z, true)
+			ceLoss, gLogits := loss.Loss(logits, y)
+
+			// Representations under the frozen global and previous models
+			// (eval mode so their BN statistics stay untouched).
+			zg := forwardBody(c.auxGlobal, shaped)
+			zp := forwardBody(c.auxPrev, shaped)
+
+			conLoss, dz := contrastiveGrad(z, zg, zp, cfg.MoonTemp)
+
+			// Backward: head first, then inject the contrastive gradient at
+			// the representation, then the body.
+			gz := head.Backward(gLogits)
+			scale := cfg.MoonMu / float64(end-start)
+			gzd, dzd := gz.Data(), dz.Data()
+			for i := range gzd {
+				gzd[i] += scale * dzd[i]
+			}
+			g := gz
+			for i := len(body) - 1; i >= 0; i-- {
+				g = body[i].Backward(g)
+			}
+			if cfg.DPClip > 0 {
+				dpSanitize(c.model, cfg.DPClip, cfg.DPNoise, end-start, c.r)
+			}
+			opt.Step(c.model)
+			epochLoss += ceLoss + cfg.MoonMu*conLoss
+			batches++
+			tau++
+		}
+		if batches > 0 {
+			lastEpochLoss = epochLoss / float64(batches)
+		}
+	}
+
+	state := c.model.State()
+	delta := make([]float64, len(state))
+	for i := range delta {
+		delta[i] = global[i] - state[i]
+	}
+	c.prevState = append(c.prevState[:0], state...)
+	up := Update{Delta: delta, Tau: tau, N: n, TrainLoss: lastEpochLoss, Kept: c.model.ParamCount()}
+	if cfg.CompressTopK > 0 {
+		up.Kept = compressTopK(delta, c.model.ParamCount(), cfg.CompressTopK)
+	}
+	return up
+}
+
+// forwardBody runs all but the final layer of m in eval mode.
+func forwardBody(m *nn.Sequential, x *tensor.Tensor) *tensor.Tensor {
+	h := x
+	for _, l := range m.Layers[:len(m.Layers)-1] {
+		h = l.Forward(h, false)
+	}
+	return h
+}
+
+// contrastiveGrad computes MOON's mean contrastive loss over the batch and
+// the gradient of the *sum* of per-sample losses with respect to z (the
+// caller scales by mu/batch). z, zg, zp are (batch, dim) tensors.
+func contrastiveGrad(z, zg, zp *tensor.Tensor, temp float64) (float64, *tensor.Tensor) {
+	b, d := z.Dim(0), z.Dim(1)
+	dz := tensor.New(b, d)
+	zd, zgd, zpd, dzd := z.Data(), zg.Data(), zp.Data(), dz.Data()
+	var total float64
+	for i := 0; i < b; i++ {
+		zi := zd[i*d : (i+1)*d]
+		gi := zgd[i*d : (i+1)*d]
+		pi := zpd[i*d : (i+1)*d]
+		out := dzd[i*d : (i+1)*d]
+
+		sg, dsg := cosineWithGrad(zi, gi)
+		sp, dsp := cosineWithGrad(zi, pi)
+		// Two-way softmax with the global similarity as the positive.
+		eg := math.Exp(sg / temp)
+		ep := math.Exp(sp / temp)
+		sigma := eg / (eg + ep)
+		total += -math.Log(math.Max(sigma, 1e-12))
+		cg := (sigma - 1) / temp // dL/dsg
+		cp := (1 - sigma) / temp // dL/dsp
+		for j := 0; j < d; j++ {
+			out[j] = cg*dsg[j] + cp*dsp[j]
+		}
+	}
+	return total / float64(b), dz
+}
+
+// cosineWithGrad returns cos(a, b) and d cos/d a. Degenerate (near-zero)
+// norms yield zero similarity and gradient.
+func cosineWithGrad(a, b []float64) (float64, []float64) {
+	var dot, na, nb float64
+	for j := range a {
+		dot += a[j] * b[j]
+		na += a[j] * a[j]
+		nb += b[j] * b[j]
+	}
+	grad := make([]float64, len(a))
+	na, nb = math.Sqrt(na), math.Sqrt(nb)
+	if na < 1e-12 || nb < 1e-12 {
+		return 0, grad
+	}
+	cos := dot / (na * nb)
+	for j := range a {
+		grad[j] = b[j]/(na*nb) - cos*a[j]/(na*na)
+	}
+	return cos, grad
+}

@@ -1,0 +1,136 @@
+package fl
+
+import (
+	"math"
+
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// PartySampling selects how the server picks participants each round.
+type PartySampling string
+
+// Sampling strategies.
+const (
+	// SampleRandom is the paper's uniform sampling without replacement.
+	SampleRandom PartySampling = "random"
+	// SampleStratified implements the paper's Section VI-A future
+	// direction ("non-IID resistant sampling for partial participation"):
+	// parties are clustered by their local label distribution and each
+	// round draws one representative per cluster, so the sampled mixture
+	// stays close to the global distribution.
+	SampleStratified PartySampling = "stratified"
+)
+
+// stratifier groups parties into k clusters by label distribution using a
+// small deterministic k-means, then samples one party per cluster.
+type stratifier struct {
+	clusters [][]int // cluster -> party IDs
+}
+
+// newStratifier clusters the parties' label distributions into k groups.
+func newStratifier(dists [][]float64, k int, r *rng.RNG) *stratifier {
+	n := len(dists)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(dists[0])
+	// k-means++ style init: spread the initial centers.
+	centers := make([][]float64, 0, k)
+	first := r.Intn(n)
+	centers = append(centers, append([]float64{}, dists[first]...))
+	for len(centers) < k {
+		weights := make([]float64, n)
+		var total float64
+		for i, d := range dists {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if dd := sqDist(d, c); dd < best {
+					best = dd
+				}
+			}
+			weights[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All identical distributions; any remaining choice works.
+			centers = append(centers, append([]float64{}, dists[r.Intn(n)]...))
+			continue
+		}
+		centers = append(centers, append([]float64{}, dists[r.Categorical(weights)]...))
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < 25; iter++ {
+		changed := false
+		for i, d := range dists {
+			best, bestC := math.Inf(1), 0
+			for ci, c := range centers {
+				if dd := sqDist(d, c); dd < best {
+					best, bestC = dd, ci
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		// Recompute centers.
+		counts := make([]int, k)
+		for ci := range centers {
+			for j := 0; j < dim; j++ {
+				centers[ci][j] = 0
+			}
+		}
+		for i, ci := range assign {
+			counts[ci]++
+			for j := 0; j < dim; j++ {
+				centers[ci][j] += dists[i][j]
+			}
+		}
+		for ci := range centers {
+			if counts[ci] == 0 {
+				continue
+			}
+			inv := 1 / float64(counts[ci])
+			for j := 0; j < dim; j++ {
+				centers[ci][j] *= inv
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	st := &stratifier{clusters: make([][]int, k)}
+	for i, ci := range assign {
+		st.clusters[ci] = append(st.clusters[ci], i)
+	}
+	// Drop empty clusters so sampling always returns k' <= k parties.
+	out := st.clusters[:0]
+	for _, c := range st.clusters {
+		if len(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	st.clusters = out
+	return st
+}
+
+// sample draws one party per cluster.
+func (st *stratifier) sample(r *rng.RNG) []int {
+	out := make([]int, 0, len(st.clusters))
+	for _, cluster := range st.clusters {
+		out = append(out, cluster[r.Intn(len(cluster))])
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,174 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Server holds the global model state and implements the aggregation rules
+// of the four algorithms (Algorithm 1 lines 9-10, Algorithm 2 lines 9-10).
+type Server struct {
+	cfg      Config
+	state    []float64 // global model state (params then buffers)
+	paramLen int
+	// control is SCAFFOLD's server control variate c (parameter-length).
+	control []float64
+	// numParties is the total federation size N (not just sampled), used
+	// in SCAFFOLD's c update.
+	numParties int
+	// dynH is FedDyn's server state (parameter-length).
+	dynH []float64
+	// Server-optimizer state (FedAvgM / FedAdam).
+	velocity     []float64
+	adamM, adamV []float64
+	adamT        int
+}
+
+// NewServer creates a server with the given initial global state.
+func NewServer(cfg Config, initial []float64, paramLen, numParties int) *Server {
+	s := &Server{
+		cfg:        cfg,
+		state:      append([]float64{}, initial...),
+		paramLen:   paramLen,
+		numParties: numParties,
+	}
+	if cfg.Algorithm == Scaffold {
+		s.control = make([]float64, paramLen)
+	}
+	if cfg.Algorithm == FedDyn {
+		s.dynH = make([]float64, paramLen)
+	}
+	return s
+}
+
+// State returns the current global state (not a copy; callers must not
+// mutate it).
+func (s *Server) State() []float64 { return s.state }
+
+// Control returns SCAFFOLD's server control variate (nil otherwise).
+func (s *Server) Control() []float64 { return s.control }
+
+// Aggregate folds the round's updates into the global state. It implements
+// the paper's weighted rules:
+//
+//	FedAvg/FedProx/SCAFFOLD: w <- w - serverLR * sum_i (n_i/n) Delta_i
+//	FedNova:                 w <- w - serverLR * tau_eff * sum_i (n_i/n) Delta_i / tau_i
+//	                          with tau_eff = sum_i (n_i/n) tau_i
+//	SCAFFOLD additionally:   c <- c + (1/N) sum_i DeltaC_i
+func (s *Server) Aggregate(updates []Update) error {
+	if len(updates) == 0 {
+		return fmt.Errorf("fl: no updates to aggregate")
+	}
+	totalN := 0
+	for _, u := range updates {
+		if len(u.Delta) != len(s.state) {
+			return fmt.Errorf("fl: update length %d, state %d", len(u.Delta), len(s.state))
+		}
+		if u.Tau <= 0 {
+			return fmt.Errorf("fl: update with non-positive tau %d", u.Tau)
+		}
+		totalN += u.N
+	}
+	weight := func(u Update) float64 {
+		if s.cfg.Unweighted {
+			return 1 / float64(len(updates))
+		}
+		return float64(u.N) / float64(totalN)
+	}
+
+	agg := make([]float64, len(s.state))
+	switch s.cfg.Algorithm {
+	case FedNova:
+		var tauEff float64
+		for _, u := range updates {
+			tauEff += weight(u) * float64(u.Tau)
+		}
+		for _, u := range updates {
+			w := weight(u) * tauEff / float64(u.Tau)
+			for i, d := range u.Delta {
+				agg[i] += w * d
+			}
+		}
+	case FedDyn:
+		// FedDyn averages participating models unweighted (Acar et al.).
+		for _, u := range updates {
+			w := 1 / float64(len(updates))
+			for i, d := range u.Delta {
+				agg[i] += w * d
+			}
+		}
+	default:
+		for _, u := range updates {
+			w := weight(u)
+			for i, d := range u.Delta {
+				agg[i] += w * d
+			}
+		}
+	}
+	s.applyUpdate(agg)
+
+	if s.cfg.Algorithm == FedDyn {
+		// h <- h + (alpha/N) * sum_i Delta_i, then w <- mean(w_i) - h/alpha.
+		for _, u := range updates {
+			for i := 0; i < s.paramLen; i++ {
+				s.dynH[i] += s.cfg.Alpha * u.Delta[i] / float64(s.numParties)
+			}
+		}
+		for i := 0; i < s.paramLen; i++ {
+			s.state[i] -= s.dynH[i] / s.cfg.Alpha
+		}
+	}
+
+	if s.cfg.Algorithm == Scaffold {
+		for _, u := range updates {
+			if u.DeltaC == nil {
+				return fmt.Errorf("fl: SCAFFOLD update missing DeltaC")
+			}
+			for i, d := range u.DeltaC {
+				s.control[i] += d / float64(s.numParties)
+			}
+		}
+	}
+	return nil
+}
+
+// applyUpdate moves the global state by the aggregated delta through the
+// configured server optimizer. agg is a pseudo-gradient: plain SGD is the
+// paper's setup; momentum and Adam are the FedOpt extensions.
+func (s *Server) applyUpdate(agg []float64) {
+	switch s.cfg.ServerOptimizer {
+	case ServerMomentum:
+		if s.velocity == nil {
+			s.velocity = make([]float64, len(s.state))
+		}
+		beta := s.cfg.ServerMomentumBeta
+		for i := range s.state {
+			s.velocity[i] = beta*s.velocity[i] + agg[i]
+			s.state[i] -= s.cfg.ServerLR * s.velocity[i]
+		}
+	case ServerAdam:
+		if s.adamM == nil {
+			s.adamM = make([]float64, len(s.state))
+			s.adamV = make([]float64, len(s.state))
+		}
+		const (
+			beta1 = 0.9
+			beta2 = 0.999
+			eps   = 1e-8
+		)
+		s.adamT++
+		bc1 := 1 - math.Pow(beta1, float64(s.adamT))
+		bc2 := 1 - math.Pow(beta2, float64(s.adamT))
+		for i := range s.state {
+			s.adamM[i] = beta1*s.adamM[i] + (1-beta1)*agg[i]
+			s.adamV[i] = beta2*s.adamV[i] + (1-beta2)*agg[i]*agg[i]
+			mHat := s.adamM[i] / bc1
+			vHat := s.adamV[i] / bc2
+			s.state[i] -= s.cfg.ServerLR * mHat / (math.Sqrt(vHat) + eps)
+		}
+	default:
+		for i := range s.state {
+			s.state[i] -= s.cfg.ServerLR * agg[i]
+		}
+	}
+}

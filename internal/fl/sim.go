@@ -1,0 +1,252 @@
+package fl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// RoundMetrics records what happened in one communication round.
+type RoundMetrics struct {
+	Round        int
+	TestAccuracy float64 // NaN-free: -1 when the round was not evaluated
+	TrainLoss    float64 // mean of the sampled parties' final-epoch losses
+	CommBytes    int64   // total bytes moved (server->parties + parties->server)
+	Duration     time.Duration
+	Sampled      []int // IDs of the sampled parties
+}
+
+// Result summarizes a federated run.
+type Result struct {
+	Config        Config
+	FinalAccuracy float64
+	BestAccuracy  float64
+	Curve         []RoundMetrics
+	ParamCount    int
+	StateCount    int
+	// CommBytesPerRound is the average communication volume per round.
+	CommBytesPerRound float64
+	TotalCommBytes    int64
+	// ComputeTime is the wall-clock time spent in local training and
+	// aggregation (excludes evaluation).
+	ComputeTime time.Duration
+	// FinalState is the final global model state (parameters then
+	// buffers), suitable for SaveStateFile.
+	FinalState []float64
+}
+
+// Simulation drives a full federated run over in-process parties.
+type Simulation struct {
+	Cfg     Config
+	Spec    nn.ModelSpec
+	Clients []*Client
+	Test    *data.Dataset
+
+	server *Server
+	r      *rng.RNG
+	eval   *Evaluator
+	strat  *stratifier // non-nil under stratified sampling
+}
+
+// NewSimulation wires up a federation: one client per local dataset, a
+// server initialized from a fresh model, and an evaluator on the test set.
+func NewSimulation(cfg Config, spec nn.ModelSpec, locals []*data.Dataset, test *data.Dataset) (*Simulation, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if len(locals) == 0 {
+		return nil, fmt.Errorf("fl: no parties")
+	}
+	root := rng.New(cfg.Seed)
+	clients := make([]*Client, len(locals))
+	for i, ds := range locals {
+		if ds.Len() == 0 {
+			return nil, fmt.Errorf("fl: party %d has no data", i)
+		}
+		clients[i] = NewClient(i, ds, spec, root.Split())
+	}
+	initModel := nn.Build(spec, root.Split())
+	sim := &Simulation{
+		Cfg:     cfg,
+		Spec:    spec,
+		Clients: clients,
+		Test:    test,
+		r:       root.Split(),
+		eval:    NewEvaluator(spec, test),
+	}
+	sim.server = NewServer(cfg, initModel.State(), initModel.ParamCount(), len(clients))
+	if cfg.Sampling == SampleStratified && cfg.SampleFraction < 1 {
+		k := int(cfg.SampleFraction*float64(len(clients)) + 0.5)
+		dists := make([][]float64, len(clients))
+		for i, cl := range clients {
+			dists[i] = cl.Data.LabelDistribution()
+		}
+		sim.strat = newStratifier(dists, k, sim.r.Split())
+	}
+	return sim, nil
+}
+
+// sampleParties selects the round's participants (Algorithm 1 line 4).
+func (s *Simulation) sampleParties() []int {
+	n := len(s.Clients)
+	k := int(s.Cfg.SampleFraction*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	if s.strat != nil {
+		return s.strat.sample(s.r)
+	}
+	return s.r.SampleWithoutReplacement(n, k)
+}
+
+// commBytesFor computes the communication volume of a round analytically
+// from the exchanged vector lengths (8 bytes per float64): the global
+// state down, the state delta up (sparse-encoded under top-k compression),
+// plus the two control variates for SCAFFOLD — which is why SCAFFOLD costs
+// exactly twice FedAvg.
+func (s *Simulation) commBytesFor(updates []Update) int64 {
+	stateBytes := int64(len(s.server.State())) * 8
+	ctrlBytes := int64(s.server.paramLen) * 8
+	var total int64
+	for _, u := range updates {
+		down, up := stateBytes, stateBytes
+		if s.Cfg.CompressTopK > 0 {
+			up = sparseCommBytes(u.Kept, s.server.paramLen, len(s.server.State()))
+		}
+		if s.Cfg.Algorithm == Scaffold {
+			down += ctrlBytes
+			up += ctrlBytes
+		}
+		total += down + up
+	}
+	return total
+}
+
+// RunRound executes one communication round and returns its metrics.
+func (s *Simulation) RunRound(round int) (RoundMetrics, error) {
+	start := time.Now()
+	sampled := s.sampleParties()
+	global := append([]float64{}, s.server.State()...)
+	serverC := s.server.Control()
+
+	updates := make([]Update, len(sampled))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.Cfg.Parallelism)
+	for j, id := range sampled {
+		wg.Add(1)
+		go func(j, id int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			updates[j] = s.Clients[id].LocalTrain(global, serverC, s.Cfg)
+		}(j, id)
+	}
+	wg.Wait()
+
+	if err := s.server.Aggregate(updates); err != nil {
+		return RoundMetrics{}, err
+	}
+	var loss float64
+	for _, u := range updates {
+		loss += u.TrainLoss
+	}
+	m := RoundMetrics{
+		Round:        round,
+		TestAccuracy: -1,
+		TrainLoss:    loss / float64(len(updates)),
+		CommBytes:    s.commBytesFor(updates),
+		Duration:     time.Since(start),
+		Sampled:      sampled,
+	}
+	return m, nil
+}
+
+// Run executes the configured number of rounds and returns the result.
+func (s *Simulation) Run() (*Result, error) {
+	res := &Result{
+		Config:     s.Cfg,
+		ParamCount: s.server.paramLen,
+		StateCount: len(s.server.State()),
+	}
+	var compute time.Duration
+	for t := 0; t < s.Cfg.Rounds; t++ {
+		m, err := s.RunRound(t)
+		if err != nil {
+			return nil, err
+		}
+		compute += m.Duration
+		if (t+1)%s.Cfg.EvalEvery == 0 || t == s.Cfg.Rounds-1 {
+			m.TestAccuracy = s.eval.Accuracy(s.server.State())
+			if m.TestAccuracy > res.BestAccuracy {
+				res.BestAccuracy = m.TestAccuracy
+			}
+		}
+		res.Curve = append(res.Curve, m)
+		res.TotalCommBytes += m.CommBytes
+	}
+	res.ComputeTime = compute
+	res.FinalState = append([]float64{}, s.server.State()...)
+	if len(res.Curve) > 0 {
+		res.CommBytesPerRound = float64(res.TotalCommBytes) / float64(len(res.Curve))
+		res.FinalAccuracy = res.Curve[len(res.Curve)-1].TestAccuracy
+	}
+	return res, nil
+}
+
+// GlobalState exposes the current global model state (for tests and for
+// transports).
+func (s *Simulation) GlobalState() []float64 { return s.server.State() }
+
+// Evaluator measures test accuracy of a model state.
+type Evaluator struct {
+	spec  nn.ModelSpec
+	model *nn.Sequential
+	test  *data.Dataset
+}
+
+// NewEvaluator builds an evaluator around its own model replica.
+func NewEvaluator(spec nn.ModelSpec, test *data.Dataset) *Evaluator {
+	return &Evaluator{spec: spec, model: nn.Build(spec, rng.New(0xe7a1)), test: test}
+}
+
+// Accuracy computes top-1 accuracy of the given state on the test set.
+func (e *Evaluator) Accuracy(state []float64) float64 {
+	if e.test == nil || e.test.Len() == 0 {
+		return 0
+	}
+	e.model.SetState(state)
+	const batch = 256
+	correct := 0
+	n := e.test.Len()
+	idx := make([]int, 0, batch)
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		idx = idx[:0]
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		x, y := e.test.Batch(idx)
+		pred := nn.Predict(e.model.Forward(e.spec.ShapeBatch(x), false))
+		for i := range pred {
+			if pred[i] == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}

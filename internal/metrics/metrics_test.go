@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(a-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy %v", a)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := ConfusionMatrix([]int{0, 1, 1, 0}, []int{0, 1, 0, 0}, 2)
+	if cm[0][0] != 2 || cm[0][1] != 1 || cm[1][1] != 1 || cm[1][0] != 0 {
+		t.Fatalf("confusion: %v", cm)
+	}
+}
+
+func TestConfusionMatrixTotalsProperty(t *testing.T) {
+	err := quick.Check(func(raw []uint8) bool {
+		classes := 4
+		pred := make([]int, len(raw))
+		labels := make([]int, len(raw))
+		for i, v := range raw {
+			pred[i] = int(v) % classes
+			labels[i] = int(v>>4) % classes
+		}
+		cm := ConfusionMatrix(pred, labels, classes)
+		total := 0
+		for _, row := range cm {
+			for _, n := range row {
+				total += n
+			}
+		}
+		return total == len(raw)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerClassAccuracy(t *testing.T) {
+	pred := []int{0, 0, 1, 1}
+	labels := []int{0, 1, 1, 1}
+	pc := PerClassAccuracy(pred, labels, 3)
+	if pc[0] != 1 {
+		t.Fatalf("class 0: %v", pc[0])
+	}
+	if math.Abs(pc[1]-2.0/3) > 1e-12 {
+		t.Fatalf("class 1: %v", pc[1])
+	}
+	if !math.IsNaN(pc[2]) {
+		t.Fatalf("absent class should be NaN: %v", pc[2])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.5, 0.7, 0.6})
+	if math.Abs(s.Mean-0.6) > 1e-12 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	want := math.Sqrt(((0.1 * 0.1) + (0.1 * 0.1)) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %v want %v", s.Std, want)
+	}
+	if s.N != 3 {
+		t.Fatalf("n %d", s.N)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Mean != 0 || s.Std != 0 || s.N != 0 {
+		t.Fatalf("empty: %+v", s)
+	}
+	if s := Summarize([]float64{0.9}); s.Mean != 0.9 || s.Std != 0 {
+		t.Fatalf("single: %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Mean: 0.970, Std: 0.004}
+	if got := s.String(); got != "97.0%±0.4%" {
+		t.Fatalf("format: %q", got)
+	}
+}
+
+func TestSummarizeMatchesAccuracyProperty(t *testing.T) {
+	err := quick.Check(func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v) / 255
+		}
+		s := Summarize(vals)
+		// Mean within [min, max]; std non-negative.
+		mn, mx := vals[0], vals[0]
+		for _, v := range vals {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		return s.Mean >= mn-1e-12 && s.Mean <= mx+1e-12 && s.Std >= 0
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

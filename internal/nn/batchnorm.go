@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/niid-bench/niidbench/internal/tensor"
+)
+
+// BatchNorm normalizes activations per feature (2-D inputs) or per channel
+// (4-D NCHW inputs). Gamma and beta are learnable parameters; the running
+// mean and variance are buffers that travel with the model state. In a
+// federated round the server averages those buffers along with everything
+// else — the very behaviour whose instability the paper studies in its
+// model-architecture appendix (Finding 11).
+type BatchNorm struct {
+	Features int
+	Momentum float64 // weight of the batch statistics in the running update
+	Eps      float64
+	Gamma    *Param
+	Beta     *Param
+	RunMean  *Buffer
+	RunVar   *Buffer
+	// cached values for the backward pass
+	xhat    *tensor.Tensor
+	invStd  []float64
+	inShape []int
+	train   bool
+}
+
+// NewBatchNorm creates a batch-norm layer for the given feature/channel
+// count with gamma=1, beta=0, running mean 0 and running variance 1.
+func NewBatchNorm(features int) *BatchNorm {
+	bn := &BatchNorm{
+		Features: features,
+		Momentum: 0.1,
+		Eps:      1e-5,
+		Gamma:    newParam("bn.gamma", features),
+		Beta:     newParam("bn.beta", features),
+		RunMean:  &Buffer{Name: "bn.runMean", Data: tensor.New(features)},
+		RunVar:   &Buffer{Name: "bn.runVar", Data: tensor.New(features)},
+	}
+	bn.Gamma.Data.Fill(1)
+	bn.RunVar.Data.Fill(1)
+	return bn
+}
+
+// geometry returns, for each channel, the stride pattern of x: n is the
+// reduction-set size per channel.
+func (bn *BatchNorm) geometry(x *tensor.Tensor) (batch, spatial int) {
+	switch x.Rank() {
+	case 2:
+		if x.Dim(1) != bn.Features {
+			panic(fmt.Sprintf("nn: BatchNorm features %d, input %v", bn.Features, x.Shape()))
+		}
+		return x.Dim(0), 1
+	case 4:
+		if x.Dim(1) != bn.Features {
+			panic(fmt.Sprintf("nn: BatchNorm channels %d, input %v", bn.Features, x.Shape()))
+		}
+		return x.Dim(0), x.Dim(2) * x.Dim(3)
+	default:
+		panic(fmt.Sprintf("nn: BatchNorm input rank %d unsupported", x.Rank()))
+	}
+}
+
+// index of element (b, c, s) in x for our two supported layouts.
+func bnIndex(rank, features, spatial, b, c, s int) int {
+	if rank == 2 {
+		return b*features + c
+	}
+	return (b*features+c)*spatial + s
+}
+
+// Forward normalizes x using batch statistics (train) or the running
+// statistics (eval).
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch, spatial := bn.geometry(x)
+	n := batch * spatial
+	bn.inShape = append(bn.inShape[:0], x.Shape()...)
+	bn.train = train
+	out := x.Clone()
+	bn.xhat = tensor.New(x.Shape()...)
+	if cap(bn.invStd) < bn.Features {
+		bn.invStd = make([]float64, bn.Features)
+	}
+	bn.invStd = bn.invStd[:bn.Features]
+
+	xd, od, hd := x.Data(), out.Data(), bn.xhat.Data()
+	gamma, beta := bn.Gamma.Data.Data(), bn.Beta.Data.Data()
+	rMean, rVar := bn.RunMean.Data.Data(), bn.RunVar.Data.Data()
+	rank := x.Rank()
+
+	for c := 0; c < bn.Features; c++ {
+		var mean, variance float64
+		if train {
+			var sum float64
+			for b := 0; b < batch; b++ {
+				for s := 0; s < spatial; s++ {
+					sum += xd[bnIndex(rank, bn.Features, spatial, b, c, s)]
+				}
+			}
+			mean = sum / float64(n)
+			var sq float64
+			for b := 0; b < batch; b++ {
+				for s := 0; s < spatial; s++ {
+					d := xd[bnIndex(rank, bn.Features, spatial, b, c, s)] - mean
+					sq += d * d
+				}
+			}
+			variance = sq / float64(n)
+			rMean[c] = (1-bn.Momentum)*rMean[c] + bn.Momentum*mean
+			rVar[c] = (1-bn.Momentum)*rVar[c] + bn.Momentum*variance
+		} else {
+			mean, variance = rMean[c], rVar[c]
+		}
+		inv := 1 / math.Sqrt(variance+bn.Eps)
+		bn.invStd[c] = inv
+		for b := 0; b < batch; b++ {
+			for s := 0; s < spatial; s++ {
+				i := bnIndex(rank, bn.Features, spatial, b, c, s)
+				h := (xd[i] - mean) * inv
+				hd[i] = h
+				od[i] = gamma[c]*h + beta[c]
+			}
+		}
+	}
+	return out
+}
+
+// Backward computes gradients for gamma, beta and the input using the
+// standard batch-norm backward formula. In eval mode the statistics are
+// constants, so the input gradient is simply scaled.
+func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch, spatial := bn.geometry(grad)
+	n := float64(batch * spatial)
+	rank := grad.Rank()
+	out := tensor.New(bn.inShape...)
+	gd, od, hd := grad.Data(), out.Data(), bn.xhat.Data()
+	gamma := bn.Gamma.Data.Data()
+	dGamma, dBeta := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
+
+	for c := 0; c < bn.Features; c++ {
+		var sumG, sumGH float64
+		for b := 0; b < batch; b++ {
+			for s := 0; s < spatial; s++ {
+				i := bnIndex(rank, bn.Features, spatial, b, c, s)
+				sumG += gd[i]
+				sumGH += gd[i] * hd[i]
+			}
+		}
+		dGamma[c] += sumGH
+		dBeta[c] += sumG
+		inv := bn.invStd[c]
+		if !bn.train {
+			// Statistics were constants; only the affine path matters.
+			for b := 0; b < batch; b++ {
+				for s := 0; s < spatial; s++ {
+					i := bnIndex(rank, bn.Features, spatial, b, c, s)
+					od[i] = gd[i] * gamma[c] * inv
+				}
+			}
+			continue
+		}
+		for b := 0; b < batch; b++ {
+			for s := 0; s < spatial; s++ {
+				i := bnIndex(rank, bn.Features, spatial, b, c, s)
+				od[i] = gamma[c] * inv / n * (n*gd[i] - sumG - hd[i]*sumGH)
+			}
+		}
+	}
+	return out
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Buffers returns the running mean and variance.
+func (bn *BatchNorm) Buffers() []*Buffer { return []*Buffer{bn.RunMean, bn.RunVar} }

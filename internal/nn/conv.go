@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs, implemented as im2col
+// followed by a matrix product. The weight is stored as
+// (inC*kh*kw, outC) so the forward pass is a single matmul on the patch
+// matrix.
+type Conv2D struct {
+	InC, OutC     int
+	KH, KW        int
+	Stride, Pad   int
+	W, B          *Param
+	cols          *tensor.Tensor // cached im2col of the input
+	inB, inH, inW int            // cached input geometry
+	outH, outW    int
+}
+
+// NewConv2D creates a convolution layer with He-uniform initialization.
+func NewConv2D(inC, outC, kh, kw, stride, pad int, r *rng.RNG) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		W: newParam("conv.W", inC*kh*kw, outC),
+		B: newParam("conv.b", outC),
+	}
+	fanIn := float64(inC * kh * kw)
+	bound := math.Sqrt(6.0 / fanIn)
+	w := c.W.Data.Data()
+	for i := range w {
+		w[i] = (2*r.Float64() - 1) * bound
+	}
+	return c
+}
+
+// Forward computes the convolution of x (batch, inC, H, W).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D input shape %v, want [N %d H W]", x.Shape(), c.InC))
+	}
+	c.inB, c.inH, c.inW = x.Dim(0), x.Dim(2), x.Dim(3)
+	c.outH = tensor.ConvOutSize(c.inH, c.KH, c.Stride, c.Pad)
+	c.outW = tensor.ConvOutSize(c.inW, c.KW, c.Stride, c.Pad)
+	c.cols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad)
+	// (B*oh*ow, inC*kh*kw) @ (inC*kh*kw, outC) -> (B*oh*ow, outC)
+	prod := tensor.MatMul(c.cols, c.W.Data)
+	prod.AddRowVector(c.B.Data)
+	return rowsToNCHW(prod, c.inB, c.OutC, c.outH, c.outW)
+}
+
+// Backward accumulates weight/bias gradients and returns the input
+// gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gcols := nchwToRows(grad) // (B*oh*ow, outC)
+	// dW += colsᵀ @ gcols
+	dw := tensor.New(c.W.Data.Dim(0), c.W.Data.Dim(1))
+	tensor.MatMulTransAInto(dw, c.cols, gcols)
+	tensor.AddInto(c.W.Grad, c.W.Grad, dw)
+	// db += column sums
+	gcols.ColSumsInto(c.B.Grad)
+	// dcols = gcols @ Wᵀ, then scatter back to image shape.
+	dcols := tensor.New(gcols.Dim(0), c.W.Data.Dim(0))
+	tensor.MatMulTransBInto(dcols, gcols, c.W.Data)
+	return tensor.Col2Im(dcols, c.inB, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// Params returns the kernel and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// rowsToNCHW rearranges a (B*H*W, C) row matrix into an NCHW tensor.
+func rowsToNCHW(rows *tensor.Tensor, b, c, h, w int) *tensor.Tensor {
+	out := tensor.New(b, c, h, w)
+	rd, od := rows.Data(), out.Data()
+	for bi := 0; bi < b; bi++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				row := ((bi*h+y)*w + x) * c
+				for ci := 0; ci < c; ci++ {
+					od[((bi*c+ci)*h+y)*w+x] = rd[row+ci]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// nchwToRows is the inverse of rowsToNCHW.
+func nchwToRows(x *tensor.Tensor) *tensor.Tensor {
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(b*h*w, c)
+	xd, od := x.Data(), out.Data()
+	for bi := 0; bi < b; bi++ {
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				row := ((bi*h+y)*w + xx) * c
+				for ci := 0; ci < c; ci++ {
+					od[row+ci] = xd[((bi*c+ci)*h+y)*w+xx]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D is a max pooling layer over NCHW inputs.
+type MaxPool2D struct {
+	K, Stride  int
+	argmax     []int
+	inShape    [4]int
+	outH, outW int
+}
+
+// NewMaxPool2D creates a pooling layer with a square window.
+func NewMaxPool2D(k, stride int) *MaxPool2D {
+	return &MaxPool2D{K: k, Stride: stride}
+}
+
+// Forward computes the max over each window and records the argmax for the
+// backward pass.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D input shape %v, want 4-D", x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p.inShape = [4]int{b, c, h, w}
+	p.outH = tensor.ConvOutSize(h, p.K, p.Stride, 0)
+	p.outW = tensor.ConvOutSize(w, p.K, p.Stride, 0)
+	out := tensor.New(b, c, p.outH, p.outW)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	xd, od := x.Data(), out.Data()
+	oi := 0
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			base := (bi*c + ci) * h * w
+			for oy := 0; oy < p.outH; oy++ {
+				for ox := 0; ox < p.outW; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride + ky
+						if iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride + kx
+							if ix >= w {
+								continue
+							}
+							idx := base + iy*w + ix
+							if xd[idx] > best {
+								best = xd[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					od[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the input position that won the
+// max.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
+	od, gd := out.Data(), grad.Data()
+	for i, idx := range p.argmax {
+		od[idx] += gd[i]
+	}
+	return out
+}
+
+// Params returns nil: pooling has no parameters.
+func (p *MaxPool2D) Params() []*Param { return nil }

@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = xW + b with x of shape (batch, in).
+type Dense struct {
+	W, B *Param
+	in   *tensor.Tensor // cached input for the backward pass
+}
+
+// NewDense creates a dense layer with He-uniform initialized weights, the
+// standard choice for ReLU networks.
+func NewDense(in, out int, r *rng.RNG) *Dense {
+	d := &Dense{W: newParam("dense.W", in, out), B: newParam("dense.b", out)}
+	bound := math.Sqrt(6.0 / float64(in))
+	w := d.W.Data.Data()
+	for i := range w {
+		w[i] = (2*r.Float64() - 1) * bound
+	}
+	return d
+}
+
+// Forward computes xW + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.in = x
+	out := tensor.MatMul(x, d.W.Data)
+	out.AddRowVector(d.B.Data)
+	return out
+}
+
+// Backward accumulates dW, db and returns dx.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// dW += xᵀ g
+	dw := tensor.New(d.W.Data.Dim(0), d.W.Data.Dim(1))
+	tensor.MatMulTransAInto(dw, d.in, grad)
+	tensor.AddInto(d.W.Grad, d.W.Grad, dw)
+	// db += column sums of g
+	grad.ColSumsInto(d.B.Grad)
+	// dx = g Wᵀ
+	dx := tensor.New(grad.Dim(0), d.W.Data.Dim(0))
+	tensor.MatMulTransBInto(dx, grad, d.W.Data)
+	return dx
+}
+
+// Params returns the weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative entries and records which survived.
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(l.mask) < out.Len() {
+		l.mask = make([]bool, out.Len())
+	}
+	l.mask = l.mask[:out.Len()]
+	d := out.Data()
+	for i, v := range d {
+		if v > 0 {
+			l.mask[i] = true
+		} else {
+			l.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward passes gradients through surviving entries only.
+func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		if !l.mask[i] {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil: ReLU has no parameters.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Flatten reshapes (batch, ...) to (batch, features).
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a flattening layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all but the batch dimension.
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.inShape = append(l.inShape[:0], x.Shape()...)
+	return x.Reshape(x.Dim(0), x.Len()/x.Dim(0))
+}
+
+// Backward restores the original shape.
+func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(l.inShape...)
+}
+
+// Params returns nil: Flatten has no parameters.
+func (l *Flatten) Params() []*Param { return nil }
+
+// Dropout randomly zeroes a fraction of activations during training and
+// rescales the survivors (inverted dropout). At evaluation it is identity.
+type Dropout struct {
+	Rate float64
+	r    *rng.RNG
+	mask []float64
+}
+
+// NewDropout creates a dropout layer with the given drop probability.
+func NewDropout(rate float64, r *rng.RNG) *Dropout {
+	return &Dropout{Rate: rate, r: r}
+}
+
+// Forward applies the dropout mask in training mode.
+func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.Rate <= 0 {
+		l.mask = nil
+		return x
+	}
+	out := x.Clone()
+	if cap(l.mask) < out.Len() {
+		l.mask = make([]float64, out.Len())
+	}
+	l.mask = l.mask[:out.Len()]
+	scale := 1 / (1 - l.Rate)
+	d := out.Data()
+	for i := range d {
+		if l.r.Float64() < l.Rate {
+			l.mask[i] = 0
+			d[i] = 0
+		} else {
+			l.mask[i] = scale
+			d[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		d[i] *= l.mask[i]
+	}
+	return out
+}
+
+// Params returns nil: Dropout has no parameters.
+func (l *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/niid-bench/niidbench/internal/tensor"
+)
+
+// SoftmaxCrossEntropy couples a softmax with the negative log-likelihood
+// loss. Loss returns the mean loss over the batch and the gradient of that
+// mean loss with respect to the logits, which is (softmax - onehot)/batch.
+type SoftmaxCrossEntropy struct{}
+
+// Loss computes the mean cross-entropy of logits (batch, classes) against
+// integer labels, plus the logits gradient.
+func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: cross-entropy logits shape %v, want 2-D", logits.Shape()))
+	}
+	b, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != b {
+		panic(fmt.Sprintf("nn: %d labels for batch %d", len(labels), b))
+	}
+	grad := tensor.New(b, k)
+	ld, gd := logits.Data(), grad.Data()
+	var total float64
+	invB := 1 / float64(b)
+	for i := 0; i < b; i++ {
+		row := ld[i*k : (i+1)*k]
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, k))
+		}
+		// Stable softmax.
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - m)
+		}
+		logSum := math.Log(sum) + m
+		total += logSum - row[y]
+		g := gd[i*k : (i+1)*k]
+		for j, v := range row {
+			g[j] = math.Exp(v-logSum) * invB
+		}
+		g[y] -= invB
+	}
+	return total * invB, grad
+}
+
+// Predict returns the argmax class per row of logits.
+func Predict(logits *tensor.Tensor) []int {
+	b, k := logits.Dim(0), logits.Dim(1)
+	out := make([]int, b)
+	ld := logits.Data()
+	for i := 0; i < b; i++ {
+		row := ld[i*k : (i+1)*k]
+		best, bestJ := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bestJ = v, j+1
+			}
+		}
+		out[i] = bestJ
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+// Package nn implements the neural-network substrate for NIID-Bench: a
+// small layer library (dense, convolution, pooling, batch normalization,
+// activations) with hand-written backpropagation, a Sequential container,
+// a softmax cross-entropy loss, and flat parameter/state vector utilities
+// that the federated-learning layer uses to ship models between parties.
+//
+// Design notes:
+//
+//   - Parameters (weights learned by SGD) and buffers (batch-norm running
+//     statistics) are kept distinct. Both travel in the model *state*
+//     vector exchanged with the server — which is exactly how plain
+//     averaging of batch-norm statistics produces the instability the
+//     paper reports (Finding 11) — but optimizers touch parameters only.
+//   - Layers are stateful across a Forward/Backward pair: Forward caches
+//     whatever Backward needs. A model instance must therefore not be
+//     shared between goroutines; clone per party instead.
+package nn
+
+import (
+	"fmt"
+
+	"github.com/niid-bench/niidbench/internal/tensor"
+)
+
+// Param is a learnable tensor together with its gradient accumulator.
+type Param struct {
+	Name string
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Data: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// Buffer is non-learnable model state (e.g. batch-norm running mean) that
+// is still part of the model and is communicated during federated rounds.
+type Buffer struct {
+	Name string
+	Data *tensor.Tensor
+}
+
+// Layer is one differentiable stage of a network. Forward must be called
+// before Backward; Backward receives the gradient of the loss with respect
+// to the layer output and returns the gradient with respect to its input,
+// accumulating parameter gradients along the way.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Buffered is implemented by layers that carry non-learnable state.
+type Buffered interface {
+	Buffers() []*Buffer
+}
+
+// Sequential chains layers; the output of each is the input of the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a model from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the layers in order. train selects training-mode behaviour
+// (batch statistics in batch norm, active dropout).
+func (m *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through the layers in reverse,
+// accumulating parameter gradients.
+func (m *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns every learnable parameter in layer order.
+func (m *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Buffers returns every non-learnable buffer in layer order.
+func (m *Sequential) Buffers() []*Buffer {
+	var bs []*Buffer
+	for _, l := range m.Layers {
+		if bl, ok := l.(Buffered); ok {
+			bs = append(bs, bl.Buffers()...)
+		}
+	}
+	return bs
+}
+
+// ZeroGrads clears all parameter gradients.
+func (m *Sequential) ZeroGrads() {
+	for _, p := range m.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// ParamCount returns the number of learnable scalar parameters.
+func (m *Sequential) ParamCount() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Data.Len()
+	}
+	return n
+}
+
+// StateCount returns the length of the full state vector: parameters
+// followed by buffers.
+func (m *Sequential) StateCount() int {
+	n := m.ParamCount()
+	for _, b := range m.Buffers() {
+		n += b.Data.Len()
+	}
+	return n
+}
+
+// GetState copies the model state (parameters then buffers) into dst,
+// which must have length StateCount.
+func (m *Sequential) GetState(dst []float64) {
+	off := 0
+	for _, p := range m.Params() {
+		off += copy(dst[off:], p.Data.Data())
+	}
+	for _, b := range m.Buffers() {
+		off += copy(dst[off:], b.Data.Data())
+	}
+	if off != len(dst) {
+		panic(fmt.Sprintf("nn: GetState dst length %d, want %d", len(dst), off))
+	}
+}
+
+// SetState loads the model state (parameters then buffers) from src.
+func (m *Sequential) SetState(src []float64) {
+	off := 0
+	for _, p := range m.Params() {
+		off += copy(p.Data.Data(), src[off:off+p.Data.Len()])
+	}
+	for _, b := range m.Buffers() {
+		off += copy(b.Data.Data(), src[off:off+b.Data.Len()])
+	}
+	if off != len(src) {
+		panic(fmt.Sprintf("nn: SetState src length %d, want %d", len(src), off))
+	}
+}
+
+// State returns a fresh copy of the full state vector.
+func (m *Sequential) State() []float64 {
+	s := make([]float64, m.StateCount())
+	m.GetState(s)
+	return s
+}
+
+// GetGrads copies the parameter gradients into dst (length ParamCount).
+func (m *Sequential) GetGrads(dst []float64) {
+	off := 0
+	for _, p := range m.Params() {
+		off += copy(dst[off:], p.Grad.Data())
+	}
+	if off != len(dst) {
+		panic(fmt.Sprintf("nn: GetGrads dst length %d, want %d", len(dst), off))
+	}
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
+)
+
+// ModelKind selects one of the benchmark's model architectures.
+type ModelKind string
+
+const (
+	// KindCNN is the paper's CNN for image datasets: two 5x5 convolutions
+	// (6 then 16 channels), each followed by 2x2 max pooling, then fully
+	// connected layers of 120 and 84 units with ReLU.
+	KindCNN ModelKind = "cnn"
+	// KindMLP is the paper's MLP for tabular datasets: hidden layers of
+	// 32, 16 and 8 units with ReLU.
+	KindMLP ModelKind = "mlp"
+	// KindVGG is a scaled-down VGG-style network with batch normalization,
+	// standing in for the paper's VGG-9 (appendix E).
+	KindVGG ModelKind = "vgg"
+	// KindResNet is a scaled-down residual network with batch
+	// normalization, standing in for the paper's ResNet-50 (appendix E).
+	KindResNet ModelKind = "resnet"
+)
+
+// ModelSpec describes a model architecture plus its input geometry, so
+// every federated party can build a structurally identical network.
+type ModelSpec struct {
+	Kind ModelKind
+	// Image geometry; used by CNN/VGG/ResNet.
+	Channels, Height, Width int
+	// Flat input dimension; used by MLP.
+	InputDim int
+	Classes  int
+}
+
+// InputLen returns the number of scalars in one input sample.
+func (s ModelSpec) InputLen() int {
+	if s.Kind == KindMLP {
+		return s.InputDim
+	}
+	return s.Channels * s.Height * s.Width
+}
+
+// ShapeBatch reshapes a flat (batch, features) tensor into the layout the
+// model expects.
+func (s ModelSpec) ShapeBatch(x *tensor.Tensor) *tensor.Tensor {
+	if s.Kind == KindMLP {
+		return x
+	}
+	return x.Reshape(x.Dim(0), s.Channels, s.Height, s.Width)
+}
+
+// Build constructs the model described by the spec, drawing initial
+// weights from r.
+func Build(s ModelSpec, r *rng.RNG) *Sequential {
+	switch s.Kind {
+	case KindCNN:
+		return buildCNN(s, r)
+	case KindMLP:
+		return buildMLP(s, r)
+	case KindVGG:
+		return buildVGG(s, r)
+	case KindResNet:
+		return buildResNet(s, r)
+	default:
+		panic(fmt.Sprintf("nn: unknown model kind %q", s.Kind))
+	}
+}
+
+func buildCNN(s ModelSpec, r *rng.RNG) *Sequential {
+	// Mirror the paper's LeNet-style CNN at our 16x16 input scale:
+	// conv5(->6), pool2, conv5(->16), pool2, FC120, FC84, FC classes.
+	h := tensor.ConvOutSize(s.Height, 5, 1, 0)
+	w := tensor.ConvOutSize(s.Width, 5, 1, 0)
+	h, w = h/2, w/2
+	h = tensor.ConvOutSize(h, 5, 1, 0)
+	w = tensor.ConvOutSize(w, 5, 1, 0)
+	h, w = h/2, w/2
+	if h < 1 || w < 1 {
+		panic(fmt.Sprintf("nn: input %dx%d too small for the paper CNN", s.Height, s.Width))
+	}
+	flat := 16 * h * w
+	return NewSequential(
+		NewConv2D(s.Channels, 6, 5, 5, 1, 0, r),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewConv2D(6, 16, 5, 5, 1, 0, r),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense(flat, 120, r),
+		NewReLU(),
+		NewDense(120, 84, r),
+		NewReLU(),
+		NewDense(84, s.Classes, r),
+	)
+}
+
+func buildMLP(s ModelSpec, r *rng.RNG) *Sequential {
+	return NewSequential(
+		NewDense(s.InputDim, 32, r),
+		NewReLU(),
+		NewDense(32, 16, r),
+		NewReLU(),
+		NewDense(16, 8, r),
+		NewReLU(),
+		NewDense(8, s.Classes, r),
+	)
+}
+
+func buildVGG(s ModelSpec, r *rng.RNG) *Sequential {
+	// Two conv-BN-ReLU stages with pooling, then a dense head. Batch norm
+	// placement matches VGG-with-BN so the appendix-E aggregation study is
+	// meaningful.
+	h, w := s.Height/2/2, s.Width/2/2
+	return NewSequential(
+		NewConv2D(s.Channels, 16, 3, 3, 1, 1, r),
+		NewBatchNorm(16),
+		NewReLU(),
+		NewConv2D(16, 16, 3, 3, 1, 1, r),
+		NewBatchNorm(16),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewConv2D(16, 32, 3, 3, 1, 1, r),
+		NewBatchNorm(32),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense(32*h*w, 64, r),
+		NewReLU(),
+		NewDense(64, s.Classes, r),
+	)
+}
+
+func buildResNet(s ModelSpec, r *rng.RNG) *Sequential {
+	h, w := s.Height/2/2, s.Width/2/2
+	return NewSequential(
+		NewConv2D(s.Channels, 8, 3, 3, 1, 1, r),
+		NewBatchNorm(8),
+		NewReLU(),
+		NewResidual(8, 16, r),
+		NewMaxPool2D(2, 2),
+		NewResidual(16, 16, r),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense(16*h*w, s.Classes, r),
+	)
+}

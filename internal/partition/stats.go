@@ -1,0 +1,115 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stats summarizes a partition the way the paper's Figures 3a and 4 do:
+// a party-by-class count matrix plus scalar imbalance measures.
+type Stats struct {
+	// Counts[p][c] is the number of samples of class c at party p.
+	Counts [][]int
+	// Sizes[p] is party p's local dataset size.
+	Sizes []int
+	// LabelImbalance is the mean Jensen-Shannon-style divergence between
+	// each party's label distribution and the global one (0 = identical).
+	LabelImbalance float64
+	// QuantityImbalance is the coefficient of variation of party sizes
+	// (0 = equal sizes).
+	QuantityImbalance float64
+}
+
+// ComputeStats builds partition statistics from the index assignment and
+// the sample labels.
+func ComputeStats(p Partition, labels []int, classes int) Stats {
+	st := Stats{
+		Counts: make([][]int, len(p)),
+		Sizes:  make([]int, len(p)),
+	}
+	global := make([]float64, classes)
+	total := 0
+	for pi, idx := range p {
+		st.Counts[pi] = make([]int, classes)
+		st.Sizes[pi] = len(idx)
+		total += len(idx)
+		for _, i := range idx {
+			st.Counts[pi][labels[i]]++
+			global[labels[i]]++
+		}
+	}
+	if total == 0 {
+		return st
+	}
+	for c := range global {
+		global[c] /= float64(total)
+	}
+	// Label imbalance: mean KL(party || mixture with global) symmetrized.
+	var div float64
+	for pi := range p {
+		if st.Sizes[pi] == 0 {
+			continue
+		}
+		local := make([]float64, classes)
+		for c, n := range st.Counts[pi] {
+			local[c] = float64(n) / float64(st.Sizes[pi])
+		}
+		div += jsDivergence(local, global)
+	}
+	st.LabelImbalance = div / float64(len(p))
+	// Quantity imbalance: coefficient of variation of sizes.
+	mean := float64(total) / float64(len(p))
+	var varSum float64
+	for _, s := range st.Sizes {
+		d := float64(s) - mean
+		varSum += d * d
+	}
+	if mean > 0 {
+		st.QuantityImbalance = math.Sqrt(varSum/float64(len(p))) / mean
+	}
+	return st
+}
+
+// jsDivergence is the Jensen-Shannon divergence between distributions p
+// and q (base e, in [0, ln 2]).
+func jsDivergence(p, q []float64) float64 {
+	m := make([]float64, len(p))
+	for i := range p {
+		m[i] = (p[i] + q[i]) / 2
+	}
+	return (klDivergence(p, m) + klDivergence(q, m)) / 2
+}
+
+func klDivergence(p, q []float64) float64 {
+	var d float64
+	for i := range p {
+		if p[i] > 0 && q[i] > 0 {
+			d += p[i] * math.Log(p[i]/q[i])
+		}
+	}
+	return d
+}
+
+// Heatmap renders the party-by-class count matrix as text, mirroring the
+// paper's Figure 4.
+func (st Stats) Heatmap() string {
+	var b strings.Builder
+	classes := 0
+	if len(st.Counts) > 0 {
+		classes = len(st.Counts[0])
+	}
+	fmt.Fprintf(&b, "%-8s", "party")
+	for c := 0; c < classes; c++ {
+		fmt.Fprintf(&b, "%7s", fmt.Sprintf("c%d", c))
+	}
+	fmt.Fprintf(&b, "%8s\n", "total")
+	for pi, row := range st.Counts {
+		fmt.Fprintf(&b, "%-8s", fmt.Sprintf("P%d", pi))
+		for _, n := range row {
+			fmt.Fprintf(&b, "%7d", n)
+		}
+		fmt.Fprintf(&b, "%8d\n", st.Sizes[pi])
+	}
+	return b.String()
+}

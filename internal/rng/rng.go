@@ -1,0 +1,239 @@
+// Package rng provides deterministic pseudo-random number generation and
+// the probability distributions NIID-Bench needs: uniform, Gaussian, Gamma,
+// Dirichlet, and categorical sampling, plus permutations.
+//
+// Every experiment in the benchmark derives its randomness from a single
+// seed so that partitions and training runs are exactly reproducible. The
+// generator is a splitmix64-seeded xoshiro256** stream; Split derives
+// independent child streams so concurrent parties never share state.
+package rng
+
+import "math"
+
+// RNG is a deterministic random number generator. It is not safe for
+// concurrent use; derive one per goroutine with Split.
+type RNG struct {
+	s [4]uint64
+	// cached spare normal deviate for Box-Muller
+	hasSpare bool
+	spare    float64
+}
+
+// New returns a generator seeded from seed via splitmix64, which guarantees
+// a well-mixed initial state even for small or sequential seeds.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := 0; i < 4; i++ {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split derives an independent child generator. The child's stream is a
+// deterministic function of the parent state, and the parent advances, so
+// successive Splits yield distinct streams.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 computes the 128-bit product of a and b, returning (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	hiPart := t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + hiPart + t>>32
+	return hi, lo
+}
+
+// Normal returns a standard normal deviate using Box-Muller with caching.
+func (r *RNG) Normal() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// Gaussian returns a normal deviate with the given mean and standard
+// deviation.
+func (r *RNG) Gaussian(mean, std float64) float64 {
+	return mean + std*r.Normal()
+}
+
+// Gamma samples from a Gamma(shape, 1) distribution using the
+// Marsaglia-Tsang method. shape must be positive.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma called with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet samples an n-dimensional probability vector from a symmetric
+// Dirichlet distribution with concentration beta. Smaller beta yields a
+// more unbalanced vector. beta must be positive and n >= 1.
+func (r *RNG) Dirichlet(n int, beta float64) []float64 {
+	if n < 1 {
+		panic("rng: Dirichlet called with n < 1")
+	}
+	if beta <= 0 {
+		panic("rng: Dirichlet called with non-positive beta")
+	}
+	p := make([]float64, n)
+	var sum float64
+	for i := range p {
+		p[i] = r.Gamma(beta)
+		sum += p[i]
+	}
+	if sum == 0 {
+		// Extremely small beta can underflow every component; fall back to a
+		// one-hot vector at a random coordinate, the distribution's limit.
+		p[r.Intn(n)] = 1
+		return p
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// Categorical samples an index in [0, len(p)) with probability proportional
+// to p[i]. The weights must be non-negative and not all zero.
+func (r *RNG) Categorical(p []float64) int {
+	var total float64
+	for _, w := range p {
+		if w < 0 {
+			panic("rng: Categorical weight is negative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Categorical weights sum to zero")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range p {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place with a Fisher-Yates shuffle.
+func (r *RNG) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// SampleWithoutReplacement returns k distinct indices uniformly drawn from
+// [0, n). It panics if k > n or k < 0.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleWithoutReplacement with k out of range")
+	}
+	p := r.Perm(n)
+	return p[:k]
+}

@@ -1,0 +1,329 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() && c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical streams")
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	r := New(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 produced %d zero outputs", zeros)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(4)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("Intn(10) bucket %d has count %d, expected ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(5)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestGaussianScaling(t *testing.T) {
+	r := New(6)
+	n := 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Gaussian(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("gaussian mean %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Fatalf("gaussian variance %v, want ~4", variance)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	// Gamma(shape) with unit scale has mean == shape for both branches of
+	// the sampler (shape < 1 and shape >= 1).
+	for _, shape := range []float64{0.3, 0.5, 1, 2.5, 7} {
+		r := New(uint64(shape*100) + 11)
+		n := 100000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-shape) > 0.05*math.Max(1, shape) {
+			t.Fatalf("gamma(%v) mean %v, want ~%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestGammaPositive(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 10000; i++ {
+		if g := r.Gamma(0.5); g < 0 {
+			t.Fatalf("Gamma returned negative value %v", g)
+		}
+	}
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	r := New(13)
+	for _, beta := range []float64{0.1, 0.5, 1, 10} {
+		for trial := 0; trial < 100; trial++ {
+			p := r.Dirichlet(8, beta)
+			var sum float64
+			for _, v := range p {
+				if v < 0 {
+					t.Fatalf("Dirichlet produced negative prob %v", v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("Dirichlet probs sum to %v", sum)
+			}
+		}
+	}
+}
+
+func TestDirichletConcentration(t *testing.T) {
+	// Smaller beta should produce more unbalanced vectors on average.
+	// Measure by the mean maximum component.
+	maxMean := func(beta float64) float64 {
+		r := New(99)
+		var total float64
+		for trial := 0; trial < 2000; trial++ {
+			p := r.Dirichlet(10, beta)
+			m := 0.0
+			for _, v := range p {
+				if v > m {
+					m = v
+				}
+			}
+			total += m
+		}
+		return total / 2000
+	}
+	low := maxMean(0.1)
+	high := maxMean(10)
+	if low <= high {
+		t.Fatalf("expected Dir(0.1) more skewed than Dir(10): max %v vs %v", low, high)
+	}
+	if low < 0.5 {
+		t.Fatalf("Dir(0.1) max component mean %v, expected strong skew", low)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	r := New(14)
+	weights := []float64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * float64(n)
+		if math.Abs(float64(counts[i])-want) > 0.05*want+200 {
+			t.Fatalf("categorical bucket %d: got %d want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestCategoricalZeroWeightNeverSampled(t *testing.T) {
+	r := New(15)
+	weights := []float64{0, 1, 0, 1}
+	for i := 0; i < 10000; i++ {
+		v := r.Categorical(weights)
+		if v == 0 || v == 2 {
+			t.Fatalf("sampled zero-weight index %d", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(16)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(17)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[r.Perm(5)[0]]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("perm first element %d count %d, expected ~10000", i, c)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(18)
+	s := r.SampleWithoutReplacement(20, 7)
+	if len(s) != 7 {
+		t.Fatalf("got %d samples, want 7", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 20 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	r := New(19)
+	s := r.SampleWithoutReplacement(5, 5)
+	seen := make([]bool, 5)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("full sample missing index %d", i)
+		}
+	}
+}
+
+func TestDirichletPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		beta float64
+	}{{0, 1}, {3, 0}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for Dirichlet(%d, %v)", tc.n, tc.beta)
+				}
+			}()
+			New(1).Dirichlet(tc.n, tc.beta)
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Normal()
+	}
+}
+
+func BenchmarkDirichlet10(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Dirichlet(10, 0.5)
+	}
+}

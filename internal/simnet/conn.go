@@ -1,0 +1,140 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// Conn is a reliable, message-oriented duplex link between the server and
+// one party.
+type Conn interface {
+	Send(b []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// chanConn is an in-memory Conn built from a pair of buffered channels.
+type chanConn struct {
+	send   chan<- []byte
+	recv   <-chan []byte
+	closed chan struct{}
+}
+
+// Pipe returns two connected in-memory Conns.
+func Pipe() (Conn, Conn) {
+	ab := make(chan []byte, 4)
+	ba := make(chan []byte, 4)
+	closed := make(chan struct{})
+	a := &chanConn{send: ab, recv: ba, closed: closed}
+	b := &chanConn{send: ba, recv: ab, closed: closed}
+	return a, b
+}
+
+func (c *chanConn) Send(b []byte) error {
+	msg := append([]byte{}, b...)
+	select {
+	case c.send <- msg:
+		return nil
+	case <-c.closed:
+		return fmt.Errorf("simnet: send on closed conn")
+	}
+}
+
+func (c *chanConn) Recv() ([]byte, error) {
+	select {
+	case b, ok := <-c.recv:
+		if !ok {
+			return nil, io.EOF
+		}
+		return b, nil
+	case <-c.closed:
+		return nil, io.EOF
+	}
+}
+
+func (c *chanConn) Close() error {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	return nil
+}
+
+// tcpConn frames messages over a TCP stream with a 4-byte length prefix.
+type tcpConn struct {
+	c net.Conn
+}
+
+// NewTCPConn wraps a net.Conn in length-prefixed message framing.
+func NewTCPConn(c net.Conn) Conn { return &tcpConn{c: c} }
+
+func (t *tcpConn) Send(b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(b)
+	return err
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	const maxMsg = 1 << 30
+	if n > maxMsg {
+		return nil, fmt.Errorf("simnet: message of %d bytes exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(t.c, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+// CountingConn wraps a Conn and tallies bytes in each direction.
+type CountingConn struct {
+	Inner     Conn
+	sentBytes atomic.Int64
+	recvBytes atomic.Int64
+}
+
+// NewCountingConn wraps inner with byte accounting.
+func NewCountingConn(inner Conn) *CountingConn { return &CountingConn{Inner: inner} }
+
+// Send forwards to the inner conn, counting payload bytes.
+func (c *CountingConn) Send(b []byte) error {
+	if err := c.Inner.Send(b); err != nil {
+		return err
+	}
+	c.sentBytes.Add(int64(len(b)))
+	return nil
+}
+
+// Recv forwards to the inner conn, counting payload bytes.
+func (c *CountingConn) Recv() ([]byte, error) {
+	b, err := c.Inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.recvBytes.Add(int64(len(b)))
+	return b, nil
+}
+
+// Close closes the inner conn.
+func (c *CountingConn) Close() error { return c.Inner.Close() }
+
+// Sent returns the total payload bytes sent.
+func (c *CountingConn) Sent() int64 { return c.sentBytes.Load() }
+
+// Received returns the total payload bytes received.
+func (c *CountingConn) Received() int64 { return c.recvBytes.Load() }

@@ -1,0 +1,271 @@
+package simnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// Federation runs the federated protocol over explicit connections: the
+// server goroutine owns aggregation, each party goroutine owns its local
+// dataset and model, and all model movement happens through serialized
+// messages on Conns.
+type Federation struct {
+	Cfg   fl.Config
+	Spec  nn.ModelSpec
+	Test  *data.Dataset
+	conns []*CountingConn // server side, one per party
+}
+
+// ServeParty runs one party's message loop on conn until shutdown. It is
+// exported so parties can be run in separate processes over TCP.
+func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64) error {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return err
+	}
+	client := fl.NewClient(id, local, spec, rng.New(seed))
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("simnet: party %d recv: %w", id, err)
+		}
+		msg, err := Unmarshal(raw)
+		if err != nil {
+			return fmt.Errorf("simnet: party %d decode: %w", id, err)
+		}
+		switch m := msg.(type) {
+		case ShutdownMsg:
+			return nil
+		case GlobalMsg:
+			up := client.LocalTrain(m.State, m.Control, cfg)
+			reply, err := Marshal(UpdateMsg{
+				Round: m.Round, N: up.N, Tau: up.Tau,
+				TrainLoss: up.TrainLoss, Delta: up.Delta, DeltaC: up.DeltaC,
+			})
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(reply); err != nil {
+				return fmt.Errorf("simnet: party %d send: %w", id, err)
+			}
+		default:
+			return fmt.Errorf("simnet: party %d unexpected message %T", id, msg)
+		}
+	}
+}
+
+// RunLocal runs a full federation over in-memory pipes: one goroutine per
+// party plus the server loop on the calling goroutine. It returns the same
+// Result type as fl.Simulation, with CommBytes measured from the actual
+// serialized traffic.
+func RunLocal(cfg fl.Config, spec nn.ModelSpec, locals []*data.Dataset, test *data.Dataset) (*fl.Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if len(locals) == 0 {
+		return nil, fmt.Errorf("simnet: no parties")
+	}
+	conns := make([]*CountingConn, len(locals))
+	var wg sync.WaitGroup
+	partyErrs := make([]error, len(locals))
+	for i, ds := range locals {
+		serverSide, partySide := Pipe()
+		conns[i] = NewCountingConn(serverSide)
+		wg.Add(1)
+		go func(i int, ds *data.Dataset, conn Conn) {
+			defer wg.Done()
+			partyErrs[i] = ServeParty(conn, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13)
+		}(i, ds, partySide)
+	}
+	fed := &Federation{Cfg: cfg, Spec: spec, Test: test, conns: conns}
+	res, serveErr := fed.serve(len(locals))
+	wg.Wait()
+	if serveErr != nil {
+		return nil, serveErr
+	}
+	for i, err := range partyErrs {
+		if err != nil {
+			return nil, fmt.Errorf("simnet: party %d failed: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+// ServerListener is a bound TCP endpoint for a federation server. Create
+// it with Listen, hand Addr() to the parties, then call AcceptAndRun.
+type ServerListener struct {
+	l net.Listener
+}
+
+// Listen binds a TCP address for the federation server. Use "127.0.0.1:0"
+// for an ephemeral local port.
+func Listen(addr string) (*ServerListener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ServerListener{l: l}, nil
+}
+
+// Addr returns the bound address parties should dial.
+func (s *ServerListener) Addr() string { return s.l.Addr().String() }
+
+// Close releases the listener.
+func (s *ServerListener) Close() error { return s.l.Close() }
+
+// AcceptAndRun accepts numParties framed connections, then executes the
+// federated protocol to completion. Parties connect with DialParty.
+func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.ModelSpec, test *data.Dataset) (*fl.Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	conns := make([]*CountingConn, numParties)
+	for i := 0; i < numParties; i++ {
+		c, err := s.l.Accept()
+		if err != nil {
+			return nil, err
+		}
+		conns[i] = NewCountingConn(NewTCPConn(c))
+	}
+	fed := &Federation{Cfg: cfg, Spec: spec, Test: test, conns: conns}
+	return fed.serve(numParties)
+}
+
+// DialParty connects a party to a TCP federation server and serves until
+// shutdown.
+func DialParty(addr string, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return ServeParty(NewTCPConn(c), id, local, spec, cfg, seed)
+}
+
+// serve runs the server side of the protocol over the federation's conns.
+func (f *Federation) serve(numParties int) (*fl.Result, error) {
+	cfg := f.Cfg
+	root := rng.New(cfg.Seed)
+	initModel := nn.Build(f.Spec, root.Split())
+	server := fl.NewServer(cfg, initModel.State(), initModel.ParamCount(), numParties)
+	eval := fl.NewEvaluator(f.Spec, f.Test)
+	sampler := root.Split()
+
+	res := &fl.Result{
+		Config:     cfg,
+		ParamCount: initModel.ParamCount(),
+		StateCount: initModel.StateCount(),
+	}
+	defer func() {
+		// Always attempt a clean shutdown of every party.
+		if msg, err := Marshal(ShutdownMsg{}); err == nil {
+			for _, c := range f.conns {
+				_ = c.Send(msg)
+			}
+		}
+		for _, c := range f.conns {
+			_ = c.Close()
+		}
+	}()
+
+	var compute time.Duration
+	var prevBytes int64
+	for t := 0; t < cfg.Rounds; t++ {
+		start := time.Now()
+		sampled := sampleParties(sampler, numParties, cfg.SampleFraction)
+		msg, err := Marshal(GlobalMsg{Round: t, State: server.State(), Control: server.Control()})
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range sampled {
+			if err := f.conns[id].Send(msg); err != nil {
+				return nil, fmt.Errorf("simnet: send to party %d: %w", id, err)
+			}
+		}
+		updates := make([]fl.Update, 0, len(sampled))
+		var trainLoss float64
+		for _, id := range sampled {
+			raw, err := f.conns[id].Recv()
+			if err != nil {
+				return nil, fmt.Errorf("simnet: recv from party %d: %w", id, err)
+			}
+			decoded, err := Unmarshal(raw)
+			if err != nil {
+				return nil, err
+			}
+			um, ok := decoded.(UpdateMsg)
+			if !ok {
+				return nil, fmt.Errorf("simnet: unexpected reply %T from party %d", decoded, id)
+			}
+			if um.Round != t {
+				return nil, fmt.Errorf("simnet: party %d replied for round %d during round %d", id, um.Round, t)
+			}
+			updates = append(updates, fl.Update{
+				Delta: um.Delta, Tau: um.Tau, N: um.N,
+				DeltaC: um.DeltaC, TrainLoss: um.TrainLoss,
+			})
+			trainLoss += um.TrainLoss
+		}
+		if err := server.Aggregate(updates); err != nil {
+			return nil, err
+		}
+		roundBytes := f.totalBytes() - prevBytes
+		prevBytes = f.totalBytes()
+		m := fl.RoundMetrics{
+			Round:        t,
+			TestAccuracy: -1,
+			TrainLoss:    trainLoss / float64(len(updates)),
+			CommBytes:    roundBytes,
+			Duration:     time.Since(start),
+			Sampled:      sampled,
+		}
+		compute += m.Duration
+		if (t+1)%cfg.EvalEvery == 0 || t == cfg.Rounds-1 {
+			m.TestAccuracy = eval.Accuracy(server.State())
+			if m.TestAccuracy > res.BestAccuracy {
+				res.BestAccuracy = m.TestAccuracy
+			}
+		}
+		res.Curve = append(res.Curve, m)
+		res.TotalCommBytes += m.CommBytes
+	}
+	res.ComputeTime = compute
+	res.FinalState = append([]float64{}, server.State()...)
+	if len(res.Curve) > 0 {
+		res.CommBytesPerRound = float64(res.TotalCommBytes) / float64(len(res.Curve))
+		res.FinalAccuracy = res.Curve[len(res.Curve)-1].TestAccuracy
+	}
+	return res, nil
+}
+
+func (f *Federation) totalBytes() int64 {
+	var total int64
+	for _, c := range f.conns {
+		total += c.Sent() + c.Received()
+	}
+	return total
+}
+
+func sampleParties(r *rng.RNG, n int, fraction float64) []int {
+	k := int(fraction*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	return r.SampleWithoutReplacement(n, k)
+}

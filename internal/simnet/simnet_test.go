@@ -1,0 +1,319 @@
+package simnet
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/partition"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+func TestCodecRoundTripGlobal(t *testing.T) {
+	in := GlobalMsg{Round: 7, State: []float64{1.5, -2, 0}, Control: []float64{3}}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(GlobalMsg)
+	if got.Round != 7 || len(got.State) != 3 || got.State[1] != -2 || got.Control[0] != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestCodecRoundTripUpdate(t *testing.T) {
+	in := UpdateMsg{Round: 3, N: 100, Tau: 17, TrainLoss: 0.25, Delta: []float64{1, 2}, DeltaC: nil}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(UpdateMsg)
+	if got.N != 100 || got.Tau != 17 || got.TrainLoss != 0.25 || len(got.Delta) != 2 || got.DeltaC != nil {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestCodecShutdown(t *testing.T) {
+	b, err := Marshal(ShutdownMsg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.(ShutdownMsg); !ok {
+		t.Fatalf("got %T", out)
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	err := quick.Check(func(round uint16, state []float64, ctrl []float64) bool {
+		in := GlobalMsg{Round: int(round), State: state, Control: ctrl}
+		b, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		got := out.(GlobalMsg)
+		if got.Round != int(round) || len(got.State) != len(state) || len(got.Control) != len(ctrl) {
+			return false
+		}
+		for i := range state {
+			if state[i] != got.State[i] && !(math.IsNaN(state[i]) && math.IsNaN(got.State[i])) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("expected error for empty")
+	}
+	if _, err := Unmarshal([]byte{99}); err == nil {
+		t.Fatal("expected error for unknown tag")
+	}
+	if _, err := Unmarshal([]byte{msgGlobal, 1, 2}); err == nil {
+		t.Fatal("expected error for truncation")
+	}
+	if _, err := Marshal(42); err == nil {
+		t.Fatal("expected error for unsupported type")
+	}
+}
+
+func TestPipeDuplex(t *testing.T) {
+	a, b := Pipe()
+	if err := a.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if err := b.Send([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Recv()
+	if err != nil || string(got) != "world" {
+		t.Fatalf("reverse direction: %q %v", got, err)
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	a.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Recv on closed pipe should fail")
+	}
+}
+
+func TestCountingConn(t *testing.T) {
+	a, b := Pipe()
+	ca := NewCountingConn(a)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		msg, _ := b.Recv()
+		_ = b.Send(msg)
+	}()
+	if err := ca.Send(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if ca.Sent() != 100 || ca.Received() != 100 {
+		t.Fatalf("counts: sent %d recv %d", ca.Sent(), ca.Received())
+	}
+}
+
+// smallFederation builds a 3-party adult federation for protocol tests.
+func smallFederation(t *testing.T) (fl.Config, []*data.Dataset, *data.Dataset) {
+	t.Helper()
+	train, test, err := data.Load("adult", data.Config{TrainN: 600, TestN: 200, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, 3, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{Algorithm: fl.FedAvg, Rounds: 4, LocalEpochs: 2, BatchSize: 32, LR: 0.05, Seed: 5}
+	return cfg, locals, test
+}
+
+func TestRunLocalMatchesLearning(t *testing.T) {
+	cfg, locals, test := smallFederation(t)
+	spec, _ := data.Model("adult")
+	res, err := RunLocal(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 4 {
+		t.Fatalf("rounds: %d", len(res.Curve))
+	}
+	if res.FinalAccuracy < 0.60 {
+		t.Fatalf("accuracy %v", res.FinalAccuracy)
+	}
+	if res.TotalCommBytes == 0 {
+		t.Fatal("no bytes counted")
+	}
+}
+
+func TestRunLocalMeasuredBytesMatchAnalytic(t *testing.T) {
+	cfg, locals, test := smallFederation(t)
+	spec, _ := data.Model("adult")
+	res, err := RunLocal(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic estimate: 2 state vectors per party per round (down+up),
+	// 8 bytes each, plus small headers.
+	analytic := float64(2*res.StateCount*8) * 3
+	measured := res.CommBytesPerRound
+	if measured < analytic || measured > analytic*1.01 {
+		t.Fatalf("measured %v bytes/round, analytic %v (headers should add <1%%)", measured, analytic)
+	}
+}
+
+func TestScaffoldOverTransportDoublesBytes(t *testing.T) {
+	cfg, locals, test := smallFederation(t)
+	spec, _ := data.Model("adult")
+	avg, err := RunLocal(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Algorithm = fl.Scaffold
+	sca, err := RunLocal(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sca.CommBytesPerRound / avg.CommBytesPerRound
+	if ratio < 1.8 || ratio > 2.1 {
+		t.Fatalf("scaffold/fedavg measured ratio %v, want ~2", ratio)
+	}
+}
+
+func TestRunLocalAgreesWithSimulation(t *testing.T) {
+	// The transport must not change the math: same config and seeds give
+	// the same learning behaviour (not bit-identical because party RNG
+	// streams differ, but accuracy should be in the same band).
+	cfg, locals, test := smallFederation(t)
+	spec, _ := data.Model("adult")
+	viaNet, err := RunLocal(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := fl.NewSimulation(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(viaNet.FinalAccuracy-direct.FinalAccuracy) > 0.12 {
+		t.Fatalf("transport accuracy %v vs simulation %v", viaNet.FinalAccuracy, direct.FinalAccuracy)
+	}
+}
+
+func TestTCPFederation(t *testing.T) {
+	cfg, locals, test := smallFederation(t)
+	spec, _ := data.Model("adult")
+
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr()
+	type serveResult struct {
+		res *fl.Result
+		err error
+	}
+	resCh := make(chan serveResult, 1)
+	go func() {
+		res, err := ln.AcceptAndRun(len(locals), cfg, spec, test)
+		resCh <- serveResult{res, err}
+	}()
+	var wg sync.WaitGroup
+	for i, ds := range locals {
+		wg.Add(1)
+		go func(i int, ds *data.Dataset) {
+			defer wg.Done()
+			if err := DialParty(addr, i, ds, spec, cfg, uint64(100+i)); err != nil {
+				t.Errorf("party %d: %v", i, err)
+			}
+		}(i, ds)
+	}
+	sr := <-resCh
+	wg.Wait()
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	if sr.res.FinalAccuracy < 0.60 {
+		t.Fatalf("tcp federation accuracy %v", sr.res.FinalAccuracy)
+	}
+	if sr.res.TotalCommBytes == 0 {
+		t.Fatal("no tcp bytes counted")
+	}
+}
+
+func TestUnmarshalNeverPanicsOnGarbage(t *testing.T) {
+	// Any byte soup must produce an error or a message, never a panic or
+	// an out-of-range read.
+	err := quick.Check(func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Unmarshal panicked on %v: %v", raw, r)
+			}
+		}()
+		_, _ = Unmarshal(raw)
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalTruncationsOfValidMessage(t *testing.T) {
+	msg, err := Marshal(UpdateMsg{Round: 1, N: 5, Tau: 3, TrainLoss: 0.5,
+		Delta: []float64{1, 2, 3}, DeltaC: []float64{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(msg); cut++ {
+		if _, err := Unmarshal(msg[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(msg))
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the spatial output size of a valid convolution with
+// the given input size, kernel size, stride and padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col expands image patches into matrix rows so a convolution becomes a
+// matrix product. x has shape (batch, channels, height, width); the result
+// has shape (batch*outH*outW, channels*kh*kw). Each row is the flattened
+// receptive field for one output location.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires a 4-D tensor, got shape %v", x.shape))
+	}
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col kernel %dx%d too large for input %dx%d", kh, kw, h, w))
+	}
+	cols := New(b*outH*outW, c*kh*kw)
+	xd, cd := x.data, cols.data
+	rowLen := c * kh * kw
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := ((bi*outH+oy)*outW + ox) * rowLen
+				for ci := 0; ci < c; ci++ {
+					base := ((bi * c) + ci) * h * w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							dst := row + (ci*kh+ky)*kw + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								cd[dst] = xd[base+iy*w+ix]
+							} else {
+								cd[dst] = 0
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters column gradients back into
+// an image-shaped gradient, accumulating overlapping contributions. cols
+// has shape (batch*outH*outW, channels*kh*kw); the result has shape
+// (batch, channels, height, width).
+func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	rowLen := c * kh * kw
+	if cols.Rank() != 2 || cols.shape[0] != b*outH*outW || cols.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want [%d %d]", cols.shape, b*outH*outW, rowLen))
+	}
+	img := New(b, c, h, w)
+	xd, cd := img.data, cols.data
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := ((bi*outH+oy)*outW + ox) * rowLen
+				for ci := 0; ci < c; ci++ {
+					base := ((bi * c) + ci) * h * w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							xd[base+iy*w+ix] += cd[row+(ci*kh+ky)*kw+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of output elements above which MatMul
+// fans out across goroutines. Small matrices are faster single-threaded.
+const parallelThreshold = 64 * 1024
+
+// MatMulInto computes dst = a @ b for 2-D tensors. a is (m,k), b is (k,n),
+// dst must be (m,n) and must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	if m*n >= parallelThreshold && m > 1 {
+		matMulParallel(dst, a, b, m, k, n)
+		return
+	}
+	matMulRows(dst, a, b, 0, m, k, n)
+}
+
+// matMulRows computes rows [r0, r1) of dst using the ikj loop order, which
+// streams rows of b and keeps the inner loop vector-friendly.
+func matMulRows(dst, a, b *Tensor, r0, r1, k, n int) {
+	ad, bd, dd := a.data, b.data, dst.data
+	for i := r0; i < r1; i++ {
+		di := dd[i*n : (i+1)*n]
+		ai := ad[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			aip := ai[p]
+			if aip == 0 {
+				continue
+			}
+			bp := bd[p*n : (p+1)*n]
+			for j := range bp {
+				di[j] += aip * bp[j]
+			}
+		}
+	}
+}
+
+func matMulParallel(dst, a, b *Tensor, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			matMulRows(dst, a, b, r0, r1, k, n)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a @ b for 2-D tensors.
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.shape[0], b.shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b where a is (k,m), b is (k,n) and
+// dst is (m,n). Used for weight gradients without materializing aᵀ.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMulTransA requires 2-D tensors")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, k2))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransA dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	ad, bd, dd := a.data, b.data, dst.data
+	for p := 0; p < k; p++ {
+		ap := ad[p*m : (p+1)*m]
+		bp := bd[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			api := ap[i]
+			if api == 0 {
+				continue
+			}
+			di := dd[i*n : (i+1)*n]
+			for j := range bp {
+				di[j] += api * bp[j]
+			}
+		}
+	}
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ where a is (m,k), b is (n,k) and
+// dst is (m,n). Used for input gradients without materializing bᵀ.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMulTransB requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, k2))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransB dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	for i := 0; i < m; i++ {
+		ai := ad[i*k : (i+1)*k]
+		di := dd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := bd[j*k : (j+1)*k]
+			var s float64
+			for p := range ai {
+				s += ai[p] * bj[p]
+			}
+			di[j] = s
+		}
+	}
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires a 2-D tensor")
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+// Package tensor implements dense row-major float64 tensors and the linear
+// algebra NIID-Bench's neural-network stack needs: matrix multiplication,
+// element-wise arithmetic, reductions, and the im2col/col2im transforms
+// that turn convolutions into matrix products.
+//
+// Tensors are deliberately simple: a shape and a flat backing slice. The
+// federated-learning layer moves models around as flat []float64 vectors,
+// so tensors expose their data directly rather than hiding it.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major array of float64 values.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New creates a zero tensor with the given shape. All dimensions must be
+// positive.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); its length must equal the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elems)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Data returns the flat backing slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape. The element
+// counts must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.data[t.offset(idx)]
+}
+
+// Set writes v at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match rank %d", idx, len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func assertSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// AddInto computes dst = a + b element-wise. All three must share a shape;
+// dst may alias a or b.
+func AddInto(dst, a, b *Tensor) {
+	assertSameShape("add", a, b)
+	assertSameShape("add", a, dst)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Tensor) *Tensor {
+	out := New(a.shape...)
+	AddInto(out, a, b)
+	return out
+}
+
+// SubInto computes dst = a - b element-wise.
+func SubInto(dst, a, b *Tensor) {
+	assertSameShape("sub", a, b)
+	assertSameShape("sub", a, dst)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Tensor) *Tensor {
+	out := New(a.shape...)
+	SubInto(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a * b element-wise (Hadamard product).
+func MulInto(dst, a, b *Tensor) {
+	assertSameShape("mul", a, b)
+	assertSameShape("mul", a, dst)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] * b.data[i]
+	}
+}
+
+// Mul returns the element-wise product of a and b.
+func Mul(a, b *Tensor) *Tensor {
+	out := New(a.shape...)
+	MulInto(out, a, b)
+	return out
+}
+
+// Scale multiplies every element by s in place and returns t.
+func (t *Tensor) Scale(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// AddScaled adds s*o to t in place (axpy). Shapes must match.
+func (t *Tensor) AddScaled(s float64, o *Tensor) {
+	assertSameShape("addscaled", t, o)
+	for i := range t.data {
+		t.data[i] += s * o.data[i]
+	}
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the maximum element.
+func (t *Tensor) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Dot returns the inner product of the flattened tensors.
+func Dot(a, b *Tensor) float64 {
+	assertSameShape("dot", a, b)
+	var s float64
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// AddRowVector adds vector v (length = columns) to every row of the 2-D
+// tensor t in place. Used for bias addition.
+func (t *Tensor) AddRowVector(v *Tensor) {
+	if t.Rank() != 2 || v.Len() != t.shape[1] {
+		panic(fmt.Sprintf("tensor: AddRowVector shape mismatch %v vs %v", t.shape, v.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		for c := range row {
+			row[c] += v.data[c]
+		}
+	}
+}
+
+// ColSumsInto accumulates the column sums of the 2-D tensor t into dst
+// (length = columns). Used for bias gradients.
+func (t *Tensor) ColSumsInto(dst *Tensor) {
+	if t.Rank() != 2 || dst.Len() != t.shape[1] {
+		panic(fmt.Sprintf("tensor: ColSumsInto shape mismatch %v vs %v", t.shape, dst.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		for c := range row {
+			dst.data[c] += row[c]
+		}
+	}
+}

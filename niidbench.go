@@ -1,0 +1,182 @@
+// Package niidbench is the public API of this NIID-Bench reproduction: the
+// data partitioning strategies, synthetic dataset families, federated
+// learning algorithms (FedAvg, FedProx, SCAFFOLD, FedNova) and experiment
+// harness from "Federated Learning on Non-IID Data Silos: An Experimental
+// Study" (Li, Diao, Chen, He — ICDE 2022).
+//
+// Quick start:
+//
+//	train, test, _ := niidbench.LoadDataset("cifar10", niidbench.DataConfig{})
+//	strat := niidbench.Strategy{Kind: niidbench.LabelDirichlet, Beta: 0.5}
+//	result, _ := niidbench.RunFederated(niidbench.RunConfig{
+//		Algorithm: niidbench.FedProx, Rounds: 20, Mu: 0.01,
+//	}, "cifar10", strat, 10, train, test)
+//	fmt.Println(result.FinalAccuracy)
+//
+// The heavy lifting lives in the internal packages; this package re-exports
+// the stable surface a downstream user needs.
+package niidbench
+
+import (
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/experiments"
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/partition"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// Dataset is an in-memory labelled dataset.
+type Dataset = data.Dataset
+
+// DataConfig controls dataset generation (sizes, seed, writers).
+type DataConfig = data.Config
+
+// Strategy is a fully specified non-IID partitioning strategy.
+type Strategy = partition.Strategy
+
+// Partition maps each party to its local sample indices.
+type Partition = partition.Partition
+
+// PartitionStats summarizes a partition (per-party class counts and
+// imbalance measures).
+type PartitionStats = partition.Stats
+
+// The six partitioning strategy kinds plus the IID baseline.
+const (
+	Homogeneous      = partition.Homogeneous
+	LabelQuantity    = partition.LabelQuantity
+	LabelDirichlet   = partition.LabelDirichlet
+	FeatureNoise     = partition.FeatureNoise
+	FeatureSynthetic = partition.FeatureSynthetic
+	FeatureRealWorld = partition.FeatureRealWorld
+	Quantity         = partition.Quantity
+)
+
+// Algorithm identifies a federated optimization algorithm.
+type Algorithm = fl.Algorithm
+
+// The four studied algorithms plus the Section III-D extensions.
+const (
+	FedAvg   = fl.FedAvg
+	FedProx  = fl.FedProx
+	Scaffold = fl.Scaffold
+	FedNova  = fl.FedNova
+	FedDyn   = fl.FedDyn
+	Moon     = fl.Moon
+)
+
+// RunConfig holds the federated training hyper-parameters, including the
+// extension knobs: server optimizers (FedOpt), stratified sampling, DP
+// gradient sanitization and top-k update compression.
+type RunConfig = fl.Config
+
+// Party sampling strategies for partial participation.
+const (
+	SampleRandom     = fl.SampleRandom
+	SampleStratified = fl.SampleStratified
+)
+
+// Server-side optimizers (FedOpt family).
+const (
+	ServerSGD      = fl.ServerSGD
+	ServerMomentum = fl.ServerMomentum
+	ServerAdam     = fl.ServerAdam
+)
+
+// Result summarizes a federated run (final accuracy, per-round curve,
+// communication and computation costs).
+type Result = fl.Result
+
+// ModelSpec describes a model architecture and input geometry.
+type ModelSpec = nn.ModelSpec
+
+// DatasetNames lists the nine benchmark dataset families.
+func DatasetNames() []string { return data.Names() }
+
+// LoadDataset generates the named synthetic dataset family's train/test
+// splits. Zero-valued config fields use the family defaults.
+func LoadDataset(name string, cfg DataConfig) (train, test *Dataset, err error) {
+	return data.Load(name, cfg)
+}
+
+// DefaultModel returns the paper's model choice for a dataset: the 2-conv
+// CNN for image families, the 32/16/8 MLP for tabular ones.
+func DefaultModel(name string) (ModelSpec, error) { return data.Model(name) }
+
+// Split partitions train across the given number of parties using the
+// strategy, returning the index assignment and the materialized per-party
+// datasets (with feature noise applied where the strategy requires it).
+func Split(strat Strategy, train *Dataset, parties int, seed uint64) (Partition, []*Dataset, error) {
+	return strat.Split(train, parties, rng.New(seed))
+}
+
+// StatsOf computes partition statistics for reporting.
+func StatsOf(p Partition, labels []int, classes int) PartitionStats {
+	return partition.ComputeStats(p, labels, classes)
+}
+
+// RunFederated partitions train with the strategy and runs the configured
+// federated algorithm, evaluating on test each round.
+func RunFederated(cfg RunConfig, dataset string, strat Strategy, parties int, train, test *Dataset) (*Result, error) {
+	_, locals, err := strat.Split(train, parties, rng.New(cfg.Seed+0x9e37))
+	if err != nil {
+		return nil, err
+	}
+	spec, err := data.Model(dataset)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := fl.NewSimulation(cfg, spec, locals, test)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+// RunFederatedWithSpec is RunFederated for custom models and pre-split
+// local datasets.
+func RunFederatedWithSpec(cfg RunConfig, spec ModelSpec, locals []*Dataset, test *Dataset) (*Result, error) {
+	sim, err := fl.NewSimulation(cfg, spec, locals, test)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
+
+// ExperimentOptions configures a paper-artifact reproduction run.
+type ExperimentOptions = experiments.Options
+
+// Experiment scales.
+const (
+	ScaleSmoke = experiments.Smoke
+	ScaleQuick = experiments.Quick
+	ScalePaper = experiments.Paper
+)
+
+// RunExperiment regenerates one of the paper's tables or figures by ID
+// (e.g. "table3", "fig8"); see ExperimentIDs.
+func RunExperiment(id string, opt ExperimentOptions) error {
+	return experiments.Run(id, opt)
+}
+
+// ExperimentIDs lists every registered paper artifact.
+func ExperimentIDs() []string {
+	all := experiments.All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// SaveModel checkpoints a trained global model state to path. Obtain the
+// state from a Result's simulation or build one with DefaultModel.
+func SaveModel(path string, state []float64) error {
+	return fl.SaveStateFile(path, state)
+}
+
+// LoadModel reads a checkpoint written by SaveModel.
+func LoadModel(path string) ([]float64, error) {
+	return fl.LoadStateFile(path)
+}

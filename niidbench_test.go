@@ -1,0 +1,88 @@
+package niidbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeDatasetNames(t *testing.T) {
+	names := DatasetNames()
+	// The paper's nine evaluation datasets plus the criteo motivation set.
+	if len(names) != 10 {
+		t.Fatalf("expected 10 dataset families, got %d: %v", len(names), names)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	train, test, err := LoadDataset("adult", DataConfig{TrainN: 400, TestN: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := Strategy{Kind: LabelDirichlet, Beta: 0.5}
+	res, err := RunFederated(RunConfig{
+		Algorithm: FedProx, Rounds: 3, LocalEpochs: 2, BatchSize: 32,
+		LR: 0.05, Mu: 0.01, Seed: 4,
+	}, "adult", strat, 4, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy <= 0.4 {
+		t.Fatalf("accuracy %v", res.FinalAccuracy)
+	}
+	if len(res.Curve) != 3 {
+		t.Fatalf("curve length %d", len(res.Curve))
+	}
+}
+
+func TestFacadeSplitAndStats(t *testing.T) {
+	train, _, err := LoadDataset("mnist", DataConfig{TrainN: 300, TestN: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, locals, err := Split(Strategy{Kind: LabelQuantity, K: 2}, train, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locals) != 5 {
+		t.Fatalf("locals: %d", len(locals))
+	}
+	st := StatsOf(part, train.Y, train.NumClasses)
+	for pi, row := range st.Counts {
+		classes := 0
+		for _, n := range row {
+			if n > 0 {
+				classes++
+			}
+		}
+		if classes > 2 {
+			t.Fatalf("party %d has %d classes under #C=2", pi, classes)
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 20 {
+		t.Fatalf("expected >= 20 experiments, got %d", len(ids))
+	}
+	var out strings.Builder
+	if err := RunExperiment("fig7", ExperimentOptions{Scale: ScaleSmoke, Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SCAFFOLD") {
+		t.Fatalf("fig7 output: %s", out.String())
+	}
+	if err := RunExperiment("bogus", ExperimentOptions{Scale: ScaleSmoke, Out: &out}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestFacadeDefaultModel(t *testing.T) {
+	spec, err := DefaultModel("cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Channels != 3 || spec.Classes != 10 {
+		t.Fatalf("cifar10 spec: %+v", spec)
+	}
+}
