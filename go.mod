@@ -1,0 +1,3 @@
+module github.com/niid-bench/niidbench
+
+go 1.24

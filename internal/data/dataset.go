@@ -95,8 +95,19 @@ func (d *Dataset) Subset(indices []int) *Dataset {
 // Batch gathers the samples at the given indices into a (len(indices),
 // FeatLen) tensor plus the matching labels.
 func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
-	x := tensor.New(len(indices), d.FeatLen)
-	labels := make([]int, len(indices))
+	return d.BatchInto(nil, nil, indices)
+}
+
+// BatchInto is Batch with caller-held scratch: x is grown in place via
+// tensor.Ensure and labels is re-sliced when capacity allows, so a
+// training loop that keeps the returned values across iterations batches
+// without allocating. Both may be nil.
+func (d *Dataset) BatchInto(x *tensor.Tensor, labels []int, indices []int) (*tensor.Tensor, []int) {
+	x = tensor.Ensure(x, len(indices), d.FeatLen)
+	if cap(labels) < len(indices) {
+		labels = make([]int, len(indices))
+	}
+	labels = labels[:len(indices)]
 	xd := x.Data()
 	for j, i := range indices {
 		copy(xd[j*d.FeatLen:(j+1)*d.FeatLen], d.Sample(i))

@@ -1,0 +1,58 @@
+package fl
+
+import (
+	"testing"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// benchDataset builds a deterministic synthetic image dataset for training
+// benchmarks.
+func benchDataset(n int) *data.Dataset {
+	featLen := 3 * 16 * 16
+	ds := &data.Dataset{
+		Name:        "bench",
+		X:           make([]float64, n*featLen),
+		Y:           make([]int, n),
+		FeatLen:     featLen,
+		SampleShape: []int{3, 16, 16},
+		NumClasses:  10,
+	}
+	r := rng.New(99)
+	for i := range ds.X {
+		ds.X[i] = r.Normal()
+	}
+	for i := range ds.Y {
+		ds.Y[i] = i % 10
+	}
+	return ds
+}
+
+// BenchmarkLocalTrainStep measures one client's LocalTrain call: a full
+// local epoch of mini-batch SGD on the paper's CNN (128 samples, batch 32,
+// so 4 optimizer steps per op). This is the end-to-end hot path every
+// federated round multiplies by parties*epochs.
+func BenchmarkLocalTrainStep(b *testing.B) {
+	ds := benchDataset(128)
+	spec := nn.ModelSpec{Kind: nn.KindCNN, Channels: 3, Height: 16, Width: 16, Classes: 10}
+	cfg, err := Config{
+		Algorithm:   FedAvg,
+		LocalEpochs: 1,
+		BatchSize:   32,
+		LR:          0.01,
+		Momentum:    0.9,
+	}.Normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := rng.New(7)
+	client := NewClient(0, ds, spec, root.Split())
+	global := nn.Build(spec, root.Split()).State()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client.LocalTrain(global, nil, cfg)
+	}
+}

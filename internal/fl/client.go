@@ -5,6 +5,7 @@ import (
 	"github.com/niid-bench/niidbench/internal/nn"
 	"github.com/niid-bench/niidbench/internal/optim"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
 // Update is what a party returns to the server after local training
@@ -29,6 +30,14 @@ type Update struct {
 
 // Client is one party in the federation. It owns a local dataset, a model
 // replica and (for SCAFFOLD) a persistent control variate.
+//
+// Training scratch is reused across epochs and rounds: the model's layers
+// hold their own forward/backward buffers, small per-batch scratch (batch
+// labels, shuffled indices, the loss gradient) lives on the client, and
+// round-scoped vectors (state copies, SCAFFOLD accumulators, the batch
+// feature tensor) come from a tensor.Workspace backed by the process-wide
+// shared pool — so only the K sampled parties of a round hold workspace
+// memory, not all N parties.
 type Client struct {
 	ID    int
 	Data  *data.Dataset
@@ -49,6 +58,13 @@ type Client struct {
 	prevState []float64
 	auxGlobal *nn.Sequential
 	auxPrev   *nn.Sequential
+	// Reusable training scratch (see the type comment).
+	ws       *tensor.Workspace
+	opt      *optim.SGD
+	idx      []int
+	yBuf     []int
+	lossGrad *tensor.Tensor
+	moon     moonScratch
 }
 
 // NewClient builds a party with its own deterministic RNG stream.
@@ -62,15 +78,52 @@ func (c *Client) ParamCount() int { return c.model.ParamCount() }
 // StateCount returns the full state length of the party's model.
 func (c *Client) StateCount() int { return c.model.StateCount() }
 
+// workspace returns the client's lazily-created round workspace.
+func (c *Client) workspace() *tensor.Workspace {
+	if c.ws == nil {
+		c.ws = tensor.NewWorkspace(nil)
+	}
+	return c.ws
+}
+
+// optimizer returns the client's persistent SGD optimizer, reconfigured
+// for a fresh round: momentum buffers zeroed (parties restart from the
+// round's global model) and last round's correctors dropped.
+func (c *Client) optimizer(cfg Config) *optim.SGD {
+	if c.opt == nil {
+		c.opt = optim.NewSGD(cfg.LR, cfg.Momentum)
+		return c.opt
+	}
+	c.opt.LR, c.opt.Momentum = cfg.LR, cfg.Momentum
+	c.opt.Reset()
+	c.opt.ClearCorrectors()
+	return c.opt
+}
+
+// indices fills the client's reusable index slice with 0..n-1 (the
+// caller shuffles it per epoch).
+func (c *Client) indices(n int) []int {
+	if cap(c.idx) < n {
+		c.idx = make([]int, n)
+	}
+	c.idx = c.idx[:n]
+	for i := range c.idx {
+		c.idx[i] = i
+	}
+	return c.idx
+}
+
 // LocalTrain runs E local epochs of mini-batch SGD from the given global
 // state and returns the update. serverC is SCAFFOLD's server control
 // variate (nil otherwise). The config must be normalized.
 func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Update {
 	paramLen := c.model.ParamCount()
+	ws := c.workspace()
+	defer ws.Release()
 	if cfg.KeepBNStatsLocal && c.localBN != nil {
 		// FedBN-style ablation: take the global parameters but keep this
 		// party's own batch-norm statistics.
-		full := make([]float64, len(global))
+		full := ws.Get(len(global)).Data()
 		copy(full, global)
 		copy(full[paramLen:], c.localBN)
 		c.model.SetState(full)
@@ -78,7 +131,7 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 		c.model.SetState(global)
 	}
 
-	opt := optim.NewSGD(cfg.LR, cfg.Momentum)
+	opt := c.optimizer(cfg)
 	if cfg.Algorithm == FedProx && cfg.Mu > 0 {
 		opt.AddCorrector(&optim.Proximal{Mu: cfg.Mu, Global: global[:paramLen]})
 	}
@@ -95,17 +148,19 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 		opt.AddCorrector(&optim.Dyn{Alpha: cfg.Alpha, Global: global[:paramLen], H: c.dynH})
 	}
 	if cfg.Algorithm == Moon {
-		return c.localTrainMoon(global, cfg, opt)
+		return c.localTrainMoon(global, cfg, opt, ws)
 	}
 
 	n := c.Data.Len()
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
+	idx := c.indices(n)
 	tau := 0
 	var lastEpochLoss float64
 	loss := nn.SoftmaxCrossEntropy{}
+	bs := cfg.BatchSize
+	if bs > n {
+		bs = n
+	}
+	xBuf := ws.Get(bs, c.Data.FeatLen)
 	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
 		c.r.Shuffle(idx)
 		var epochLoss float64
@@ -115,11 +170,14 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 			if end > n {
 				end = n
 			}
-			x, y := c.Data.Batch(idx[start:end])
+			var x *tensor.Tensor
+			x, c.yBuf = c.Data.BatchInto(xBuf, c.yBuf, idx[start:end])
+			xBuf = x
 			c.model.ZeroGrads()
 			logits := c.model.Forward(c.Spec.ShapeBatch(x), true)
-			l, g := loss.Loss(logits, y)
-			c.model.Backward(g)
+			var l float64
+			l, c.lossGrad = loss.LossInto(c.lossGrad, logits, c.yBuf)
+			c.model.Backward(c.lossGrad)
 			if cfg.DPClip > 0 {
 				dpSanitize(c.model, cfg.DPClip, cfg.DPNoise, end-start, c.r)
 			}
@@ -133,7 +191,8 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 		}
 	}
 
-	state := c.model.State()
+	state := ws.Get(c.model.StateCount()).Data()
+	c.model.GetState(state)
 	delta := make([]float64, len(state))
 	for i := range delta {
 		delta[i] = global[i] - state[i]
@@ -152,7 +211,7 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 		up.Kept = compressTopK(delta, paramLen, cfg.CompressTopK)
 	}
 	if cfg.Algorithm == Scaffold {
-		up.DeltaC = c.updateControlVariate(global, state, serverC, tau, cfg)
+		up.DeltaC = c.updateControlVariate(global, state, serverC, tau, cfg, ws)
 	}
 	if cfg.Algorithm == FedDyn {
 		// h_i <- h_i - alpha*(w_i - w^t) = h_i + alpha*delta (params only).
@@ -165,34 +224,41 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 
 // updateControlVariate implements Algorithm 2 lines 23-25 and returns
 // Delta c = c_i* - c_i, persisting c_i* as the new local control variate.
-func (c *Client) updateControlVariate(global, state, serverC []float64, tau int, cfg Config) []float64 {
+func (c *Client) updateControlVariate(global, state, serverC []float64, tau int, cfg Config, ws *tensor.Workspace) []float64 {
 	paramLen := c.model.ParamCount()
-	cStar := make([]float64, paramLen)
+	cStar := ws.Get(paramLen).Data()
 	switch cfg.Variant {
 	case ScaffoldGradient:
 		// Option (i): gradient of the local data at the *global* model.
 		c.model.SetState(global)
 		c.model.ZeroGrads()
-		gsum := make([]float64, paramLen)
+		gsum := ws.Get(paramLen).Data()
 		loss := nn.SoftmaxCrossEntropy{}
 		n := c.Data.Len()
 		// Full pass in batches; gradients of the mean loss per batch are
 		// combined weighted by batch size.
-		tmp := make([]float64, paramLen)
+		tmp := ws.Get(paramLen).Data()
+		bs := cfg.BatchSize
+		if bs > n {
+			bs = n
+		}
+		xBuf := ws.Get(bs, c.Data.FeatLen)
 		for start := 0; start < n; start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > n {
 				end = n
 			}
-			idx := make([]int, end-start)
+			idx := c.idx[:end-start]
 			for i := range idx {
 				idx[i] = start + i
 			}
-			x, y := c.Data.Batch(idx)
+			var x *tensor.Tensor
+			x, c.yBuf = c.Data.BatchInto(xBuf, c.yBuf, idx)
+			xBuf = x
 			c.model.ZeroGrads()
 			logits := c.model.Forward(c.Spec.ShapeBatch(x), true)
-			_, g := loss.Loss(logits, y)
-			c.model.Backward(g)
+			_, c.lossGrad = loss.LossInto(c.lossGrad, logits, c.yBuf)
+			c.model.Backward(c.lossGrad)
 			c.model.GetGrads(tmp)
 			w := float64(end-start) / float64(n)
 			for i := range gsum {

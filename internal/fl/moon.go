@@ -8,6 +8,13 @@ import (
 	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
+// moonScratch holds MOON's reusable per-batch buffers: the contrastive
+// gradient and the two per-sample cosine-gradient vectors.
+type moonScratch struct {
+	dz       *tensor.Tensor
+	dsg, dsp []float64
+}
+
 // localTrainMoon implements MOON's model-contrastive local training (Li,
 // He, Song — CVPR 2021, reference [40] of the paper). The local loss is
 //
@@ -19,7 +26,7 @@ import (
 // z_prev that of the party's previous local model. The contrastive term
 // pulls the local representation toward the global model's and pushes it
 // away from the stale local one, countering drift.
-func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD) Update {
+func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD, ws *tensor.Workspace) Update {
 	if c.auxGlobal == nil {
 		// Frozen replicas for representation extraction. Their weights are
 		// overwritten every round, so the init RNG does not matter.
@@ -35,15 +42,17 @@ func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD) Up
 	c.auxPrev.SetState(c.prevState)
 
 	n := c.Data.Len()
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
+	idx := c.indices(n)
 	tau := 0
 	var lastEpochLoss float64
 	loss := nn.SoftmaxCrossEntropy{}
 	head := c.model.Layers[len(c.model.Layers)-1]
 	body := c.model.Layers[:len(c.model.Layers)-1]
+	bs := cfg.BatchSize
+	if bs > n {
+		bs = n
+	}
+	xBuf := ws.Get(bs, c.Data.FeatLen)
 
 	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
 		c.r.Shuffle(idx)
@@ -54,7 +63,9 @@ func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD) Up
 			if end > n {
 				end = n
 			}
-			x, y := c.Data.Batch(idx[start:end])
+			var x *tensor.Tensor
+			x, c.yBuf = c.Data.BatchInto(xBuf, c.yBuf, idx[start:end])
+			xBuf = x
 			shaped := c.Spec.ShapeBatch(x)
 
 			c.model.ZeroGrads()
@@ -65,18 +76,19 @@ func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD) Up
 			}
 			z := h
 			logits := head.Forward(z, true)
-			ceLoss, gLogits := loss.Loss(logits, y)
+			var ceLoss float64
+			ceLoss, c.lossGrad = loss.LossInto(c.lossGrad, logits, c.yBuf)
 
 			// Representations under the frozen global and previous models
 			// (eval mode so their BN statistics stay untouched).
 			zg := forwardBody(c.auxGlobal, shaped)
 			zp := forwardBody(c.auxPrev, shaped)
 
-			conLoss, dz := contrastiveGrad(z, zg, zp, cfg.MoonTemp)
+			conLoss, dz := contrastiveGradInto(&c.moon, z, zg, zp, cfg.MoonTemp)
 
 			// Backward: head first, then inject the contrastive gradient at
 			// the representation, then the body.
-			gz := head.Backward(gLogits)
+			gz := head.Backward(c.lossGrad)
 			scale := cfg.MoonMu / float64(end-start)
 			gzd, dzd := gz.Data(), dz.Data()
 			for i := range gzd {
@@ -99,7 +111,8 @@ func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD) Up
 		}
 	}
 
-	state := c.model.State()
+	state := ws.Get(c.model.StateCount()).Data()
+	c.model.GetState(state)
 	delta := make([]float64, len(state))
 	for i := range delta {
 		delta[i] = global[i] - state[i]
@@ -125,9 +138,21 @@ func forwardBody(m *nn.Sequential, x *tensor.Tensor) *tensor.Tensor {
 // the gradient of the *sum* of per-sample losses with respect to z (the
 // caller scales by mu/batch). z, zg, zp are (batch, dim) tensors.
 func contrastiveGrad(z, zg, zp *tensor.Tensor, temp float64) (float64, *tensor.Tensor) {
+	var s moonScratch
+	return contrastiveGradInto(&s, z, zg, zp, temp)
+}
+
+// contrastiveGradInto is contrastiveGrad with caller-held scratch; the
+// returned gradient tensor is owned by s and valid until the next call.
+func contrastiveGradInto(s *moonScratch, z, zg, zp *tensor.Tensor, temp float64) (float64, *tensor.Tensor) {
 	b, d := z.Dim(0), z.Dim(1)
-	dz := tensor.New(b, d)
-	zd, zgd, zpd, dzd := z.Data(), zg.Data(), zp.Data(), dz.Data()
+	s.dz = tensor.Ensure(s.dz, b, d)
+	if cap(s.dsg) < d {
+		s.dsg = make([]float64, d)
+		s.dsp = make([]float64, d)
+	}
+	dsg, dsp := s.dsg[:d], s.dsp[:d]
+	zd, zgd, zpd, dzd := z.Data(), zg.Data(), zp.Data(), s.dz.Data()
 	var total float64
 	for i := 0; i < b; i++ {
 		zi := zd[i*d : (i+1)*d]
@@ -135,8 +160,8 @@ func contrastiveGrad(z, zg, zp *tensor.Tensor, temp float64) (float64, *tensor.T
 		pi := zpd[i*d : (i+1)*d]
 		out := dzd[i*d : (i+1)*d]
 
-		sg, dsg := cosineWithGrad(zi, gi)
-		sp, dsp := cosineWithGrad(zi, pi)
+		sg := cosineWithGradInto(zi, gi, dsg)
+		sp := cosineWithGradInto(zi, pi, dsp)
 		// Two-way softmax with the global similarity as the positive.
 		eg := math.Exp(sg / temp)
 		ep := math.Exp(sp / temp)
@@ -148,26 +173,35 @@ func contrastiveGrad(z, zg, zp *tensor.Tensor, temp float64) (float64, *tensor.T
 			out[j] = cg*dsg[j] + cp*dsp[j]
 		}
 	}
-	return total / float64(b), dz
+	return total / float64(b), s.dz
 }
 
 // cosineWithGrad returns cos(a, b) and d cos/d a. Degenerate (near-zero)
 // norms yield zero similarity and gradient.
 func cosineWithGrad(a, b []float64) (float64, []float64) {
+	grad := make([]float64, len(a))
+	return cosineWithGradInto(a, b, grad), grad
+}
+
+// cosineWithGradInto writes d cos/d a into grad (fully overwritten) and
+// returns cos(a, b).
+func cosineWithGradInto(a, b, grad []float64) float64 {
 	var dot, na, nb float64
 	for j := range a {
 		dot += a[j] * b[j]
 		na += a[j] * a[j]
 		nb += b[j] * b[j]
 	}
-	grad := make([]float64, len(a))
 	na, nb = math.Sqrt(na), math.Sqrt(nb)
 	if na < 1e-12 || nb < 1e-12 {
-		return 0, grad
+		for j := range grad {
+			grad[j] = 0
+		}
+		return 0
 	}
 	cos := dot / (na * nb)
 	for j := range a {
 		grad[j] = b[j]/(na*nb) - cos*a[j]/(na*na)
 	}
-	return cos, grad
+	return cos
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/niid-bench/niidbench/internal/data"
 	"github.com/niid-bench/niidbench/internal/nn"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
 // RoundMetrics records what happened in one communication round.
@@ -209,11 +210,16 @@ func (s *Simulation) Run() (*Result, error) {
 // transports).
 func (s *Simulation) GlobalState() []float64 { return s.server.State() }
 
-// Evaluator measures test accuracy of a model state.
+// Evaluator measures test accuracy of a model state. Its batch feature
+// scratch (and the model's per-layer buffers) are reused across calls,
+// keeping the bulk of evaluation allocation-free; only small per-batch
+// index/prediction slices remain.
 type Evaluator struct {
 	spec  nn.ModelSpec
 	model *nn.Sequential
 	test  *data.Dataset
+	xBuf  *tensor.Tensor
+	yBuf  []int
 }
 
 // NewEvaluator builds an evaluator around its own model replica.
@@ -240,10 +246,10 @@ func (e *Evaluator) Accuracy(state []float64) float64 {
 		for i := start; i < end; i++ {
 			idx = append(idx, i)
 		}
-		x, y := e.test.Batch(idx)
-		pred := nn.Predict(e.model.Forward(e.spec.ShapeBatch(x), false))
+		e.xBuf, e.yBuf = e.test.BatchInto(e.xBuf, e.yBuf, idx)
+		pred := nn.Predict(e.model.Forward(e.spec.ShapeBatch(e.xBuf), false))
 		for i := range pred {
-			if pred[i] == y[i] {
+			if pred[i] == e.yBuf[i] {
 				correct++
 			}
 		}

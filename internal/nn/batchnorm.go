@@ -26,6 +26,8 @@ type BatchNorm struct {
 	invStd  []float64
 	inShape []int
 	train   bool
+	out     *tensor.Tensor // forward scratch
+	dx      *tensor.Tensor // backward scratch
 }
 
 // NewBatchNorm creates a batch-norm layer for the given feature/channel
@@ -79,8 +81,9 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := batch * spatial
 	bn.inShape = append(bn.inShape[:0], x.Shape()...)
 	bn.train = train
-	out := x.Clone()
-	bn.xhat = tensor.New(x.Shape()...)
+	bn.out = tensor.Ensure(bn.out, x.Shape()...)
+	out := bn.out
+	bn.xhat = tensor.Ensure(bn.xhat, x.Shape()...)
 	if cap(bn.invStd) < bn.Features {
 		bn.invStd = make([]float64, bn.Features)
 	}
@@ -135,7 +138,8 @@ func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	batch, spatial := bn.geometry(grad)
 	n := float64(batch * spatial)
 	rank := grad.Rank()
-	out := tensor.New(bn.inShape...)
+	bn.dx = tensor.Ensure(bn.dx, bn.inShape...)
+	out := bn.dx
 	gd, od, hd := grad.Data(), out.Data(), bn.xhat.Data()
 	gamma := bn.Gamma.Data.Data()
 	dGamma, dBeta := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()

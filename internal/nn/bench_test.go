@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// BenchmarkConvForwardBackward measures one forward+backward pass through a
+// paper-shaped convolution (the hottest per-batch operation in local
+// training). Allocations per op are the headline number: the training loop
+// runs this parties*epochs*batches times per experiment.
+func BenchmarkConvForwardBackward(b *testing.B) {
+	r := rng.New(1)
+	conv := NewConv2D(3, 16, 5, 5, 1, 2, r)
+	x := randInput(r, 16, 3, 16, 16)
+	out := conv.Forward(x, true)
+	g := randInput(r, out.Shape()...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, true)
+		conv.Backward(g)
+		conv.W.Grad.Zero()
+		conv.B.Grad.Zero()
+	}
+}
+
+// BenchmarkCNNForwardBackward measures a full forward+backward+loss pass
+// through the paper's CNN, i.e. one mini-batch of local training minus the
+// optimizer step.
+func BenchmarkCNNForwardBackward(b *testing.B) {
+	r := rng.New(2)
+	spec := ModelSpec{Kind: KindCNN, Channels: 3, Height: 16, Width: 16, Classes: 10}
+	m := Build(spec, r)
+	x := randInput(r, 32, 3, 16, 16)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	loss := SoftmaxCrossEntropy{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroGrads()
+		logits := m.Forward(x, true)
+		_, g := loss.Loss(logits, labels)
+		m.Backward(g)
+	}
+}

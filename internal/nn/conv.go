@@ -11,7 +11,9 @@ import (
 // Conv2D is a 2-D convolution over NCHW inputs, implemented as im2col
 // followed by a matrix product. The weight is stored as
 // (inC*kh*kw, outC) so the forward pass is a single matmul on the patch
-// matrix.
+// matrix. All intermediates live in per-layer scratch buffers that are
+// reused across Forward/Backward calls, so steady-state training does not
+// allocate.
 type Conv2D struct {
 	InC, OutC     int
 	KH, KW        int
@@ -20,6 +22,13 @@ type Conv2D struct {
 	cols          *tensor.Tensor // cached im2col of the input
 	inB, inH, inW int            // cached input geometry
 	outH, outW    int
+	// scratch buffers, grown on demand and reused across batches
+	prod  *tensor.Tensor // forward matmul result (rows layout)
+	out   *tensor.Tensor // forward output (NCHW)
+	gcols *tensor.Tensor // backward: gradient in rows layout
+	dw    *tensor.Tensor // backward: weight-gradient accumulator
+	dcols *tensor.Tensor // backward: column gradient
+	dx    *tensor.Tensor // backward: input gradient (NCHW)
 }
 
 // NewConv2D creates a convolution layer with He-uniform initialization.
@@ -38,7 +47,8 @@ func NewConv2D(inC, outC, kh, kw, stride, pad int, r *rng.RNG) *Conv2D {
 	return c
 }
 
-// Forward computes the convolution of x (batch, inC, H, W).
+// Forward computes the convolution of x (batch, inC, H, W). The returned
+// tensor is layer-owned scratch, valid until the next Forward call.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: Conv2D input shape %v, want [N %d H W]", x.Shape(), c.InC))
@@ -46,35 +56,44 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.inB, c.inH, c.inW = x.Dim(0), x.Dim(2), x.Dim(3)
 	c.outH = tensor.ConvOutSize(c.inH, c.KH, c.Stride, c.Pad)
 	c.outW = tensor.ConvOutSize(c.inW, c.KW, c.Stride, c.Pad)
-	c.cols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad)
+	rows := c.inB * c.outH * c.outW
+	c.cols = tensor.Ensure(c.cols, rows, c.InC*c.KH*c.KW)
+	tensor.Im2ColInto(c.cols, x, c.KH, c.KW, c.Stride, c.Pad)
 	// (B*oh*ow, inC*kh*kw) @ (inC*kh*kw, outC) -> (B*oh*ow, outC)
-	prod := tensor.MatMul(c.cols, c.W.Data)
-	prod.AddRowVector(c.B.Data)
-	return rowsToNCHW(prod, c.inB, c.OutC, c.outH, c.outW)
+	c.prod = tensor.Ensure(c.prod, rows, c.OutC)
+	tensor.MatMulInto(c.prod, c.cols, c.W.Data)
+	c.prod.AddRowVector(c.B.Data)
+	c.out = tensor.Ensure(c.out, c.inB, c.OutC, c.outH, c.outW)
+	rowsToNCHWInto(c.out, c.prod)
+	return c.out
 }
 
 // Backward accumulates weight/bias gradients and returns the input
-// gradient.
+// gradient (layer-owned scratch, valid until the next Backward call).
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	gcols := nchwToRows(grad) // (B*oh*ow, outC)
+	rows := c.inB * c.outH * c.outW
+	c.gcols = tensor.Ensure(c.gcols, rows, c.OutC) // (B*oh*ow, outC)
+	nchwToRowsInto(c.gcols, grad)
 	// dW += colsᵀ @ gcols
-	dw := tensor.New(c.W.Data.Dim(0), c.W.Data.Dim(1))
-	tensor.MatMulTransAInto(dw, c.cols, gcols)
-	tensor.AddInto(c.W.Grad, c.W.Grad, dw)
+	c.dw = tensor.Ensure(c.dw, c.W.Data.Dim(0), c.W.Data.Dim(1))
+	tensor.MatMulTransAInto(c.dw, c.cols, c.gcols)
+	tensor.AddInto(c.W.Grad, c.W.Grad, c.dw)
 	// db += column sums
-	gcols.ColSumsInto(c.B.Grad)
+	c.gcols.ColSumsInto(c.B.Grad)
 	// dcols = gcols @ Wᵀ, then scatter back to image shape.
-	dcols := tensor.New(gcols.Dim(0), c.W.Data.Dim(0))
-	tensor.MatMulTransBInto(dcols, gcols, c.W.Data)
-	return tensor.Col2Im(dcols, c.inB, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
+	c.dcols = tensor.Ensure(c.dcols, rows, c.W.Data.Dim(0))
+	tensor.MatMulTransBInto(c.dcols, c.gcols, c.W.Data)
+	c.dx = tensor.Ensure(c.dx, c.inB, c.InC, c.inH, c.inW)
+	return tensor.Col2ImInto(c.dx, c.dcols, c.KH, c.KW, c.Stride, c.Pad)
 }
 
 // Params returns the kernel and bias.
 func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 
-// rowsToNCHW rearranges a (B*H*W, C) row matrix into an NCHW tensor.
-func rowsToNCHW(rows *tensor.Tensor, b, c, h, w int) *tensor.Tensor {
-	out := tensor.New(b, c, h, w)
+// rowsToNCHWInto rearranges a (B*H*W, C) row matrix into the NCHW tensor
+// out; every element of out is written.
+func rowsToNCHWInto(out, rows *tensor.Tensor) {
+	b, c, h, w := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
 	rd, od := rows.Data(), out.Data()
 	for bi := 0; bi < b; bi++ {
 		for y := 0; y < h; y++ {
@@ -86,13 +105,12 @@ func rowsToNCHW(rows *tensor.Tensor, b, c, h, w int) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
-// nchwToRows is the inverse of rowsToNCHW.
-func nchwToRows(x *tensor.Tensor) *tensor.Tensor {
+// nchwToRowsInto is the inverse of rowsToNCHWInto: it writes the (B*H*W, C)
+// row layout of the NCHW tensor x into out.
+func nchwToRowsInto(out, x *tensor.Tensor) {
 	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := tensor.New(b*h*w, c)
 	xd, od := x.Data(), out.Data()
 	for bi := 0; bi < b; bi++ {
 		for y := 0; y < h; y++ {
@@ -104,7 +122,6 @@ func nchwToRows(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MaxPool2D is a max pooling layer over NCHW inputs.
@@ -113,6 +130,8 @@ type MaxPool2D struct {
 	argmax     []int
 	inShape    [4]int
 	outH, outW int
+	out        *tensor.Tensor // forward scratch
+	dx         *tensor.Tensor // backward scratch
 }
 
 // NewMaxPool2D creates a pooling layer with a square window.
@@ -130,7 +149,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p.inShape = [4]int{b, c, h, w}
 	p.outH = tensor.ConvOutSize(h, p.K, p.Stride, 0)
 	p.outW = tensor.ConvOutSize(w, p.K, p.Stride, 0)
-	out := tensor.New(b, c, p.outH, p.outW)
+	p.out = tensor.Ensure(p.out, b, c, p.outH, p.outW)
+	out := p.out
 	if cap(p.argmax) < out.Len() {
 		p.argmax = make([]int, out.Len())
 	}
@@ -174,12 +194,13 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward routes each output gradient to the input position that won the
 // max.
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
-	od, gd := out.Data(), grad.Data()
+	p.dx = tensor.Ensure(p.dx, p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
+	p.dx.Zero()
+	od, gd := p.dx.Data(), grad.Data()
 	for i, idx := range p.argmax {
 		od[idx] += gd[i]
 	}
-	return out
+	return p.dx
 }
 
 // Params returns nil: pooling has no parameters.

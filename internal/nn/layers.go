@@ -11,6 +11,9 @@ import (
 type Dense struct {
 	W, B *Param
 	in   *tensor.Tensor // cached input for the backward pass
+	out  *tensor.Tensor // forward scratch
+	dw   *tensor.Tensor // backward scratch: weight gradient
+	dx   *tensor.Tensor // backward scratch: input gradient
 }
 
 // NewDense creates a dense layer with He-uniform initialized weights, the
@@ -25,26 +28,28 @@ func NewDense(in, out int, r *rng.RNG) *Dense {
 	return d
 }
 
-// Forward computes xW + b.
+// Forward computes xW + b. The returned tensor is layer-owned scratch,
+// valid until the next Forward call.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d.in = x
-	out := tensor.MatMul(x, d.W.Data)
-	out.AddRowVector(d.B.Data)
-	return out
+	d.out = tensor.Ensure(d.out, x.Dim(0), d.W.Data.Dim(1))
+	tensor.MatMulInto(d.out, x, d.W.Data)
+	d.out.AddRowVector(d.B.Data)
+	return d.out
 }
 
 // Backward accumulates dW, db and returns dx.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dW += xᵀ g
-	dw := tensor.New(d.W.Data.Dim(0), d.W.Data.Dim(1))
-	tensor.MatMulTransAInto(dw, d.in, grad)
-	tensor.AddInto(d.W.Grad, d.W.Grad, dw)
+	d.dw = tensor.Ensure(d.dw, d.W.Data.Dim(0), d.W.Data.Dim(1))
+	tensor.MatMulTransAInto(d.dw, d.in, grad)
+	tensor.AddInto(d.W.Grad, d.W.Grad, d.dw)
 	// db += column sums of g
 	grad.ColSumsInto(d.B.Grad)
 	// dx = g Wᵀ
-	dx := tensor.New(grad.Dim(0), d.W.Data.Dim(0))
-	tensor.MatMulTransBInto(dx, grad, d.W.Data)
-	return dx
+	d.dx = tensor.Ensure(d.dx, grad.Dim(0), d.W.Data.Dim(0))
+	tensor.MatMulTransBInto(d.dx, grad, d.W.Data)
+	return d.dx
 }
 
 // Params returns the weight and bias.
@@ -53,6 +58,8 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
 	mask []bool
+	out  *tensor.Tensor // forward scratch
+	dx   *tensor.Tensor // backward scratch
 }
 
 // NewReLU creates a ReLU activation layer.
@@ -60,33 +67,36 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward zeroes negative entries and records which survived.
 func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
-	if cap(l.mask) < out.Len() {
-		l.mask = make([]bool, out.Len())
+	l.out = tensor.Ensure(l.out, x.Shape()...)
+	if cap(l.mask) < x.Len() {
+		l.mask = make([]bool, x.Len())
 	}
-	l.mask = l.mask[:out.Len()]
-	d := out.Data()
-	for i, v := range d {
+	l.mask = l.mask[:x.Len()]
+	xd, od := x.Data(), l.out.Data()
+	for i, v := range xd {
 		if v > 0 {
 			l.mask[i] = true
+			od[i] = v
 		} else {
 			l.mask[i] = false
-			d[i] = 0
+			od[i] = 0
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward passes gradients through surviving entries only.
 func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
-	d := out.Data()
-	for i := range d {
-		if !l.mask[i] {
-			d[i] = 0
+	l.dx = tensor.Ensure(l.dx, grad.Shape()...)
+	gd, od := grad.Data(), l.dx.Data()
+	for i, g := range gd {
+		if l.mask[i] {
+			od[i] = g
+		} else {
+			od[i] = 0
 		}
 	}
-	return out
+	return l.dx
 }
 
 // Params returns nil: ReLU has no parameters.
@@ -100,15 +110,17 @@ type Flatten struct {
 // NewFlatten creates a flattening layer.
 func NewFlatten() *Flatten { return &Flatten{} }
 
-// Forward flattens all but the batch dimension.
+// Forward flattens all but the batch dimension. The reshape is in place:
+// the upstream layer re-shapes its scratch on its next Forward anyway.
 func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.inShape = append(l.inShape[:0], x.Shape()...)
-	return x.Reshape(x.Dim(0), x.Len()/x.Dim(0))
+	return x.ReshapeInPlace(x.Dim(0), x.Len()/x.Dim(0))
 }
 
-// Backward restores the original shape.
+// Backward restores the original shape (in place, on the downstream
+// layer's gradient scratch).
 func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(l.inShape...)
+	return grad.ReshapeInPlace(l.inShape...)
 }
 
 // Params returns nil: Flatten has no parameters.
@@ -120,6 +132,8 @@ type Dropout struct {
 	Rate float64
 	r    *rng.RNG
 	mask []float64
+	out  *tensor.Tensor // forward scratch
+	dx   *tensor.Tensor // backward scratch
 }
 
 // NewDropout creates a dropout layer with the given drop probability.
@@ -133,23 +147,23 @@ func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.mask = nil
 		return x
 	}
-	out := x.Clone()
-	if cap(l.mask) < out.Len() {
-		l.mask = make([]float64, out.Len())
+	l.out = tensor.Ensure(l.out, x.Shape()...)
+	if cap(l.mask) < x.Len() {
+		l.mask = make([]float64, x.Len())
 	}
-	l.mask = l.mask[:out.Len()]
+	l.mask = l.mask[:x.Len()]
 	scale := 1 / (1 - l.Rate)
-	d := out.Data()
-	for i := range d {
+	xd, od := x.Data(), l.out.Data()
+	for i, v := range xd {
 		if l.r.Float64() < l.Rate {
 			l.mask[i] = 0
-			d[i] = 0
+			od[i] = 0
 		} else {
 			l.mask[i] = scale
-			d[i] *= scale
+			od[i] = v * scale
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward applies the same mask to the gradient.
@@ -157,12 +171,12 @@ func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.mask == nil {
 		return grad
 	}
-	out := grad.Clone()
-	d := out.Data()
-	for i := range d {
-		d[i] *= l.mask[i]
+	l.dx = tensor.Ensure(l.dx, grad.Shape()...)
+	gd, od := grad.Data(), l.dx.Data()
+	for i, g := range gd {
+		od[i] = g * l.mask[i]
 	}
-	return out
+	return l.dx
 }
 
 // Params returns nil: Dropout has no parameters.

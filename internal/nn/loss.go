@@ -13,8 +13,17 @@ import (
 type SoftmaxCrossEntropy struct{}
 
 // Loss computes the mean cross-entropy of logits (batch, classes) against
-// integer labels, plus the logits gradient.
-func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+// integer labels, plus the logits gradient. It allocates a fresh gradient;
+// steady-state training loops should use LossInto with a reused buffer.
+func (l SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	return l.LossInto(nil, logits, labels)
+}
+
+// LossInto is Loss with a caller-held scratch gradient: grad is grown via
+// tensor.Ensure (nil allocates) and fully overwritten. It returns the mean
+// loss and the (possibly re-allocated) gradient tensor, which the caller
+// should keep for the next call.
+func (SoftmaxCrossEntropy) LossInto(grad *tensor.Tensor, logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
 	if logits.Rank() != 2 {
 		panic(fmt.Sprintf("nn: cross-entropy logits shape %v, want 2-D", logits.Shape()))
 	}
@@ -22,7 +31,7 @@ func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *
 	if len(labels) != b {
 		panic(fmt.Sprintf("nn: %d labels for batch %d", len(labels), b))
 	}
-	grad := tensor.New(b, k)
+	grad = tensor.Ensure(grad, b, k)
 	ld, gd := logits.Data(), grad.Data()
 	var total float64
 	invB := 1 / float64(b)

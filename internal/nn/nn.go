@@ -14,6 +14,12 @@
 //   - Layers are stateful across a Forward/Backward pair: Forward caches
 //     whatever Backward needs. A model instance must therefore not be
 //     shared between goroutines; clone per party instead.
+//   - Layers own their outputs: Forward and Backward return per-layer
+//     scratch tensors (grown with tensor.Ensure, reused across batches),
+//     valid only until the layer's next Forward/Backward call. Steady-state
+//     training therefore allocates nothing — the "no tensor.New in the hot
+//     path" rule from the tensor package. Callers that need a tensor to
+//     outlive the next batch must Clone it.
 package nn
 
 import (
@@ -56,13 +62,30 @@ type Buffered interface {
 }
 
 // Sequential chains layers; the output of each is the input of the next.
+// The layer list must not change after the first Forward/Params call: the
+// flattened parameter and buffer lists are cached, since the training loop
+// asks for them on every optimizer step.
 type Sequential struct {
-	Layers []Layer
+	Layers  []Layer
+	params  []*Param
+	buffers []*Buffer
+	cached  bool
 }
 
 // NewSequential builds a model from the given layers.
 func NewSequential(layers ...Layer) *Sequential {
 	return &Sequential{Layers: layers}
+}
+
+// buildCaches flattens the parameter and buffer lists once.
+func (m *Sequential) buildCaches() {
+	for _, l := range m.Layers {
+		m.params = append(m.params, l.Params()...)
+		if bl, ok := l.(Buffered); ok {
+			m.buffers = append(m.buffers, bl.Buffers()...)
+		}
+	}
+	m.cached = true
 }
 
 // Forward runs the layers in order. train selects training-mode behaviour
@@ -83,24 +106,22 @@ func (m *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params returns every learnable parameter in layer order.
+// Params returns every learnable parameter in layer order. The returned
+// slice is cached and must not be modified.
 func (m *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, l := range m.Layers {
-		ps = append(ps, l.Params()...)
+	if !m.cached {
+		m.buildCaches()
 	}
-	return ps
+	return m.params
 }
 
-// Buffers returns every non-learnable buffer in layer order.
+// Buffers returns every non-learnable buffer in layer order. The returned
+// slice is cached and must not be modified.
 func (m *Sequential) Buffers() []*Buffer {
-	var bs []*Buffer
-	for _, l := range m.Layers {
-		if bl, ok := l.(Buffered); ok {
-			bs = append(bs, bl.Buffers()...)
-		}
+	if !m.cached {
+		m.buildCaches()
 	}
-	return bs
+	return m.buffers
 }
 
 // ZeroGrads clears all parameter gradients.

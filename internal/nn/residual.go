@@ -20,6 +20,8 @@ type Residual struct {
 	projBN  *BatchNorm
 	reluOut *ReLU
 	skipIn  *tensor.Tensor
+	sum     *tensor.Tensor // forward scratch: main path + skip
+	gsum    *tensor.Tensor // backward scratch: main grad + skip grad
 }
 
 // NewResidual creates a residual block mapping inC channels to outC
@@ -53,8 +55,9 @@ func (b *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		skip = b.proj.Forward(x, train)
 		skip = b.projBN.Forward(skip, train)
 	}
-	sum := tensor.Add(h, skip)
-	return b.reluOut.Forward(sum, train)
+	b.sum = tensor.Ensure(b.sum, h.Shape()...)
+	tensor.AddInto(b.sum, h, skip)
+	return b.reluOut.Forward(b.sum, train)
 }
 
 // Backward splits the gradient between the main path and the skip path and
@@ -73,7 +76,9 @@ func (b *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		gs = b.projBN.Backward(g)
 		gs = b.proj.Backward(gs)
 	}
-	return tensor.Add(gm, gs)
+	b.gsum = tensor.Ensure(b.gsum, gm.Shape()...)
+	tensor.AddInto(b.gsum, gm, gs)
+	return b.gsum
 }
 
 // Params returns all learnable parameters of the block.

@@ -46,12 +46,13 @@ func (s ModelSpec) InputLen() int {
 }
 
 // ShapeBatch reshapes a flat (batch, features) tensor into the layout the
-// model expects.
+// model expects. The reshape happens in place (x is training scratch), so
+// the returned tensor is x itself.
 func (s ModelSpec) ShapeBatch(x *tensor.Tensor) *tensor.Tensor {
 	if s.Kind == KindMLP {
 		return x
 	}
-	return x.Reshape(x.Dim(0), s.Channels, s.Height, s.Width)
+	return x.ReshapeInPlace(x.Dim(0), s.Channels, s.Height, s.Width)
 }
 
 // Build constructs the model described by the spec, drawing initial

@@ -45,6 +45,17 @@ func NewSGD(lr, momentum float64) *SGD {
 // SCAFFOLD control variates). Correctors run in registration order.
 func (o *SGD) AddCorrector(c Corrector) { o.correctors = append(o.correctors, c) }
 
+// ClearCorrectors removes all registered correctors. Together with Reset
+// it lets a persistent optimizer be reused across federated rounds (each
+// round re-registers correctors bound to that round's global model)
+// instead of being reallocated.
+func (o *SGD) ClearCorrectors() {
+	for i := range o.correctors {
+		o.correctors[i] = nil
+	}
+	o.correctors = o.correctors[:0]
+}
+
 // Step applies one SGD update to every parameter of the model using the
 // gradients currently accumulated on it.
 func (o *SGD) Step(m *nn.Sequential) {

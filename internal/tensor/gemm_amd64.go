@@ -1,0 +1,15 @@
+package tensor
+
+// x86HasAVX2FMA reports whether the CPU and OS support the AVX2+FMA
+// microkernel. Implemented in gemm_amd64.s.
+func x86HasAVX2FMA() bool
+
+// fmaTile4x4 accumulates a 4x4 dst tile over the shared GEMM dimension;
+// see gemm_amd64.s for the exact contract. All strides are in elements.
+//
+//go:noescape
+func fmaTile4x4(d *float64, ldd uintptr, a0, a1, a2, a3 *float64, sa uintptr, b *float64, ldb uintptr, k uintptr)
+
+// useFMA gates the assembly microkernel. Tests flip it to exercise both
+// code paths on the same machine.
+var useFMA = x86HasAVX2FMA()

@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchFill writes a deterministic non-trivial pattern so the kernels see
+// realistic (dense, non-zero) operands.
+func benchFill(t *Tensor, seed int) {
+	d := t.Data()
+	for i := range d {
+		d[i] = float64((i*7+seed*13)%23)/11 - 1
+	}
+}
+
+var gemmSizes = []struct{ m, k, n int }{
+	{64, 64, 64},
+	{256, 64, 150}, // conv-shaped: (B*oh*ow, inC*kh*kw) @ (inC*kh*kw, outC)
+	{256, 256, 256},
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, s := range gemmSizes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a, bb, dst := New(s.m, s.k), New(s.k, s.n), New(s.m, s.n)
+			benchFill(a, 1)
+			benchFill(bb, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	for _, s := range gemmSizes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			// a is (k,m) so dst = aT @ b is (m,n).
+			a, bb, dst := New(s.k, s.m), New(s.k, s.n), New(s.m, s.n)
+			benchFill(a, 3)
+			benchFill(bb, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTransAInto(dst, a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	for _, s := range gemmSizes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			// b is (n,k) so dst = a @ bT is (m,n).
+			a, bb, dst := New(s.m, s.k), New(s.n, s.k), New(s.m, s.n)
+			benchFill(a, 5)
+			benchFill(bb, 6)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTransBInto(dst, a, bb)
+			}
+		})
+	}
+}

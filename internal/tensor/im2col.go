@@ -1,11 +1,101 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // ConvOutSize returns the spatial output size of a valid convolution with
 // the given input size, kernel size, stride and padding.
 func ConvOutSize(in, kernel, stride, pad int) int {
 	return (in+2*pad-kernel)/stride + 1
+}
+
+// parallelBatch runs body over [0,b) batch indices across goroutines.
+// Each batch index touches a disjoint slice of both the image and the
+// column matrix, so the split is race-free for im2col and col2im alike.
+// Callers only invoke it when fanning out is worthwhile; the serial path
+// calls the range worker directly (no closure, no goroutines).
+func parallelBatch(b int, body func(b0, b1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > b {
+		workers = b
+	}
+	chunk := (b + workers - 1) / workers
+	var wg sync.WaitGroup
+	for b0 := 0; b0 < b; b0 += chunk {
+		b1 := b0 + chunk
+		if b1 > b {
+			b1 = b
+		}
+		wg.Add(1)
+		go func(b0, b1 int) {
+			defer wg.Done()
+			body(b0, b1)
+		}(b0, b1)
+	}
+	wg.Wait()
+}
+
+// batchParallelism reports how many ways a batch-dimension transform of
+// the given total size should fan out (1 = stay serial).
+func batchParallelism(b, totalElems int) bool {
+	return b > 1 && totalElems >= parallelThreshold && runtime.GOMAXPROCS(0) > 1
+}
+
+// im2colRange expands the patches of batch images [b0, b1).
+func im2colRange(xd, cd []float64, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
+	for bi := b0; bi < b1; bi++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := ((bi*outH+oy)*outW + ox) * rowLen
+				for ci := 0; ci < c; ci++ {
+					base := ((bi * c) + ci) * h * w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							d := row + (ci*kh+ky)*kw + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								cd[d] = xd[base+iy*w+ix]
+							} else {
+								cd[d] = 0
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Im2ColInto expands image patches of x (batch, channels, height, width)
+// into rows of dst, which must have shape (batch*outH*outW,
+// channels*kh*kw). Every element of dst is written. Returns dst.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires a 4-D tensor, got shape %v", x.shape))
+	}
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col kernel %dx%d too large for input %dx%d", kh, kw, h, w))
+	}
+	rowLen := c * kh * kw
+	if dst.Rank() != 2 || dst.shape[0] != b*outH*outW || dst.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Im2Col dst shape %v, want [%d %d]", dst.shape, b*outH*outW, rowLen))
+	}
+	xd, cd := x.data, dst.data
+	if batchParallelism(b, b*outH*outW*rowLen) {
+		parallelBatch(b, func(b0, b1 int) {
+			im2colRange(xd, cd, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+		})
+	} else {
+		im2colRange(xd, cd, 0, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+	}
+	return dst
 }
 
 // Im2Col expands image patches into matrix rows so a convolution becomes a
@@ -16,54 +106,15 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col requires a 4-D tensor, got shape %v", x.shape))
 	}
-	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	outH := ConvOutSize(h, kh, stride, pad)
-	outW := ConvOutSize(w, kw, stride, pad)
-	if outH <= 0 || outW <= 0 {
-		panic(fmt.Sprintf("tensor: Im2Col kernel %dx%d too large for input %dx%d", kh, kw, h, w))
-	}
-	cols := New(b*outH*outW, c*kh*kw)
-	xd, cd := x.data, cols.data
-	rowLen := c * kh * kw
-	for bi := 0; bi < b; bi++ {
-		for oy := 0; oy < outH; oy++ {
-			for ox := 0; ox < outW; ox++ {
-				row := ((bi*outH+oy)*outW + ox) * rowLen
-				for ci := 0; ci < c; ci++ {
-					base := ((bi * c) + ci) * h * w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride + ky - pad
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride + kx - pad
-							dst := row + (ci*kh+ky)*kw + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								cd[dst] = xd[base+iy*w+ix]
-							} else {
-								cd[dst] = 0
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	return cols
+	b, c := x.shape[0], x.shape[1]
+	outH := ConvOutSize(x.shape[2], kh, stride, pad)
+	outW := ConvOutSize(x.shape[3], kw, stride, pad)
+	return Im2ColInto(New(b*outH*outW, c*kh*kw), x, kh, kw, stride, pad)
 }
 
-// Col2Im is the adjoint of Im2Col: it scatters column gradients back into
-// an image-shaped gradient, accumulating overlapping contributions. cols
-// has shape (batch*outH*outW, channels*kh*kw); the result has shape
-// (batch, channels, height, width).
-func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
-	outH := ConvOutSize(h, kh, stride, pad)
-	outW := ConvOutSize(w, kw, stride, pad)
-	rowLen := c * kh * kw
-	if cols.Rank() != 2 || cols.shape[0] != b*outH*outW || cols.shape[1] != rowLen {
-		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want [%d %d]", cols.shape, b*outH*outW, rowLen))
-	}
-	img := New(b, c, h, w)
-	xd, cd := img.data, cols.data
-	for bi := 0; bi < b; bi++ {
+// col2imRange scatters the column gradients of batch images [b0, b1).
+func col2imRange(xd, cd []float64, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
+	for bi := b0; bi < b1; bi++ {
 		for oy := 0; oy < outH; oy++ {
 			for ox := 0; ox < outW; ox++ {
 				row := ((bi*outH+oy)*outW + ox) * rowLen
@@ -86,5 +137,37 @@ func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
+}
+
+// Col2ImInto is the adjoint of Im2Col: it scatters column gradients back
+// into img (batch, channels, height, width), accumulating overlapping
+// contributions. img is zeroed first; cols must have shape
+// (batch*outH*outW, channels*kh*kw). Returns img.
+func Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) *Tensor {
+	if img.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Col2Im img shape %v, want 4-D", img.shape))
+	}
+	b, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	rowLen := c * kh * kw
+	if cols.Rank() != 2 || cols.shape[0] != b*outH*outW || cols.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want [%d %d]", cols.shape, b*outH*outW, rowLen))
+	}
+	img.Zero()
+	xd, cd := img.data, cols.data
+	if batchParallelism(b, b*outH*outW*rowLen) {
+		parallelBatch(b, func(b0, b1 int) {
+			col2imRange(xd, cd, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+		})
+	} else {
+		col2imRange(xd, cd, 0, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+	}
 	return img
+}
+
+// Col2Im scatters column gradients back into a fresh image-shaped gradient
+// of shape (batch, channels, height, width).
+func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
+	return Col2ImInto(New(b, c, h, w), cols, kh, kw, stride, pad)
 }

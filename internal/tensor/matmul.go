@@ -6,9 +6,40 @@ import (
 	"sync"
 )
 
-// parallelThreshold is the number of output elements above which MatMul
-// fans out across goroutines. Small matrices are faster single-threaded.
+// parallelThreshold is the number of output elements above which the GEMM
+// kernels and the im2col/col2im transforms fan out across goroutines.
+// Small problems are faster single-threaded.
 const parallelThreshold = 64 * 1024
+
+// parallelRows splits [0,m) into contiguous chunks and runs body on each
+// chunk concurrently. Chunk boundaries are rounded to multiples of 4 so
+// the register tiles never straddle workers. With a single processor the
+// body runs inline, avoiding goroutine overhead.
+func parallelRows(m int, body func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > (m+3)/4 {
+		workers = (m + 3) / 4
+	}
+	if workers <= 1 {
+		body(0, m)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	chunk = (chunk + 3) &^ 3
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < m; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			body(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
 
 // MatMulInto computes dst = a @ b for 2-D tensors. a is (m,k), b is (k,n),
 // dst must be (m,n) and must not alias a or b.
@@ -25,56 +56,155 @@ func MatMulInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
 	dst.Zero()
-	if m*n >= parallelThreshold && m > 1 {
-		matMulParallel(dst, a, b, m, k, n)
+	if m*n >= parallelThreshold && m > 4 && runtime.GOMAXPROCS(0) > 1 {
+		parallelRows(m, func(r0, r1 int) { matMulRows(dst, a, b, r0, r1, k, n) })
 		return
 	}
 	matMulRows(dst, a, b, 0, m, k, n)
 }
 
-// matMulRows computes rows [r0, r1) of dst using the ikj loop order, which
-// streams rows of b and keeps the inner loop vector-friendly.
-func matMulRows(dst, a, b *Tensor, r0, r1, k, n int) {
-	ad, bd, dd := a.data, b.data, dst.data
-	for i := r0; i < r1; i++ {
-		di := dd[i*n : (i+1)*n]
-		ai := ad[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			aip := ai[p]
-			if aip == 0 {
-				continue
+// fmaBlockM is the dst-row cache block of the assembly GEMM driver: a
+// block of a rows stays L2-resident while the b panels stream through L1.
+const fmaBlockM = 64
+
+// gemmFMARows computes dst rows [r0, r1) += op(a) @ b using the AVX2+FMA
+// 4x4 tile microkernel, where op(a)'s row i element p lives at
+// ad[i*rowStride + p*sa] — (rowStride=k, sa=1) for plain a, (rowStride=1,
+// sa=m) for transposed a. Loops are cache-blocked over k (blockK) and dst
+// rows (fmaBlockM); remainder rows/columns use scalar full-k loops.
+func gemmFMARows(dd, ad, bd []float64, r0, r1, k, n, rowStride, sa int) {
+	n4 := n &^ 3
+	i4 := r0 + (r1-r0)&^3
+	for p0 := 0; p0 < k; p0 += blockK {
+		kb := blockK
+		if p0+kb > k {
+			kb = k - p0
+		}
+		for ib := r0; ib < i4; ib += fmaBlockM {
+			ie := ib + fmaBlockM
+			if ie > i4 {
+				ie = i4
 			}
-			bp := bd[p*n : (p+1)*n]
-			for j := range bp {
-				di[j] += aip * bp[j]
+			for j := 0; j < n4; j += 4 {
+				bp := &bd[p0*n+j]
+				for i := ib; i+3 < ie; i += 4 {
+					base := i*rowStride + p0*sa
+					fmaTile4x4(&dd[i*n+j], uintptr(n),
+						&ad[base], &ad[base+rowStride], &ad[base+2*rowStride], &ad[base+3*rowStride],
+						uintptr(sa), bp, uintptr(n), uintptr(kb))
+				}
 			}
+		}
+	}
+	if n4 < n {
+		for i := r0; i < i4; i++ {
+			for j := n4; j < n; j++ {
+				var s float64
+				ap, bp := i*rowStride, j
+				for p := 0; p < k; p++ {
+					s += ad[ap] * bd[bp]
+					ap += sa
+					bp += n
+				}
+				dd[i*n+j] += s
+			}
+		}
+	}
+	for i := i4; i < r1; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			ap, bp := i*rowStride, j
+			for p := 0; p < k; p++ {
+				s += ad[ap] * bd[bp]
+				ap += sa
+				bp += n
+			}
+			dd[i*n+j] += s
 		}
 	}
 }
 
-func matMulParallel(dst, a, b *Tensor, m, k, n int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
+// matMulRows computes rows [r0, r1) of dst with a 4x2 register tile: four
+// rows of a against two columns of b accumulate into eight scalars, so dst
+// is touched once per tile and the eight independent chains keep the FPU
+// pipeline full. Remainder rows/columns fall back to scalar loops. When
+// the CPU supports it, the AVX2+FMA microkernel takes over instead.
+func matMulRows(dst, a, b *Tensor, r0, r1, k, n int) {
+	ad, bd, dd := a.data, b.data, dst.data
+	if useFMA && n >= 4 {
+		gemmFMARows(dd, ad, bd, r0, r1, k, n, k, 1)
+		return
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		r0 := w * chunk
-		r1 := r0 + chunk
-		if r1 > m {
-			r1 = m
+	i := r0
+	for ; i+3 < r1; i += 4 {
+		a0 := ad[i*k : (i+1)*k]
+		a1 := ad[(i+1)*k : (i+2)*k]
+		a2 := ad[(i+2)*k : (i+3)*k]
+		a3 := ad[(i+3)*k : (i+4)*k]
+		a1 = a1[:len(a0)]
+		a2 = a2[:len(a0)]
+		a3 = a3[:len(a0)]
+		d0 := dd[i*n : (i+1)*n]
+		d1 := dd[(i+1)*n : (i+2)*n]
+		d2 := dd[(i+2)*n : (i+3)*n]
+		d3 := dd[(i+3)*n : (i+4)*n]
+		j := 0
+		for ; j+1 < n; j += 2 {
+			var s00, s01, s10, s11, s20, s21, s30, s31 float64
+			pn := j
+			for p, v0 := range a0 {
+				b0, b1 := bd[pn], bd[pn+1]
+				pn += n
+				v1, v2, v3 := a1[p], a2[p], a3[p]
+				s00 += v0 * b0
+				s01 += v0 * b1
+				s10 += v1 * b0
+				s11 += v1 * b1
+				s20 += v2 * b0
+				s21 += v2 * b1
+				s30 += v3 * b0
+				s31 += v3 * b1
+			}
+			d0[j] += s00
+			d0[j+1] += s01
+			d1[j] += s10
+			d1[j+1] += s11
+			d2[j] += s20
+			d2[j+1] += s21
+			d3[j] += s30
+			d3[j+1] += s31
 		}
-		if r0 >= r1 {
-			break
+		if j < n {
+			var s0, s1, s2, s3 float64
+			pn := j
+			for p, v0 := range a0 {
+				bv := bd[pn]
+				pn += n
+				s0 += v0 * bv
+				s1 += a1[p] * bv
+				s2 += a2[p] * bv
+				s3 += a3[p] * bv
+			}
+			d0[j] += s0
+			d1[j] += s1
+			d2[j] += s2
+			d3[j] += s3
 		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			matMulRows(dst, a, b, r0, r1, k, n)
-		}(r0, r1)
 	}
-	wg.Wait()
+	for ; i < r1; i++ {
+		ai := ad[i*k : (i+1)*k]
+		di := dd[i*n : (i+1)*n]
+		for p, v := range ai {
+			if v == 0 {
+				continue
+			}
+			bp := bd[p*n : (p+1)*n]
+			bp = bp[:len(di)]
+			for j, bv := range bp {
+				di[j] += v * bv
+			}
+		}
+	}
 }
 
 // MatMul returns a @ b for 2-D tensors.
@@ -99,18 +229,62 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulTransA dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
 	dst.Zero()
+	if m*n >= parallelThreshold && m > 1 && runtime.GOMAXPROCS(0) > 1 {
+		parallelRows(m, func(r0, r1 int) { matMulTransARows(dst, a, b, r0, r1, k, m, n) })
+		return
+	}
+	matMulTransARows(dst, a, b, 0, m, k, m, n)
+}
+
+// blockK is the k-dimension tile for the transposed-A kernel: panels of
+// blockK rows of b are reused across all dst rows while cache-hot.
+const blockK = 256
+
+// matMulTransARows computes dst rows [i0, i1), i.e. columns i0..i1 of a.
+// It is k-blocked and accumulates 4 rank-1 updates per pass over a dst
+// row, so each dst row is read and written once per 4 b rows and the b
+// panel stays cache-resident across the i loop.
+func matMulTransARows(dst, a, b *Tensor, i0, i1, k, m, n int) {
 	ad, bd, dd := a.data, b.data, dst.data
-	for p := 0; p < k; p++ {
-		ap := ad[p*m : (p+1)*m]
-		bp := bd[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			api := ap[i]
-			if api == 0 {
-				continue
-			}
+	if useFMA && n >= 4 {
+		gemmFMARows(dd, ad, bd, i0, i1, k, n, 1, m)
+		return
+	}
+	for p0 := 0; p0 < k; p0 += blockK {
+		p1 := p0 + blockK
+		if p1 > k {
+			p1 = k
+		}
+		for i := i0; i < i1; i++ {
 			di := dd[i*n : (i+1)*n]
-			for j := range bp {
-				di[j] += api * bp[j]
+			p := p0
+			for ; p+3 < p1; p += 4 {
+				v0 := ad[p*m+i]
+				v1 := ad[(p+1)*m+i]
+				v2 := ad[(p+2)*m+i]
+				v3 := ad[(p+3)*m+i]
+				b0 := bd[p*n : (p+1)*n]
+				b1 := bd[(p+1)*n : (p+2)*n]
+				b2 := bd[(p+2)*n : (p+3)*n]
+				b3 := bd[(p+3)*n : (p+4)*n]
+				b0 = b0[:len(di)]
+				b1 = b1[:len(di)]
+				b2 = b2[:len(di)]
+				b3 = b3[:len(di)]
+				for j := range di {
+					di[j] += v0*b0[j] + v1*b1[j] + v2*b2[j] + v3*b3[j]
+				}
+			}
+			for ; p < p1; p++ {
+				v := ad[p*m+i]
+				if v == 0 {
+					continue
+				}
+				bp := bd[p*n : (p+1)*n]
+				bp = bp[:len(di)]
+				for j, bv := range bp {
+					di[j] += v * bv
+				}
 			}
 		}
 	}
@@ -130,17 +304,76 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransB dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
+	if useFMA && n >= 4 && m >= 8 {
+		// Materializing bᵀ through the shared pool costs k*n copies —
+		// negligible against the m*k*n multiply — and unlocks the 4x4
+		// FMA tile, which needs unit-stride b rows.
+		bt := Shared.getNoZero(k, n)
+		TransposeInto(bt, b)
+		MatMulInto(dst, a, bt)
+		Shared.Put(bt)
+		return
+	}
+	if m*n >= parallelThreshold && m > 1 && runtime.GOMAXPROCS(0) > 1 {
+		parallelRows(m, func(r0, r1 int) { matMulTransBRows(dst, a, b, r0, r1, k, n) })
+		return
+	}
+	matMulTransBRows(dst, a, b, 0, m, k, n)
+}
+
+// matMulTransBRows computes dst rows [r0, r1) as dot products, 4 rows of b
+// at a time so each row of a is streamed once per 4 outputs and the 4
+// accumulators stay in registers.
+func matMulTransBRows(dst, a, b *Tensor, r0, r1, k, n int) {
 	ad, bd, dd := a.data, b.data, dst.data
-	for i := 0; i < m; i++ {
+	for i := r0; i < r1; i++ {
 		ai := ad[i*k : (i+1)*k]
 		di := dd[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
+		j := 0
+		for ; j+3 < n; j += 4 {
+			b0 := bd[j*k : (j+1)*k]
+			b1 := bd[(j+1)*k : (j+2)*k]
+			b2 := bd[(j+2)*k : (j+3)*k]
+			b3 := bd[(j+3)*k : (j+4)*k]
+			b0 = b0[:len(ai)]
+			b1 = b1[:len(ai)]
+			b2 = b2[:len(ai)]
+			b3 = b3[:len(ai)]
+			var s0, s1, s2, s3 float64
+			for p, av := range ai {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			di[j], di[j+1], di[j+2], di[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
 			bj := bd[j*k : (j+1)*k]
+			bj = bj[:len(ai)]
 			var s float64
-			for p := range ai {
-				s += ai[p] * bj[p]
+			for p, av := range ai {
+				s += av * bj[p]
 			}
 			di[j] = s
+		}
+	}
+}
+
+// TransposeInto writes the transpose of the 2-D tensor a into dst, which
+// must be (n,m) for a (m,n) and must not alias a.
+func TransposeInto(dst, a *Tensor) {
+	if a.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: Transpose requires 2-D tensors")
+	}
+	m, n := a.shape[0], a.shape[1]
+	if dst.shape[0] != n || dst.shape[1] != m {
+		panic(fmt.Sprintf("tensor: Transpose dst shape %v, want [%d %d]", dst.shape, n, m))
+	}
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
+			dst.data[j*m+i] = v
 		}
 	}
 }
@@ -150,12 +383,7 @@ func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires a 2-D tensor")
 	}
-	m, n := a.shape[0], a.shape[1]
-	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = a.data[i*n+j]
-		}
-	}
+	out := New(a.shape[1], a.shape[0])
+	TransposeInto(out, a)
 	return out
 }

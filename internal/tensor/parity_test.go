@@ -1,0 +1,277 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// Parity tests: the blocked/parallel/FMA kernels must match obviously
+// correct reference implementations across awkward shapes, in both the
+// assembly and pure-Go paths. Tolerance is 1e-12 relative — FMA contracts
+// one rounding per multiply-add, everything else is order changes.
+
+func parityEq(got, want float64) bool {
+	return math.Abs(got-want) <= 1e-12*(1+math.Abs(want))
+}
+
+// withBothKernelPaths runs f with the FMA microkernel disabled and, when
+// the CPU supports it, enabled as well.
+func withBothKernelPaths(t *testing.T, f func(t *testing.T)) {
+	saved := useFMA
+	defer func() { useFMA = saved }()
+	useFMA = false
+	t.Run("generic", f)
+	if saved {
+		useFMA = true
+		t.Run("fma", f)
+	}
+}
+
+func fillDet(x *Tensor, seed int) {
+	d := x.Data()
+	for i := range d {
+		d[i] = float64((i*31+seed*17)%19)/7 - 1.3
+	}
+}
+
+func naiveTransA(a, b *Tensor) *Tensor {
+	return naiveMatMul(Transpose(a), b)
+}
+
+func naiveTransB(a, b *Tensor) *Tensor {
+	return naiveMatMul(a, Transpose(b))
+}
+
+var paritySizes = []int{1, 3, 17, 64}
+
+func TestGEMMParity(t *testing.T) {
+	withBothKernelPaths(t, func(t *testing.T) {
+		for _, m := range paritySizes {
+			for _, k := range paritySizes {
+				for _, n := range paritySizes {
+					a, b := New(m, k), New(k, n)
+					fillDet(a, m+2*k+3*n)
+					fillDet(b, n+5*k)
+					got := New(m, n)
+					MatMulInto(got, a, b)
+					want := naiveMatMul(a, b)
+					checkTensorParity(t, fmt.Sprintf("MatMul %dx%dx%d", m, k, n), got, want)
+
+					at := New(k, m) // aᵀ operand
+					fillDet(at, 7*m+k)
+					MatMulTransAInto(got, at, b)
+					checkTensorParity(t, fmt.Sprintf("TransA %dx%dx%d", m, k, n), got, naiveTransA(at, b))
+
+					bt := New(n, k) // bᵀ operand
+					fillDet(bt, 11*n+k)
+					MatMulTransBInto(got, a, bt)
+					checkTensorParity(t, fmt.Sprintf("TransB %dx%dx%d", m, k, n), got, naiveTransB(a, bt))
+				}
+			}
+		}
+	})
+}
+
+func checkTensorParity(t *testing.T, name string, got, want *Tensor) {
+	t.Helper()
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		if !parityEq(gd[i], wd[i]) {
+			t.Fatalf("%s: elem %d got %v want %v", name, i, gd[i], wd[i])
+		}
+	}
+}
+
+// naiveIm2Col builds the column matrix with straightforward At indexing.
+func naiveIm2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	out := New(b*outH*outW, c*kh*kw)
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				r := (bi*outH+oy)*outW + ox
+				for ci := 0; ci < c; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							iy, ix := oy*stride+ky-pad, ox*stride+kx-pad
+							var v float64
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								v = x.At(bi, ci, iy, ix)
+							}
+							out.Set(v, r, (ci*kh+ky)*kw+kx)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// naiveCol2Im scatters with straightforward indexing.
+func naiveCol2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	out := New(b, c, h, w)
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				r := (bi*outH+oy)*outW + ox
+				for ci := 0; ci < c; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							iy, ix := oy*stride+ky-pad, ox*stride+kx-pad
+							if iy < 0 || iy >= h || ix < 0 || ix >= w {
+								continue
+							}
+							out.Set(out.At(bi, ci, iy, ix)+cols.At(r, (ci*kh+ky)*kw+kx), bi, ci, iy, ix)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColCol2ImParity(t *testing.T) {
+	cases := []struct {
+		b, c, h, w, kh, kw, stride, pad int
+	}{
+		{1, 1, 5, 5, 3, 3, 1, 0},
+		{1, 1, 5, 5, 3, 3, 1, 1},
+		{2, 3, 7, 5, 3, 3, 1, 1},
+		{2, 3, 7, 5, 3, 3, 2, 1},
+		{3, 2, 9, 9, 5, 5, 1, 2},
+		{3, 2, 9, 9, 5, 5, 2, 2},
+		{1, 4, 8, 8, 2, 2, 2, 0},
+		{4, 1, 6, 6, 3, 1, 1, 0},
+		{2, 2, 5, 7, 1, 3, 2, 1},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("b%d_c%d_%dx%d_k%dx%d_s%d_p%d", tc.b, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		x := New(tc.b, tc.c, tc.h, tc.w)
+		fillDet(x, tc.b+tc.c+tc.h)
+		outH := ConvOutSize(tc.h, tc.kh, tc.stride, tc.pad)
+		outW := ConvOutSize(tc.w, tc.kw, tc.stride, tc.pad)
+
+		cols := New(tc.b*outH*outW, tc.c*tc.kh*tc.kw)
+		Im2ColInto(cols, x, tc.kh, tc.kw, tc.stride, tc.pad)
+		checkTensorParity(t, "Im2ColInto "+name, cols, naiveIm2Col(x, tc.kh, tc.kw, tc.stride, tc.pad))
+
+		g := New(cols.Dim(0), cols.Dim(1))
+		fillDet(g, 3*tc.kh+tc.kw)
+		img := New(tc.b, tc.c, tc.h, tc.w)
+		Col2ImInto(img, g, tc.kh, tc.kw, tc.stride, tc.pad)
+		checkTensorParity(t, "Col2ImInto "+name, img, naiveCol2Im(g, tc.b, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad))
+	}
+}
+
+func TestTransposeInto(t *testing.T) {
+	a := New(3, 5)
+	fillDet(a, 1)
+	dst := New(5, 3)
+	TransposeInto(dst, a)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if dst.At(j, i) != a.At(i, j) {
+				t.Fatalf("TransposeInto wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEnsureReuseAndGrowth(t *testing.T) {
+	x := Ensure(nil, 4, 4)
+	if x.Len() != 16 {
+		t.Fatalf("Ensure(nil) len %d", x.Len())
+	}
+	x.Fill(7)
+	y := Ensure(x, 2, 3)
+	if y != x {
+		t.Fatal("Ensure should reuse in-capacity tensors")
+	}
+	if y.Rank() != 2 || y.Dim(0) != 2 || y.Dim(1) != 3 {
+		t.Fatalf("Ensure shape %v", y.Shape())
+	}
+	z := Ensure(y, 8, 8)
+	if z == y {
+		t.Fatal("Ensure must allocate when capacity is insufficient")
+	}
+}
+
+func TestPoolGetZeroedAndBucketed(t *testing.T) {
+	p := &Pool{}
+	a := p.Get(3, 5)
+	a.Fill(42)
+	p.Put(a)
+	b := p.Get(15)
+	for _, v := range b.Data() {
+		if v != 0 {
+			t.Fatal("Pool.Get returned dirty memory")
+		}
+	}
+	if b.Len() != 15 {
+		t.Fatalf("Pool.Get len %d", b.Len())
+	}
+}
+
+func TestWorkspaceRelease(t *testing.T) {
+	ws := NewWorkspace(nil)
+	x := ws.Get(64)
+	x.Fill(1)
+	ws.Release()
+	y := ws.Get(64)
+	for _, v := range y.Data() {
+		if v != 0 {
+			t.Fatal("Workspace.Get after Release returned dirty memory")
+		}
+	}
+	ws.Release()
+}
+
+// TestPoolConcurrentClients exercises the shared pool the way concurrent
+// federated clients do: many goroutines grabbing round workspaces,
+// writing distinct values, verifying isolation, and releasing. Run under
+// -race this doubles as the pool's race-detector test.
+func TestPoolConcurrentClients(t *testing.T) {
+	pool := &Pool{}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws := NewWorkspace(pool)
+			for round := 0; round < 50; round++ {
+				a := ws.Get(64, 3+g)
+				b := ws.Get(128)
+				mark := float64(g*1000 + round)
+				a.Fill(mark)
+				b.Fill(-mark)
+				for _, v := range a.Data() {
+					if v != mark {
+						errs <- fmt.Errorf("goroutine %d round %d: workspace not isolated", g, round)
+						return
+					}
+				}
+				for _, v := range b.Data() {
+					if v != -mark {
+						errs <- fmt.Errorf("goroutine %d round %d: workspace not isolated", g, round)
+						return
+					}
+				}
+				ws.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

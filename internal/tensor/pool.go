@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// This file implements the workspace/pooling subsystem that keeps the
+// training hot path allocation-free. Two complementary tools:
+//
+//   - Ensure grows a caller-held scratch tensor in place. Layers use it for
+//     per-layer buffers that live as long as the layer (the common case).
+//   - Pool/Workspace recycle size-bucketed backing arrays across
+//     goroutines. The federated layer uses a Workspace per client so the
+//     round-scoped scratch of the K sampled parties is shared through one
+//     pool instead of being held by all N parties forever.
+//
+// The steady-state training rule: no tensor.New inside Forward/Backward or
+// the per-batch training loop. New is for construction time (weights,
+// datasets) and for results that escape (per-round deltas).
+
+// panicDim reports a bad dimension without referencing the shape slice:
+// hot-path shape validation must not mention the variadic in a panic
+// message, or escape analysis heap-allocates the slice on every call.
+//
+//go:noinline
+func panicDim(d int) {
+	panic(fmt.Sprintf("tensor: non-positive dimension %d in shape", d))
+}
+
+// shapeLen validates a shape and returns its element count without
+// leaking the slice (callers keep their variadic on the stack).
+func shapeLen(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panicDim(d)
+		}
+		n *= d
+	}
+	return n
+}
+
+// Ensure returns a tensor with the given shape for use as scratch: it
+// reshapes t in place when its backing array has enough capacity and
+// allocates a fresh tensor otherwise. The contents are unspecified —
+// callers that accumulate must Zero it first; callers that fully overwrite
+// need not. Typical use: `l.buf = tensor.Ensure(l.buf, m, n)`. In steady
+// state (stable shapes) it performs no allocations at all.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := shapeLen(shape)
+	if t == nil || cap(t.data) < n {
+		s := make([]int, len(shape))
+		copy(s, shape)
+		return &Tensor{shape: s, data: make([]float64, n)}
+	}
+	t.data = t.data[:n]
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// maxPoolBucket caps pooled backing arrays at 2^maxPoolBucket elements
+// (512 MiB of float64); larger requests bypass the pool.
+const maxPoolBucket = 26
+
+// Pool recycles tensors through size-bucketed sync.Pools. Get and Put are
+// goroutine-safe; the same Pool may serve many concurrently-training
+// clients. Tensors returned by Get are zeroed.
+type Pool struct {
+	buckets [maxPoolBucket + 1]sync.Pool
+}
+
+// Shared is the process-wide default pool, used by Workspaces constructed
+// with a nil pool.
+var Shared = &Pool{}
+
+// bucketFor returns the bucket index whose capacity (1<<idx) holds n
+// elements, or -1 when n is too large to pool.
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b > maxPoolBucket {
+		return -1
+	}
+	return b
+}
+
+// Get returns a zeroed tensor with the given shape, reusing a pooled
+// backing array when one is available.
+func (p *Pool) Get(shape ...int) *Tensor {
+	t := p.getNoZero(shape...)
+	t.Zero()
+	return t
+}
+
+// getNoZero is Get without the clearing pass, for internal callers that
+// fully overwrite the tensor. The contents are unspecified.
+func (p *Pool) getNoZero(shape ...int) *Tensor {
+	n := shapeLen(shape)
+	b := bucketFor(n)
+	size := n
+	if b >= 0 {
+		if v := p.buckets[b].Get(); v != nil {
+			t := v.(*Tensor)
+			t.data = t.data[:n]
+			t.shape = append(t.shape[:0], shape...)
+			return t
+		}
+		size = 1 << b
+	}
+	data := make([]float64, size)
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data[:n]}
+}
+
+// Put returns t's backing array to the pool. t must not be used afterwards.
+// Tensors whose capacity is not an exact power-of-two bucket (e.g. created
+// by New rather than Get) are silently dropped.
+func (p *Pool) Put(t *Tensor) {
+	if t == nil {
+		return
+	}
+	c := cap(t.data)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	if b > maxPoolBucket {
+		return
+	}
+	t.data = t.data[:c]
+	p.buckets[b].Put(t)
+}
+
+// Workspace is a convenience view over a Pool that remembers what it handed
+// out so a whole scope's scratch can be released at once:
+//
+//	ws := tensor.NewWorkspace(nil)
+//	buf := ws.Get(m, n)
+//	... use buf ...
+//	ws.Release() // everything goes back to the pool
+//
+// A Workspace is NOT goroutine-safe; give each goroutine its own (they can
+// share the underlying Pool, which is).
+type Workspace struct {
+	pool  *Pool
+	taken []*Tensor
+}
+
+// NewWorkspace creates a workspace over the given pool; nil selects the
+// process-wide Shared pool.
+func NewWorkspace(p *Pool) *Workspace {
+	if p == nil {
+		p = Shared
+	}
+	return &Workspace{pool: p}
+}
+
+// Get returns a zeroed tensor from the underlying pool, tracked for the
+// next Release.
+func (w *Workspace) Get(shape ...int) *Tensor {
+	t := w.pool.Get(shape...)
+	w.taken = append(w.taken, t)
+	return t
+}
+
+// Release returns every tensor obtained since the last Release to the
+// pool. Tensors handed out by Get must not be used afterwards.
+func (w *Workspace) Release() {
+	for i, t := range w.taken {
+		w.pool.Put(t)
+		w.taken[i] = nil
+	}
+	w.taken = w.taken[:0]
+}

@@ -6,6 +6,23 @@
 // Tensors are deliberately simple: a shape and a flat backing slice. The
 // federated-learning layer moves models around as flat []float64 vectors,
 // so tensors expose their data directly rather than hiding it.
+//
+// # Performance
+//
+// The GEMM kernels (MatMulInto, MatMulTransAInto, MatMulTransBInto) are
+// cache-blocked and register-tiled, fan out across goroutines above
+// parallelThreshold, and on amd64 CPUs with AVX2+FMA dispatch to an
+// assembly 4x4 microkernel (gemm_amd64.s). Im2Col/Col2Im parallelize over
+// the batch dimension. Everything has an Into variant writing into
+// caller-provided storage.
+//
+// # Workspaces and the no-alloc rule
+//
+// Steady-state training must not call New: per-layer scratch is grown in
+// place with Ensure, and round-scoped scratch comes from a Pool/Workspace
+// (see pool.go). New is for construction time and for results that escape
+// their scope. Benchmarks enforce this: BenchmarkConvForwardBackward and
+// BenchmarkLocalTrainStep report ~0 allocs/op.
 package tensor
 
 import (
@@ -88,6 +105,24 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	s := make([]int, len(shape))
 	copy(s, shape)
 	return &Tensor{shape: s, data: t.data}
+}
+
+// ReshapeInPlace changes t's shape in place, sharing the data; the element
+// count must match. Returns t. Used on hot-path scratch tensors where
+// Reshape's fresh view would allocate every batch; callers own the tensor
+// and re-shape it on every use.
+func (t *Tensor) ReshapeInPlace(shape ...int) *Tensor {
+	n := shapeLen(shape)
+	if n != len(t.data) {
+		panicReshapeLen(n, len(t.data))
+	}
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+//go:noinline
+func panicReshapeLen(n, have int) {
+	panic(fmt.Sprintf("tensor: cannot reshape %d elems to a %d-elem shape in place", have, n))
 }
 
 // At returns the element at the given multi-dimensional index.

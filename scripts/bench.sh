@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the training hot-path micro-benchmarks and writes BENCH_tensor.json
+# (ns/op, B/op, allocs/op per benchmark) at the repo root, so the perf
+# trajectory is comparable across PRs:
+#
+#   ./scripts/bench.sh            # default 2s per benchmark
+#   BENCHTIME=5s ./scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_tensor.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkMatMul$|BenchmarkMatMulTransA$|BenchmarkMatMulTransB$|BenchmarkIm2Col$' \
+  -benchtime "$BENCHTIME" ./internal/tensor/ | tee -a "$TMP"
+go test -run '^$' \
+  -bench 'BenchmarkConvForwardBackward$|BenchmarkCNNForwardBackward$' \
+  -benchtime "$BENCHTIME" ./internal/nn/ | tee -a "$TMP"
+go test -run '^$' \
+  -bench 'BenchmarkLocalTrainStep$' \
+  -benchtime "$BENCHTIME" ./internal/fl/ | tee -a "$TMP"
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  ns = ""; bytes = ""; allocs = ""
+  for (i = 2; i <= NF; i++) {
+    if ($(i) == "ns/op") ns = $(i-1)
+    if ($(i) == "B/op") bytes = $(i-1)
+    if ($(i) == "allocs/op") allocs = $(i-1)
+  }
+  if (ns == "") next
+  if (!first) printf ",\n"
+  first = 0
+  printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+  if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  printf "}"
+}
+END { print "\n}" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
