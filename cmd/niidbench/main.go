@@ -28,6 +28,7 @@ import (
 	"github.com/niid-bench/niidbench/internal/partition"
 	"github.com/niid-bench/niidbench/internal/report"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
 func main() {
@@ -185,8 +186,13 @@ func cmdRun(args []string) error {
 	topK := fs.Float64("compress", 0, "top-k update compression: fraction of delta entries kept (0 = off)")
 	saveModel := fs.String("save-model", "", "write the final global model state to this file")
 	loadModel := fs.String("load-model", "", "initialize the global model from this checkpoint")
+	dtypeName := fs.String("dtype", "float64", "local-training compute precision: float64 or float32 (SIMD fast path)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	dtype, ok := tensor.ParseDType(*dtypeName)
+	if !ok {
+		return fmt.Errorf("unknown -dtype %q (float64, float32)", *dtypeName)
 	}
 
 	strat, err := parseStrategy(*partKind, *k, *beta, *sigma)
@@ -225,6 +231,7 @@ func cmdRun(args []string) error {
 		DPClip:          *dpClip,
 		DPNoise:         *dpNoise,
 		CompressTopK:    *topK,
+		DType:           dtype,
 	}
 	var res *fl.Result
 	if *useTCP {

@@ -101,13 +101,28 @@ func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
 // BatchInto is Batch with caller-held scratch: x is grown in place via
 // tensor.Ensure and labels is re-sliced when capacity allows, so a
 // training loop that keeps the returned values across iterations batches
-// without allocating. Both may be nil.
+// without allocating. Both may be nil (nil x yields float64). A non-nil x
+// keeps its dtype: a float32 scratch tensor receives the features
+// narrowed, which is how float32 models draw batches from the float64
+// dataset without a second copy.
 func (d *Dataset) BatchInto(x *tensor.Tensor, labels []int, indices []int) (*tensor.Tensor, []int) {
 	x = tensor.Ensure(x, len(indices), d.FeatLen)
 	if cap(labels) < len(indices) {
 		labels = make([]int, len(indices))
 	}
 	labels = labels[:len(indices)]
+	if x.DType() == tensor.Float32 {
+		xd := x.Data32()
+		for j, i := range indices {
+			row := xd[j*d.FeatLen : (j+1)*d.FeatLen]
+			src := d.Sample(i)
+			for c := range row {
+				row[c] = float32(src[c])
+			}
+			labels[j] = d.Y[i]
+		}
+		return x, labels
+	}
 	xd := x.Data()
 	for j, i := range indices {
 		copy(xd[j*d.FeatLen:(j+1)*d.FeatLen], d.Sample(i))

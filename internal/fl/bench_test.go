@@ -6,6 +6,7 @@ import (
 	"github.com/niid-bench/niidbench/internal/data"
 	"github.com/niid-bench/niidbench/internal/nn"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
 // benchDataset builds a deterministic synthetic image dataset for training
@@ -34,15 +35,16 @@ func benchDataset(n int) *data.Dataset {
 // local epoch of mini-batch SGD on the paper's CNN (128 samples, batch 32,
 // so 4 optimizer steps per op). This is the end-to-end hot path every
 // federated round multiplies by parties*epochs.
-func BenchmarkLocalTrainStep(b *testing.B) {
+func benchLocalTrainStep(b *testing.B, dt tensor.DType) {
 	ds := benchDataset(128)
-	spec := nn.ModelSpec{Kind: nn.KindCNN, Channels: 3, Height: 16, Width: 16, Classes: 10}
+	spec := nn.ModelSpec{Kind: nn.KindCNN, Channels: 3, Height: 16, Width: 16, Classes: 10, DType: dt}
 	cfg, err := Config{
 		Algorithm:   FedAvg,
 		LocalEpochs: 1,
 		BatchSize:   32,
 		LR:          0.01,
 		Momentum:    0.9,
+		DType:       dt,
 	}.Normalize()
 	if err != nil {
 		b.Fatal(err)
@@ -55,4 +57,14 @@ func BenchmarkLocalTrainStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		client.LocalTrain(global, nil, cfg)
 	}
+}
+
+func BenchmarkLocalTrainStep(b *testing.B) {
+	benchLocalTrainStep(b, tensor.Float64)
+}
+
+// BenchmarkLocalTrainStep32 is the same client epoch on the float32
+// backend; the issue-tracking target is >= 1.6x over the float64 run.
+func BenchmarkLocalTrainStep32(b *testing.B) {
+	benchLocalTrainStep(b, tensor.Float32)
 }

@@ -160,7 +160,7 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 	if bs > n {
 		bs = n
 	}
-	xBuf := ws.Get(bs, c.Data.FeatLen)
+	xBuf := ws.GetOf(c.Spec.DType, bs, c.Data.FeatLen)
 	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
 		c.r.Shuffle(idx)
 		var epochLoss float64
@@ -242,7 +242,7 @@ func (c *Client) updateControlVariate(global, state, serverC []float64, tau int,
 		if bs > n {
 			bs = n
 		}
-		xBuf := ws.Get(bs, c.Data.FeatLen)
+		xBuf := ws.GetOf(c.Spec.DType, bs, c.Data.FeatLen)
 		for start := 0; start < n; start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > n {

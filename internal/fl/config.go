@@ -13,6 +13,9 @@ package fl
 import (
 	"fmt"
 	"runtime"
+
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
 // Algorithm selects the federated optimization algorithm.
@@ -132,6 +135,12 @@ type Config struct {
 	// magnitude parameter-delta entries per upload (top-k gradient
 	// compression). 0 disables compression.
 	CompressTopK float64
+	// DType selects the local-training compute backend: tensor.Float64
+	// (the default) or tensor.Float32, which halves kernel memory traffic
+	// and doubles SIMD width. Aggregation, the exchanged state vectors and
+	// every reported metric stay float64 either way, so runs are directly
+	// comparable across backends.
+	DType tensor.DType
 }
 
 // Normalize fills zero fields with the paper's defaults and validates the
@@ -227,5 +236,21 @@ func (c Config) Normalize() (Config, error) {
 	default:
 		return c, fmt.Errorf("fl: unknown sampling strategy %q", c.Sampling)
 	}
+	switch c.DType {
+	case tensor.Float64, tensor.Float32:
+	default:
+		return c, fmt.Errorf("fl: unknown dtype %v", c.DType)
+	}
 	return c, nil
+}
+
+// ResolveSpec applies the config's compute dtype to the model spec. Every
+// entry point that pairs a Config with a ModelSpec — the in-process
+// simulation and the simnet transports alike — must route the spec through
+// here, so the one RunConfig knob switches the backend everywhere.
+func (c Config) ResolveSpec(spec nn.ModelSpec) nn.ModelSpec {
+	if c.DType != tensor.Float64 {
+		spec.DType = c.DType
+	}
+	return spec
 }

@@ -52,7 +52,7 @@ func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD, ws
 	if bs > n {
 		bs = n
 	}
-	xBuf := ws.Get(bs, c.Data.FeatLen)
+	xBuf := ws.GetOf(c.Spec.DType, bs, c.Data.FeatLen)
 
 	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
 		c.r.Shuffle(idx)
@@ -90,10 +90,7 @@ func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD, ws
 			// the representation, then the body.
 			gz := head.Backward(c.lossGrad)
 			scale := cfg.MoonMu / float64(end-start)
-			gzd, dzd := gz.Data(), dz.Data()
-			for i := range gzd {
-				gzd[i] += scale * dzd[i]
-			}
+			gz.AddScaled(scale, dz)
 			g := gz
 			for i := len(body) - 1; i >= 0; i-- {
 				g = body[i].Backward(g)
@@ -143,16 +140,28 @@ func contrastiveGrad(z, zg, zp *tensor.Tensor, temp float64) (float64, *tensor.T
 }
 
 // contrastiveGradInto is contrastiveGrad with caller-held scratch; the
-// returned gradient tensor is owned by s and valid until the next call.
+// returned gradient tensor is owned by s, matches z's dtype and is valid
+// until the next call.
 func contrastiveGradInto(s *moonScratch, z, zg, zp *tensor.Tensor, temp float64) (float64, *tensor.Tensor) {
 	b, d := z.Dim(0), z.Dim(1)
-	s.dz = tensor.Ensure(s.dz, b, d)
+	s.dz = tensor.EnsureOf(z.DType(), s.dz, b, d)
 	if cap(s.dsg) < d {
 		s.dsg = make([]float64, d)
 		s.dsp = make([]float64, d)
 	}
 	dsg, dsp := s.dsg[:d], s.dsp[:d]
-	zd, zgd, zpd, dzd := z.Data(), zg.Data(), zp.Data(), s.dz.Data()
+	var total float64
+	if z.DType() == tensor.Float32 {
+		total = contrastiveRows(z.Data32(), zg.Data32(), zp.Data32(), s.dz.Data32(), dsg, dsp, b, d, temp)
+	} else {
+		total = contrastiveRows(z.Data(), zg.Data(), zp.Data(), s.dz.Data(), dsg, dsp, b, d, temp)
+	}
+	return total / float64(b), s.dz
+}
+
+// contrastiveRows is the dtype-generic body of contrastiveGradInto; the
+// similarity math runs in float64 and the gradient narrows on write.
+func contrastiveRows[T tensor.Elem](zd, zgd, zpd, dzd []T, dsg, dsp []float64, b, d int, temp float64) float64 {
 	var total float64
 	for i := 0; i < b; i++ {
 		zi := zd[i*d : (i+1)*d]
@@ -160,8 +169,8 @@ func contrastiveGradInto(s *moonScratch, z, zg, zp *tensor.Tensor, temp float64)
 		pi := zpd[i*d : (i+1)*d]
 		out := dzd[i*d : (i+1)*d]
 
-		sg := cosineWithGradInto(zi, gi, dsg)
-		sp := cosineWithGradInto(zi, pi, dsp)
+		sg := cosineWithGradOf(zi, gi, dsg)
+		sp := cosineWithGradOf(zi, pi, dsp)
 		// Two-way softmax with the global similarity as the positive.
 		eg := math.Exp(sg / temp)
 		ep := math.Exp(sp / temp)
@@ -170,10 +179,10 @@ func contrastiveGradInto(s *moonScratch, z, zg, zp *tensor.Tensor, temp float64)
 		cg := (sigma - 1) / temp // dL/dsg
 		cp := (1 - sigma) / temp // dL/dsp
 		for j := 0; j < d; j++ {
-			out[j] = cg*dsg[j] + cp*dsp[j]
+			out[j] = T(cg*dsg[j] + cp*dsp[j])
 		}
 	}
-	return total / float64(b), s.dz
+	return total
 }
 
 // cosineWithGrad returns cos(a, b) and d cos/d a. Degenerate (near-zero)
@@ -186,11 +195,19 @@ func cosineWithGrad(a, b []float64) (float64, []float64) {
 // cosineWithGradInto writes d cos/d a into grad (fully overwritten) and
 // returns cos(a, b).
 func cosineWithGradInto(a, b, grad []float64) float64 {
+	return cosineWithGradOf(a, b, grad)
+}
+
+// cosineWithGradOf is the dtype-generic cosine-with-gradient: the
+// accumulation and the gradient stay float64 whatever the input element
+// type.
+func cosineWithGradOf[T tensor.Elem](a, b []T, grad []float64) float64 {
 	var dot, na, nb float64
 	for j := range a {
-		dot += a[j] * b[j]
-		na += a[j] * a[j]
-		nb += b[j] * b[j]
+		av, bv := float64(a[j]), float64(b[j])
+		dot += av * bv
+		na += av * av
+		nb += bv * bv
 	}
 	na, nb = math.Sqrt(na), math.Sqrt(nb)
 	if na < 1e-12 || nb < 1e-12 {
@@ -201,7 +218,7 @@ func cosineWithGradInto(a, b, grad []float64) float64 {
 	}
 	cos := dot / (na * nb)
 	for j := range a {
-		grad[j] = b[j]/(na*nb) - cos*a[j]/(na*na)
+		grad[j] = float64(b[j])/(na*nb) - cos*float64(a[j])/(na*na)
 	}
 	return cos
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/niid-bench/niidbench/internal/nn"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
 // dpSanitize applies DP-SGD-style gradient sanitization to the model's
@@ -23,9 +24,7 @@ func dpSanitize(m *nn.Sequential, clip, noiseMultiplier float64, batch int, r *r
 	}
 	var sq float64
 	for _, p := range m.Params() {
-		for _, g := range p.Grad.Data() {
-			sq += g * g
-		}
+		sq += tensor.Dot(p.Grad, p.Grad)
 	}
 	norm := math.Sqrt(sq)
 	scale := 1.0
@@ -37,6 +36,17 @@ func dpSanitize(m *nn.Sequential, clip, noiseMultiplier float64, batch int, r *r
 		noiseStd = noiseMultiplier * clip / float64(batch)
 	}
 	for _, p := range m.Params() {
+		if p.Grad.DType() == tensor.Float32 {
+			g := p.Grad.Data32()
+			s := float32(scale)
+			for i := range g {
+				g[i] *= s
+				if noiseStd > 0 {
+					g[i] += float32(r.Gaussian(0, noiseStd))
+				}
+			}
+			continue
+		}
 		g := p.Grad.Data()
 		for i := range g {
 			g[i] *= scale

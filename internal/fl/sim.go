@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -63,6 +64,7 @@ func NewSimulation(cfg Config, spec nn.ModelSpec, locals []*data.Dataset, test *
 	if len(locals) == 0 {
 		return nil, fmt.Errorf("fl: no parties")
 	}
+	spec = cfg.ResolveSpec(spec)
 	root := rng.New(cfg.Seed)
 	clients := make([]*Client, len(locals))
 	for i, ds := range locals {
@@ -142,6 +144,14 @@ func (s *Simulation) RunRound(round int) (RoundMetrics, error) {
 	global := append([]float64{}, s.server.State()...)
 	serverC := s.server.Control()
 
+	// Oversubscription guard: when several clients train concurrently,
+	// cap each client's per-kernel goroutine fan-out so that
+	// clients x kernel workers never exceeds GOMAXPROCS. Without the cap
+	// every client's GEMM fans out to all cores and the scheduler thrashes.
+	if conc := min(s.Cfg.Parallelism, len(sampled)); conc > 1 {
+		defer tensor.CapKernelsPerWorker(conc)()
+	}
+
 	updates := make([]Update, len(sampled))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, s.Cfg.Parallelism)
@@ -210,21 +220,76 @@ func (s *Simulation) Run() (*Result, error) {
 // transports).
 func (s *Simulation) GlobalState() []float64 { return s.server.State() }
 
-// Evaluator measures test accuracy of a model state. Its batch feature
-// scratch (and the model's per-layer buffers) are reused across calls,
-// keeping the bulk of evaluation allocation-free; only small per-batch
-// index/prediction slices remain.
-type Evaluator struct {
-	spec  nn.ModelSpec
+// evalBatch is the evaluation mini-batch size.
+const evalBatch = 256
+
+// evalShard is one evaluation worker: layers cache per-call state inside
+// Forward, so concurrent evaluation needs a model replica (plus batch
+// scratch) per goroutine — that replica is what makes eval-mode Forward
+// reentrant across shards. All scratch is reused across rounds.
+type evalShard struct {
 	model *nn.Sequential
-	test  *data.Dataset
 	xBuf  *tensor.Tensor
 	yBuf  []int
+	pred  []int
+	idx   []int
 }
 
-// NewEvaluator builds an evaluator around its own model replica.
+// accuracyRange counts correct predictions on test samples [lo, hi).
+func (s *evalShard) accuracyRange(spec nn.ModelSpec, test *data.Dataset, state []float64, lo, hi int) int {
+	s.model.SetState(state)
+	if s.xBuf == nil {
+		// Pre-size to the model's dtype so BatchInto narrows for float32.
+		s.xBuf = tensor.EnsureOf(spec.DType, nil, min(evalBatch, hi-lo), test.FeatLen)
+	}
+	correct := 0
+	for start := lo; start < hi; start += evalBatch {
+		end := start + evalBatch
+		if end > hi {
+			end = hi
+		}
+		if cap(s.idx) < end-start {
+			s.idx = make([]int, 0, evalBatch)
+		}
+		s.idx = s.idx[:0]
+		for i := start; i < end; i++ {
+			s.idx = append(s.idx, i)
+		}
+		s.xBuf, s.yBuf = test.BatchInto(s.xBuf, s.yBuf, s.idx)
+		s.pred = nn.PredictInto(s.pred, s.model.Forward(spec.ShapeBatch(s.xBuf), false))
+		for i := range s.pred {
+			if s.pred[i] == s.yBuf[i] {
+				correct++
+			}
+		}
+	}
+	return correct
+}
+
+// Evaluator measures test accuracy of a model state. The test set is
+// sharded across up to GOMAXPROCS goroutines between rounds, each shard
+// owning a model replica and its batch scratch (reused across calls), so
+// evaluation uses all cores while staying essentially allocation-free.
+type Evaluator struct {
+	spec   nn.ModelSpec
+	test   *data.Dataset
+	shards []*evalShard
+}
+
+// NewEvaluator builds an evaluator; shard replicas are created on first
+// use (one on single-core machines).
 func NewEvaluator(spec nn.ModelSpec, test *data.Dataset) *Evaluator {
-	return &Evaluator{spec: spec, model: nn.Build(spec, rng.New(0xe7a1)), test: test}
+	return &Evaluator{spec: spec, test: test}
+}
+
+// shard returns the i-th worker, growing the replica list on demand. The
+// replica weights are overwritten by SetState every call, so the init RNG
+// seed does not matter.
+func (e *Evaluator) shard(i int) *evalShard {
+	for len(e.shards) <= i {
+		e.shards = append(e.shards, &evalShard{model: nn.Build(e.spec, rng.New(0xe7a1))})
+	}
+	return e.shards[i]
 }
 
 // Accuracy computes top-1 accuracy of the given state on the test set.
@@ -232,27 +297,40 @@ func (e *Evaluator) Accuracy(state []float64) float64 {
 	if e.test == nil || e.test.Len() == 0 {
 		return 0
 	}
-	e.model.SetState(state)
-	const batch = 256
-	correct := 0
 	n := e.test.Len()
-	idx := make([]int, 0, batch)
-	for start := 0; start < n; start += batch {
-		end := start + batch
-		if end > n {
-			end = n
+	shards := runtime.GOMAXPROCS(0)
+	if maxShards := (n + evalBatch - 1) / evalBatch; shards > maxShards {
+		shards = maxShards
+	}
+	if shards <= 1 {
+		return float64(e.shard(0).accuracyRange(e.spec, e.test, state, 0, n)) / float64(n)
+	}
+	// The same oversubscription guard as RunRound: each shard's kernels
+	// must share the machine with the other shards.
+	defer tensor.CapKernelsPerWorker(shards)()
+	// Contiguous per-shard ranges rounded up to whole batches so every
+	// shard but the last runs full mini-batches.
+	per := (n + shards - 1) / shards
+	per = (per + evalBatch - 1) / evalBatch * evalBatch
+	counts := make([]int, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		lo := i * per
+		if lo >= n {
+			break
 		}
-		idx = idx[:0]
-		for i := start; i < end; i++ {
-			idx = append(idx, i)
-		}
-		e.xBuf, e.yBuf = e.test.BatchInto(e.xBuf, e.yBuf, idx)
-		pred := nn.Predict(e.model.Forward(e.spec.ShapeBatch(e.xBuf), false))
-		for i := range pred {
-			if pred[i] == e.yBuf[i] {
-				correct++
-			}
-		}
+		hi := min(lo+per, n)
+		sh := e.shard(i)
+		wg.Add(1)
+		go func(i int, sh *evalShard, lo, hi int) {
+			defer wg.Done()
+			counts[i] = sh.accuracyRange(e.spec, e.test, state, lo, hi)
+		}(i, sh, lo, hi)
+	}
+	wg.Wait()
+	correct := 0
+	for _, c := range counts {
+		correct += c
 	}
 	return float64(correct) / float64(n)
 }

@@ -12,7 +12,9 @@ import (
 // mean and variance are buffers that travel with the model state. In a
 // federated round the server averages those buffers along with everything
 // else — the very behaviour whose instability the paper studies in its
-// model-architecture appendix (Finding 11).
+// model-architecture appendix (Finding 11). Reductions accumulate in
+// float64 on both backends, so the float32 path loses no statistics
+// precision.
 type BatchNorm struct {
 	Features int
 	Momentum float64 // weight of the batch statistics in the running update
@@ -21,6 +23,7 @@ type BatchNorm struct {
 	Beta     *Param
 	RunMean  *Buffer
 	RunVar   *Buffer
+	dt       tensor.DType
 	// cached values for the backward pass
 	xhat    *tensor.Tensor
 	invStd  []float64
@@ -30,17 +33,24 @@ type BatchNorm struct {
 	dx      *tensor.Tensor // backward scratch
 }
 
-// NewBatchNorm creates a batch-norm layer for the given feature/channel
-// count with gamma=1, beta=0, running mean 0 and running variance 1.
+// NewBatchNorm creates a float64 batch-norm layer for the given
+// feature/channel count with gamma=1, beta=0, running mean 0 and running
+// variance 1.
 func NewBatchNorm(features int) *BatchNorm {
+	return NewBatchNormOf(tensor.Float64, features)
+}
+
+// NewBatchNormOf is NewBatchNorm with an explicit compute dtype.
+func NewBatchNormOf(dt tensor.DType, features int) *BatchNorm {
 	bn := &BatchNorm{
 		Features: features,
 		Momentum: 0.1,
 		Eps:      1e-5,
-		Gamma:    newParam("bn.gamma", features),
-		Beta:     newParam("bn.beta", features),
-		RunMean:  &Buffer{Name: "bn.runMean", Data: tensor.New(features)},
-		RunVar:   &Buffer{Name: "bn.runVar", Data: tensor.New(features)},
+		Gamma:    newParam(dt, "bn.gamma", features),
+		Beta:     newParam(dt, "bn.beta", features),
+		RunMean:  &Buffer{Name: "bn.runMean", Data: tensor.NewOf(dt, features)},
+		RunVar:   &Buffer{Name: "bn.runVar", Data: tensor.NewOf(dt, features)},
+		dt:       dt,
 	}
 	bn.Gamma.Data.Fill(1)
 	bn.RunVar.Data.Fill(1)
@@ -74,61 +84,110 @@ func bnIndex(rank, features, spatial, b, c, s int) int {
 	return (b*features+c)*spatial + s
 }
 
-// Forward normalizes x using batch statistics (train) or the running
-// statistics (eval).
-func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	batch, spatial := bn.geometry(x)
+// bnForward is the dtype-generic forward body: statistics accumulate in
+// float64, the normalized activations are written in T.
+func bnForward[T tensor.Elem](xd, od, hd, gamma, beta, rMean, rVar []T,
+	invStd []float64, features, batch, spatial, rank int, train bool, momentum, eps float64) {
 	n := batch * spatial
-	bn.inShape = append(bn.inShape[:0], x.Shape()...)
-	bn.train = train
-	bn.out = tensor.Ensure(bn.out, x.Shape()...)
-	out := bn.out
-	bn.xhat = tensor.Ensure(bn.xhat, x.Shape()...)
-	if cap(bn.invStd) < bn.Features {
-		bn.invStd = make([]float64, bn.Features)
-	}
-	bn.invStd = bn.invStd[:bn.Features]
-
-	xd, od, hd := x.Data(), out.Data(), bn.xhat.Data()
-	gamma, beta := bn.Gamma.Data.Data(), bn.Beta.Data.Data()
-	rMean, rVar := bn.RunMean.Data.Data(), bn.RunVar.Data.Data()
-	rank := x.Rank()
-
-	for c := 0; c < bn.Features; c++ {
+	for c := 0; c < features; c++ {
 		var mean, variance float64
 		if train {
 			var sum float64
 			for b := 0; b < batch; b++ {
 				for s := 0; s < spatial; s++ {
-					sum += xd[bnIndex(rank, bn.Features, spatial, b, c, s)]
+					sum += float64(xd[bnIndex(rank, features, spatial, b, c, s)])
 				}
 			}
 			mean = sum / float64(n)
 			var sq float64
 			for b := 0; b < batch; b++ {
 				for s := 0; s < spatial; s++ {
-					d := xd[bnIndex(rank, bn.Features, spatial, b, c, s)] - mean
+					d := float64(xd[bnIndex(rank, features, spatial, b, c, s)]) - mean
 					sq += d * d
 				}
 			}
 			variance = sq / float64(n)
-			rMean[c] = (1-bn.Momentum)*rMean[c] + bn.Momentum*mean
-			rVar[c] = (1-bn.Momentum)*rVar[c] + bn.Momentum*variance
+			rMean[c] = T((1-momentum)*float64(rMean[c]) + momentum*mean)
+			rVar[c] = T((1-momentum)*float64(rVar[c]) + momentum*variance)
 		} else {
-			mean, variance = rMean[c], rVar[c]
+			mean, variance = float64(rMean[c]), float64(rVar[c])
 		}
-		inv := 1 / math.Sqrt(variance+bn.Eps)
-		bn.invStd[c] = inv
+		inv := 1 / math.Sqrt(variance+eps)
+		invStd[c] = inv
+		g, bta := float64(gamma[c]), float64(beta[c])
 		for b := 0; b < batch; b++ {
 			for s := 0; s < spatial; s++ {
-				i := bnIndex(rank, bn.Features, spatial, b, c, s)
-				h := (xd[i] - mean) * inv
-				hd[i] = h
-				od[i] = gamma[c]*h + beta[c]
+				i := bnIndex(rank, features, spatial, b, c, s)
+				h := (float64(xd[i]) - mean) * inv
+				hd[i] = T(h)
+				od[i] = T(g*h + bta)
 			}
 		}
 	}
-	return out
+}
+
+// Forward normalizes x using batch statistics (train) or the running
+// statistics (eval).
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch, spatial := bn.geometry(x)
+	bn.inShape = append(bn.inShape[:0], x.Shape()...)
+	bn.train = train
+	bn.out = tensor.EnsureOf(bn.dt, bn.out, x.Shape()...)
+	bn.xhat = tensor.EnsureOf(bn.dt, bn.xhat, x.Shape()...)
+	if cap(bn.invStd) < bn.Features {
+		bn.invStd = make([]float64, bn.Features)
+	}
+	bn.invStd = bn.invStd[:bn.Features]
+	rank := x.Rank()
+	if bn.dt == tensor.Float32 {
+		bnForward(x.Data32(), bn.out.Data32(), bn.xhat.Data32(),
+			bn.Gamma.Data.Data32(), bn.Beta.Data.Data32(),
+			bn.RunMean.Data.Data32(), bn.RunVar.Data.Data32(),
+			bn.invStd, bn.Features, batch, spatial, rank, train, bn.Momentum, bn.Eps)
+	} else {
+		bnForward(x.Data(), bn.out.Data(), bn.xhat.Data(),
+			bn.Gamma.Data.Data(), bn.Beta.Data.Data(),
+			bn.RunMean.Data.Data(), bn.RunVar.Data.Data(),
+			bn.invStd, bn.Features, batch, spatial, rank, train, bn.Momentum, bn.Eps)
+	}
+	return bn.out
+}
+
+// bnBackward is the dtype-generic backward body (standard batch-norm
+// gradient; per-channel reductions in float64).
+func bnBackward[T tensor.Elem](gd, od, hd, gamma, dGamma, dBeta []T,
+	invStd []float64, features, batch, spatial, rank int, train bool) {
+	n := float64(batch * spatial)
+	for c := 0; c < features; c++ {
+		var sumG, sumGH float64
+		for b := 0; b < batch; b++ {
+			for s := 0; s < spatial; s++ {
+				i := bnIndex(rank, features, spatial, b, c, s)
+				sumG += float64(gd[i])
+				sumGH += float64(gd[i]) * float64(hd[i])
+			}
+		}
+		dGamma[c] += T(sumGH)
+		dBeta[c] += T(sumG)
+		inv := invStd[c]
+		g := float64(gamma[c])
+		if !train {
+			// Statistics were constants; only the affine path matters.
+			for b := 0; b < batch; b++ {
+				for s := 0; s < spatial; s++ {
+					i := bnIndex(rank, features, spatial, b, c, s)
+					od[i] = T(float64(gd[i]) * g * inv)
+				}
+			}
+			continue
+		}
+		for b := 0; b < batch; b++ {
+			for s := 0; s < spatial; s++ {
+				i := bnIndex(rank, features, spatial, b, c, s)
+				od[i] = T(g * inv / n * (n*float64(gd[i]) - sumG - float64(hd[i])*sumGH))
+			}
+		}
+	}
 }
 
 // Backward computes gradients for gamma, beta and the input using the
@@ -136,44 +195,18 @@ func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // constants, so the input gradient is simply scaled.
 func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	batch, spatial := bn.geometry(grad)
-	n := float64(batch * spatial)
 	rank := grad.Rank()
-	bn.dx = tensor.Ensure(bn.dx, bn.inShape...)
-	out := bn.dx
-	gd, od, hd := grad.Data(), out.Data(), bn.xhat.Data()
-	gamma := bn.Gamma.Data.Data()
-	dGamma, dBeta := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
-
-	for c := 0; c < bn.Features; c++ {
-		var sumG, sumGH float64
-		for b := 0; b < batch; b++ {
-			for s := 0; s < spatial; s++ {
-				i := bnIndex(rank, bn.Features, spatial, b, c, s)
-				sumG += gd[i]
-				sumGH += gd[i] * hd[i]
-			}
-		}
-		dGamma[c] += sumGH
-		dBeta[c] += sumG
-		inv := bn.invStd[c]
-		if !bn.train {
-			// Statistics were constants; only the affine path matters.
-			for b := 0; b < batch; b++ {
-				for s := 0; s < spatial; s++ {
-					i := bnIndex(rank, bn.Features, spatial, b, c, s)
-					od[i] = gd[i] * gamma[c] * inv
-				}
-			}
-			continue
-		}
-		for b := 0; b < batch; b++ {
-			for s := 0; s < spatial; s++ {
-				i := bnIndex(rank, bn.Features, spatial, b, c, s)
-				od[i] = gamma[c] * inv / n * (n*gd[i] - sumG - hd[i]*sumGH)
-			}
-		}
+	bn.dx = tensor.EnsureOf(bn.dt, bn.dx, bn.inShape...)
+	if bn.dt == tensor.Float32 {
+		bnBackward(grad.Data32(), bn.dx.Data32(), bn.xhat.Data32(),
+			bn.Gamma.Data.Data32(), bn.Gamma.Grad.Data32(), bn.Beta.Grad.Data32(),
+			bn.invStd, bn.Features, batch, spatial, rank, bn.train)
+	} else {
+		bnBackward(grad.Data(), bn.dx.Data(), bn.xhat.Data(),
+			bn.Gamma.Data.Data(), bn.Gamma.Grad.Data(), bn.Beta.Grad.Data(),
+			bn.invStd, bn.Features, batch, spatial, rank, bn.train)
 	}
-	return out
+	return bn.dx
 }
 
 // Params returns gamma and beta.

@@ -13,12 +13,14 @@ import (
 // (inC*kh*kw, outC) so the forward pass is a single matmul on the patch
 // matrix. All intermediates live in per-layer scratch buffers that are
 // reused across Forward/Backward calls, so steady-state training does not
-// allocate.
+// allocate. The layer's dtype (chosen at construction) selects the kernel
+// set: Float32 runs the packed-panel SGEMM and the float32 im2col/col2im.
 type Conv2D struct {
 	InC, OutC     int
 	KH, KW        int
 	Stride, Pad   int
 	W, B          *Param
+	dt            tensor.DType
 	cols          *tensor.Tensor // cached im2col of the input
 	inB, inH, inW int            // cached input geometry
 	outH, outW    int
@@ -31,19 +33,21 @@ type Conv2D struct {
 	dx    *tensor.Tensor // backward: input gradient (NCHW)
 }
 
-// NewConv2D creates a convolution layer with He-uniform initialization.
+// NewConv2D creates a float64 convolution layer with He-uniform
+// initialization.
 func NewConv2D(inC, outC, kh, kw, stride, pad int, r *rng.RNG) *Conv2D {
+	return NewConv2DOf(tensor.Float64, inC, outC, kh, kw, stride, pad, r)
+}
+
+// NewConv2DOf is NewConv2D with an explicit compute dtype.
+func NewConv2DOf(dt tensor.DType, inC, outC, kh, kw, stride, pad int, r *rng.RNG) *Conv2D {
 	c := &Conv2D{
 		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
-		W: newParam("conv.W", inC*kh*kw, outC),
-		B: newParam("conv.b", outC),
+		W:  newParam(dt, "conv.W", inC*kh*kw, outC),
+		B:  newParam(dt, "conv.b", outC),
+		dt: dt,
 	}
-	fanIn := float64(inC * kh * kw)
-	bound := math.Sqrt(6.0 / fanIn)
-	w := c.W.Data.Data()
-	for i := range w {
-		w[i] = (2*r.Float64() - 1) * bound
-	}
+	initHeUniform(c.W.Data, inC*kh*kw, r)
 	return c
 }
 
@@ -57,13 +61,13 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.outH = tensor.ConvOutSize(c.inH, c.KH, c.Stride, c.Pad)
 	c.outW = tensor.ConvOutSize(c.inW, c.KW, c.Stride, c.Pad)
 	rows := c.inB * c.outH * c.outW
-	c.cols = tensor.Ensure(c.cols, rows, c.InC*c.KH*c.KW)
+	c.cols = tensor.EnsureOf(c.dt, c.cols, rows, c.InC*c.KH*c.KW)
 	tensor.Im2ColInto(c.cols, x, c.KH, c.KW, c.Stride, c.Pad)
 	// (B*oh*ow, inC*kh*kw) @ (inC*kh*kw, outC) -> (B*oh*ow, outC)
-	c.prod = tensor.Ensure(c.prod, rows, c.OutC)
+	c.prod = tensor.EnsureOf(c.dt, c.prod, rows, c.OutC)
 	tensor.MatMulInto(c.prod, c.cols, c.W.Data)
 	c.prod.AddRowVector(c.B.Data)
-	c.out = tensor.Ensure(c.out, c.inB, c.OutC, c.outH, c.outW)
+	c.out = tensor.EnsureOf(c.dt, c.out, c.inB, c.OutC, c.outH, c.outW)
 	rowsToNCHWInto(c.out, c.prod)
 	return c.out
 }
@@ -72,29 +76,25 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // gradient (layer-owned scratch, valid until the next Backward call).
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	rows := c.inB * c.outH * c.outW
-	c.gcols = tensor.Ensure(c.gcols, rows, c.OutC) // (B*oh*ow, outC)
+	c.gcols = tensor.EnsureOf(c.dt, c.gcols, rows, c.OutC) // (B*oh*ow, outC)
 	nchwToRowsInto(c.gcols, grad)
 	// dW += colsᵀ @ gcols
-	c.dw = tensor.Ensure(c.dw, c.W.Data.Dim(0), c.W.Data.Dim(1))
+	c.dw = tensor.EnsureOf(c.dt, c.dw, c.W.Data.Dim(0), c.W.Data.Dim(1))
 	tensor.MatMulTransAInto(c.dw, c.cols, c.gcols)
 	tensor.AddInto(c.W.Grad, c.W.Grad, c.dw)
 	// db += column sums
 	c.gcols.ColSumsInto(c.B.Grad)
 	// dcols = gcols @ Wᵀ, then scatter back to image shape.
-	c.dcols = tensor.Ensure(c.dcols, rows, c.W.Data.Dim(0))
+	c.dcols = tensor.EnsureOf(c.dt, c.dcols, rows, c.W.Data.Dim(0))
 	tensor.MatMulTransBInto(c.dcols, c.gcols, c.W.Data)
-	c.dx = tensor.Ensure(c.dx, c.inB, c.InC, c.inH, c.inW)
+	c.dx = tensor.EnsureOf(c.dt, c.dx, c.inB, c.InC, c.inH, c.inW)
 	return tensor.Col2ImInto(c.dx, c.dcols, c.KH, c.KW, c.Stride, c.Pad)
 }
 
 // Params returns the kernel and bias.
 func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 
-// rowsToNCHWInto rearranges a (B*H*W, C) row matrix into the NCHW tensor
-// out; every element of out is written.
-func rowsToNCHWInto(out, rows *tensor.Tensor) {
-	b, c, h, w := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
-	rd, od := rows.Data(), out.Data()
+func rowsToNCHW[T tensor.Elem](od, rd []T, b, c, h, w int) {
 	for bi := 0; bi < b; bi++ {
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
@@ -107,11 +107,18 @@ func rowsToNCHWInto(out, rows *tensor.Tensor) {
 	}
 }
 
-// nchwToRowsInto is the inverse of rowsToNCHWInto: it writes the (B*H*W, C)
-// row layout of the NCHW tensor x into out.
-func nchwToRowsInto(out, x *tensor.Tensor) {
-	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	xd, od := x.Data(), out.Data()
+// rowsToNCHWInto rearranges a (B*H*W, C) row matrix into the NCHW tensor
+// out; every element of out is written.
+func rowsToNCHWInto(out, rows *tensor.Tensor) {
+	b, c, h, w := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
+	if out.DType() == tensor.Float32 {
+		rowsToNCHW(out.Data32(), rows.Data32(), b, c, h, w)
+		return
+	}
+	rowsToNCHW(out.Data(), rows.Data(), b, c, h, w)
+}
+
+func nchwToRows[T tensor.Elem](od, xd []T, b, c, h, w int) {
 	for bi := 0; bi < b; bi++ {
 		for y := 0; y < h; y++ {
 			for xx := 0; xx < w; xx++ {
@@ -124,7 +131,19 @@ func nchwToRowsInto(out, x *tensor.Tensor) {
 	}
 }
 
-// MaxPool2D is a max pooling layer over NCHW inputs.
+// nchwToRowsInto is the inverse of rowsToNCHWInto: it writes the (B*H*W, C)
+// row layout of the NCHW tensor x into out.
+func nchwToRowsInto(out, x *tensor.Tensor) {
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if x.DType() == tensor.Float32 {
+		nchwToRows(out.Data32(), x.Data32(), b, c, h, w)
+		return
+	}
+	nchwToRows(out.Data(), x.Data(), b, c, h, w)
+}
+
+// MaxPool2D is a max pooling layer over NCHW inputs. Dtype-agnostic: the
+// scratch follows the input.
 type MaxPool2D struct {
 	K, Stride  int
 	argmax     []int
@@ -139,38 +158,23 @@ func NewMaxPool2D(k, stride int) *MaxPool2D {
 	return &MaxPool2D{K: k, Stride: stride}
 }
 
-// Forward computes the max over each window and records the argmax for the
-// backward pass.
-func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	if x.Rank() != 4 {
-		panic(fmt.Sprintf("nn: MaxPool2D input shape %v, want 4-D", x.Shape()))
-	}
-	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	p.inShape = [4]int{b, c, h, w}
-	p.outH = tensor.ConvOutSize(h, p.K, p.Stride, 0)
-	p.outW = tensor.ConvOutSize(w, p.K, p.Stride, 0)
-	p.out = tensor.Ensure(p.out, b, c, p.outH, p.outW)
-	out := p.out
-	if cap(p.argmax) < out.Len() {
-		p.argmax = make([]int, out.Len())
-	}
-	p.argmax = p.argmax[:out.Len()]
-	xd, od := x.Data(), out.Data()
+func maxPoolForward[T tensor.Elem](xd, od []T, argmax []int, b, c, h, w, outH, outW, k, stride int) {
+	neg := T(math.Inf(-1))
 	oi := 0
 	for bi := 0; bi < b; bi++ {
 		for ci := 0; ci < c; ci++ {
 			base := (bi*c + ci) * h * w
-			for oy := 0; oy < p.outH; oy++ {
-				for ox := 0; ox < p.outW; ox++ {
-					best := math.Inf(-1)
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					best := neg
 					bestIdx := -1
-					for ky := 0; ky < p.K; ky++ {
-						iy := oy*p.Stride + ky
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride + ky
 						if iy >= h {
 							continue
 						}
-						for kx := 0; kx < p.K; kx++ {
-							ix := ox*p.Stride + kx
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride + kx
 							if ix >= w {
 								continue
 							}
@@ -182,23 +186,53 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 						}
 					}
 					od[oi] = best
-					p.argmax[oi] = bestIdx
+					argmax[oi] = bestIdx
 					oi++
 				}
 			}
 		}
 	}
+}
+
+// Forward computes the max over each window and records the argmax for the
+// backward pass.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: MaxPool2D input shape %v, want 4-D", x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p.inShape = [4]int{b, c, h, w}
+	p.outH = tensor.ConvOutSize(h, p.K, p.Stride, 0)
+	p.outW = tensor.ConvOutSize(w, p.K, p.Stride, 0)
+	p.out = tensor.EnsureOf(x.DType(), p.out, b, c, p.outH, p.outW)
+	out := p.out
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	if x.DType() == tensor.Float32 {
+		maxPoolForward(x.Data32(), out.Data32(), p.argmax, b, c, h, w, p.outH, p.outW, p.K, p.Stride)
+	} else {
+		maxPoolForward(x.Data(), out.Data(), p.argmax, b, c, h, w, p.outH, p.outW, p.K, p.Stride)
+	}
 	return out
+}
+
+func maxPoolBackward[T tensor.Elem](od, gd []T, argmax []int) {
+	for i, idx := range argmax {
+		od[idx] += gd[i]
+	}
 }
 
 // Backward routes each output gradient to the input position that won the
 // max.
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	p.dx = tensor.Ensure(p.dx, p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
+	p.dx = tensor.EnsureOf(grad.DType(), p.dx, p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
 	p.dx.Zero()
-	od, gd := p.dx.Data(), grad.Data()
-	for i, idx := range p.argmax {
-		od[idx] += gd[i]
+	if grad.DType() == tensor.Float32 {
+		maxPoolBackward(p.dx.Data32(), grad.Data32(), p.argmax)
+	} else {
+		maxPoolBackward(p.dx.Data(), grad.Data(), p.argmax)
 	}
 	return p.dx
 }

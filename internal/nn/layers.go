@@ -7,24 +7,44 @@ import (
 	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
+// initHeUniform fills a parameter tensor with He-uniform values drawn
+// from r, whatever the tensor's dtype.
+func initHeUniform(t *tensor.Tensor, fanIn int, r *rng.RNG) {
+	bound := math.Sqrt(6.0 / float64(fanIn))
+	if t.DType() == tensor.Float32 {
+		w := t.Data32()
+		for i := range w {
+			w[i] = float32((2*r.Float64() - 1) * bound)
+		}
+		return
+	}
+	w := t.Data()
+	for i := range w {
+		w[i] = (2*r.Float64() - 1) * bound
+	}
+}
+
 // Dense is a fully connected layer: y = xW + b with x of shape (batch, in).
 type Dense struct {
 	W, B *Param
+	dt   tensor.DType
 	in   *tensor.Tensor // cached input for the backward pass
 	out  *tensor.Tensor // forward scratch
 	dw   *tensor.Tensor // backward scratch: weight gradient
 	dx   *tensor.Tensor // backward scratch: input gradient
 }
 
-// NewDense creates a dense layer with He-uniform initialized weights, the
-// standard choice for ReLU networks.
+// NewDense creates a float64 dense layer with He-uniform initialized
+// weights, the standard choice for ReLU networks.
 func NewDense(in, out int, r *rng.RNG) *Dense {
-	d := &Dense{W: newParam("dense.W", in, out), B: newParam("dense.b", out)}
-	bound := math.Sqrt(6.0 / float64(in))
-	w := d.W.Data.Data()
-	for i := range w {
-		w[i] = (2*r.Float64() - 1) * bound
-	}
+	return NewDenseOf(tensor.Float64, in, out, r)
+}
+
+// NewDenseOf is NewDense with an explicit compute dtype for the
+// parameters, gradients and layer scratch.
+func NewDenseOf(dt tensor.DType, in, out int, r *rng.RNG) *Dense {
+	d := &Dense{W: newParam(dt, "dense.W", in, out), B: newParam(dt, "dense.b", out), dt: dt}
+	initHeUniform(d.W.Data, in, r)
 	return d
 }
 
@@ -32,7 +52,7 @@ func NewDense(in, out int, r *rng.RNG) *Dense {
 // valid until the next Forward call.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d.in = x
-	d.out = tensor.Ensure(d.out, x.Dim(0), d.W.Data.Dim(1))
+	d.out = tensor.EnsureOf(d.dt, d.out, x.Dim(0), d.W.Data.Dim(1))
 	tensor.MatMulInto(d.out, x, d.W.Data)
 	d.out.AddRowVector(d.B.Data)
 	return d.out
@@ -41,13 +61,13 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward accumulates dW, db and returns dx.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dW += xᵀ g
-	d.dw = tensor.Ensure(d.dw, d.W.Data.Dim(0), d.W.Data.Dim(1))
+	d.dw = tensor.EnsureOf(d.dt, d.dw, d.W.Data.Dim(0), d.W.Data.Dim(1))
 	tensor.MatMulTransAInto(d.dw, d.in, grad)
 	tensor.AddInto(d.W.Grad, d.W.Grad, d.dw)
 	// db += column sums of g
 	grad.ColSumsInto(d.B.Grad)
 	// dx = g Wᵀ
-	d.dx = tensor.Ensure(d.dx, grad.Dim(0), d.W.Data.Dim(0))
+	d.dx = tensor.EnsureOf(d.dt, d.dx, grad.Dim(0), d.W.Data.Dim(0))
 	tensor.MatMulTransBInto(d.dx, grad, d.W.Data)
 	return d.dx
 }
@@ -55,7 +75,8 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params returns the weight and bias.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
-// ReLU applies max(0, x) element-wise.
+// ReLU applies max(0, x) element-wise. It is dtype-agnostic: the scratch
+// follows the input's dtype.
 type ReLU struct {
 	mask []bool
 	out  *tensor.Tensor // forward scratch
@@ -65,36 +86,54 @@ type ReLU struct {
 // NewReLU creates a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
+func reluForward[T tensor.Elem](xd, od []T, mask []bool) {
+	od = od[:len(xd)]
+	mask = mask[:len(xd)]
+	for i, v := range xd {
+		if v > 0 {
+			mask[i] = true
+			od[i] = v
+		} else {
+			mask[i] = false
+			od[i] = 0
+		}
+	}
+}
+
+func reluBackward[T tensor.Elem](gd, od []T, mask []bool) {
+	od = od[:len(gd)]
+	mask = mask[:len(gd)]
+	for i, g := range gd {
+		if mask[i] {
+			od[i] = g
+		} else {
+			od[i] = 0
+		}
+	}
+}
+
 // Forward zeroes negative entries and records which survived.
 func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	l.out = tensor.Ensure(l.out, x.Shape()...)
+	l.out = tensor.EnsureOf(x.DType(), l.out, x.Shape()...)
 	if cap(l.mask) < x.Len() {
 		l.mask = make([]bool, x.Len())
 	}
 	l.mask = l.mask[:x.Len()]
-	xd, od := x.Data(), l.out.Data()
-	for i, v := range xd {
-		if v > 0 {
-			l.mask[i] = true
-			od[i] = v
-		} else {
-			l.mask[i] = false
-			od[i] = 0
-		}
+	if x.DType() == tensor.Float32 {
+		reluForward(x.Data32(), l.out.Data32(), l.mask)
+	} else {
+		reluForward(x.Data(), l.out.Data(), l.mask)
 	}
 	return l.out
 }
 
 // Backward passes gradients through surviving entries only.
 func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	l.dx = tensor.Ensure(l.dx, grad.Shape()...)
-	gd, od := grad.Data(), l.dx.Data()
-	for i, g := range gd {
-		if l.mask[i] {
-			od[i] = g
-		} else {
-			od[i] = 0
-		}
+	l.dx = tensor.EnsureOf(grad.DType(), l.dx, grad.Shape()...)
+	if grad.DType() == tensor.Float32 {
+		reluBackward(grad.Data32(), l.dx.Data32(), l.mask)
+	} else {
+		reluBackward(grad.Data(), l.dx.Data(), l.mask)
 	}
 	return l.dx
 }
@@ -128,6 +167,7 @@ func (l *Flatten) Params() []*Param { return nil }
 
 // Dropout randomly zeroes a fraction of activations during training and
 // rescales the survivors (inverted dropout). At evaluation it is identity.
+// Like ReLU it is dtype-agnostic.
 type Dropout struct {
 	Rate float64
 	r    *rng.RNG
@@ -141,27 +181,44 @@ func NewDropout(rate float64, r *rng.RNG) *Dropout {
 	return &Dropout{Rate: rate, r: r}
 }
 
+func dropoutForward[T tensor.Elem](xd, od []T, mask []float64, rate, scale float64, r *rng.RNG) {
+	od = od[:len(xd)]
+	mask = mask[:len(xd)]
+	for i, v := range xd {
+		if r.Float64() < rate {
+			mask[i] = 0
+			od[i] = 0
+		} else {
+			mask[i] = scale
+			od[i] = T(float64(v) * scale)
+		}
+	}
+}
+
+func dropoutBackward[T tensor.Elem](gd, od []T, mask []float64) {
+	od = od[:len(gd)]
+	mask = mask[:len(gd)]
+	for i, g := range gd {
+		od[i] = T(float64(g) * mask[i])
+	}
+}
+
 // Forward applies the dropout mask in training mode.
 func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || l.Rate <= 0 {
 		l.mask = nil
 		return x
 	}
-	l.out = tensor.Ensure(l.out, x.Shape()...)
+	l.out = tensor.EnsureOf(x.DType(), l.out, x.Shape()...)
 	if cap(l.mask) < x.Len() {
 		l.mask = make([]float64, x.Len())
 	}
 	l.mask = l.mask[:x.Len()]
 	scale := 1 / (1 - l.Rate)
-	xd, od := x.Data(), l.out.Data()
-	for i, v := range xd {
-		if l.r.Float64() < l.Rate {
-			l.mask[i] = 0
-			od[i] = 0
-		} else {
-			l.mask[i] = scale
-			od[i] = v * scale
-		}
+	if x.DType() == tensor.Float32 {
+		dropoutForward(x.Data32(), l.out.Data32(), l.mask, l.Rate, scale, l.r)
+	} else {
+		dropoutForward(x.Data(), l.out.Data(), l.mask, l.Rate, scale, l.r)
 	}
 	return l.out
 }
@@ -171,10 +228,11 @@ func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.mask == nil {
 		return grad
 	}
-	l.dx = tensor.Ensure(l.dx, grad.Shape()...)
-	gd, od := grad.Data(), l.dx.Data()
-	for i, g := range gd {
-		od[i] = g * l.mask[i]
+	l.dx = tensor.EnsureOf(grad.DType(), l.dx, grad.Shape()...)
+	if grad.DType() == tensor.Float32 {
+		dropoutBackward(grad.Data32(), l.dx.Data32(), l.mask)
+	} else {
+		dropoutBackward(grad.Data(), l.dx.Data(), l.mask)
 	}
 	return l.dx
 }

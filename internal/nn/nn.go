@@ -20,6 +20,12 @@
 //     training therefore allocates nothing — the "no tensor.New in the hot
 //     path" rule from the tensor package. Callers that need a tensor to
 //     outlive the next batch must Clone it.
+//   - Models have a compute dtype, chosen via ModelSpec.DType: parameters,
+//     gradients, buffers and all layer scratch share it, so a Float32
+//     model runs entirely on the float32 kernel set. The flat model-state
+//     vectors exchanged with the federated server stay []float64 whatever
+//     the dtype (GetState/SetState convert at the boundary), which keeps
+//     aggregation in full precision.
 package nn
 
 import (
@@ -35,8 +41,8 @@ type Param struct {
 	Grad *tensor.Tensor
 }
 
-func newParam(name string, shape ...int) *Param {
-	return &Param{Name: name, Data: tensor.New(shape...), Grad: tensor.New(shape...)}
+func newParam(dt tensor.DType, name string, shape ...int) *Param {
+	return &Param{Name: name, Data: tensor.NewOf(dt, shape...), Grad: tensor.NewOf(dt, shape...)}
 }
 
 // Buffer is non-learnable model state (e.g. batch-norm running mean) that
@@ -151,28 +157,34 @@ func (m *Sequential) StateCount() int {
 }
 
 // GetState copies the model state (parameters then buffers) into dst,
-// which must have length StateCount.
+// which must have length StateCount. Float32 models are widened: the
+// state vector exchanged with the federated server is always float64.
 func (m *Sequential) GetState(dst []float64) {
 	off := 0
 	for _, p := range m.Params() {
-		off += copy(dst[off:], p.Data.Data())
+		p.Data.CopyToF64(dst[off:])
+		off += p.Data.Len()
 	}
 	for _, b := range m.Buffers() {
-		off += copy(dst[off:], b.Data.Data())
+		b.Data.CopyToF64(dst[off:])
+		off += b.Data.Len()
 	}
 	if off != len(dst) {
 		panic(fmt.Sprintf("nn: GetState dst length %d, want %d", len(dst), off))
 	}
 }
 
-// SetState loads the model state (parameters then buffers) from src.
+// SetState loads the model state (parameters then buffers) from src,
+// narrowing into Float32 models.
 func (m *Sequential) SetState(src []float64) {
 	off := 0
 	for _, p := range m.Params() {
-		off += copy(p.Data.Data(), src[off:off+p.Data.Len()])
+		p.Data.CopyFromF64(src[off:])
+		off += p.Data.Len()
 	}
 	for _, b := range m.Buffers() {
-		off += copy(b.Data.Data(), src[off:off+b.Data.Len()])
+		b.Data.CopyFromF64(src[off:])
+		off += b.Data.Len()
 	}
 	if off != len(src) {
 		panic(fmt.Sprintf("nn: SetState src length %d, want %d", len(src), off))
@@ -186,11 +198,13 @@ func (m *Sequential) State() []float64 {
 	return s
 }
 
-// GetGrads copies the parameter gradients into dst (length ParamCount).
+// GetGrads copies the parameter gradients into dst (length ParamCount),
+// widening Float32 gradients.
 func (m *Sequential) GetGrads(dst []float64) {
 	off := 0
 	for _, p := range m.Params() {
-		off += copy(dst[off:], p.Grad.Data())
+		p.Grad.CopyToF64(dst[off:])
+		off += p.Grad.Len()
 	}
 	if off != len(dst) {
 		panic(fmt.Sprintf("nn: GetGrads dst length %d, want %d", len(dst), off))

@@ -24,20 +24,26 @@ type Residual struct {
 	gsum    *tensor.Tensor // backward scratch: main grad + skip grad
 }
 
-// NewResidual creates a residual block mapping inC channels to outC
-// channels at the same spatial resolution.
+// NewResidual creates a float64 residual block mapping inC channels to
+// outC channels at the same spatial resolution.
 func NewResidual(inC, outC int, r *rng.RNG) *Residual {
+	return NewResidualOf(tensor.Float64, inC, outC, r)
+}
+
+// NewResidualOf is NewResidual with an explicit compute dtype for every
+// layer in the block.
+func NewResidualOf(dt tensor.DType, inC, outC int, r *rng.RNG) *Residual {
 	blk := &Residual{
-		conv1:   NewConv2D(inC, outC, 3, 3, 1, 1, r),
-		bn1:     NewBatchNorm(outC),
+		conv1:   NewConv2DOf(dt, inC, outC, 3, 3, 1, 1, r),
+		bn1:     NewBatchNormOf(dt, outC),
 		relu1:   NewReLU(),
-		conv2:   NewConv2D(outC, outC, 3, 3, 1, 1, r),
-		bn2:     NewBatchNorm(outC),
+		conv2:   NewConv2DOf(dt, outC, outC, 3, 3, 1, 1, r),
+		bn2:     NewBatchNormOf(dt, outC),
 		reluOut: NewReLU(),
 	}
 	if inC != outC {
-		blk.proj = NewConv2D(inC, outC, 1, 1, 1, 0, r)
-		blk.projBN = NewBatchNorm(outC)
+		blk.proj = NewConv2DOf(dt, inC, outC, 1, 1, 1, 0, r)
+		blk.projBN = NewBatchNormOf(dt, outC)
 	}
 	return blk
 }
@@ -55,7 +61,7 @@ func (b *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		skip = b.proj.Forward(x, train)
 		skip = b.projBN.Forward(skip, train)
 	}
-	b.sum = tensor.Ensure(b.sum, h.Shape()...)
+	b.sum = tensor.EnsureOf(h.DType(), b.sum, h.Shape()...)
 	tensor.AddInto(b.sum, h, skip)
 	return b.reluOut.Forward(b.sum, train)
 }
@@ -76,7 +82,7 @@ func (b *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		gs = b.projBN.Backward(g)
 		gs = b.proj.Backward(gs)
 	}
-	b.gsum = tensor.Ensure(b.gsum, gm.Shape()...)
+	b.gsum = tensor.EnsureOf(gm.DType(), b.gsum, gm.Shape()...)
 	tensor.AddInto(b.gsum, gm, gs)
 	return b.gsum
 }

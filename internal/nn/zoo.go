@@ -35,6 +35,11 @@ type ModelSpec struct {
 	// Flat input dimension; used by MLP.
 	InputDim int
 	Classes  int
+	// DType selects the compute backend for every layer: parameters,
+	// gradients, scratch and optimizer state all share it. The zero value
+	// is tensor.Float64; tensor.Float32 trains on the packed-panel SIMD
+	// kernel set (state exchanged with the server stays float64).
+	DType tensor.DType
 }
 
 // InputLen returns the number of scalars in one input sample.
@@ -86,30 +91,30 @@ func buildCNN(s ModelSpec, r *rng.RNG) *Sequential {
 	}
 	flat := 16 * h * w
 	return NewSequential(
-		NewConv2D(s.Channels, 6, 5, 5, 1, 0, r),
+		NewConv2DOf(s.DType, s.Channels, 6, 5, 5, 1, 0, r),
 		NewReLU(),
 		NewMaxPool2D(2, 2),
-		NewConv2D(6, 16, 5, 5, 1, 0, r),
+		NewConv2DOf(s.DType, 6, 16, 5, 5, 1, 0, r),
 		NewReLU(),
 		NewMaxPool2D(2, 2),
 		NewFlatten(),
-		NewDense(flat, 120, r),
+		NewDenseOf(s.DType, flat, 120, r),
 		NewReLU(),
-		NewDense(120, 84, r),
+		NewDenseOf(s.DType, 120, 84, r),
 		NewReLU(),
-		NewDense(84, s.Classes, r),
+		NewDenseOf(s.DType, 84, s.Classes, r),
 	)
 }
 
 func buildMLP(s ModelSpec, r *rng.RNG) *Sequential {
 	return NewSequential(
-		NewDense(s.InputDim, 32, r),
+		NewDenseOf(s.DType, s.InputDim, 32, r),
 		NewReLU(),
-		NewDense(32, 16, r),
+		NewDenseOf(s.DType, 32, 16, r),
 		NewReLU(),
-		NewDense(16, 8, r),
+		NewDenseOf(s.DType, 16, 8, r),
 		NewReLU(),
-		NewDense(8, s.Classes, r),
+		NewDenseOf(s.DType, 8, s.Classes, r),
 	)
 }
 
@@ -119,35 +124,35 @@ func buildVGG(s ModelSpec, r *rng.RNG) *Sequential {
 	// meaningful.
 	h, w := s.Height/2/2, s.Width/2/2
 	return NewSequential(
-		NewConv2D(s.Channels, 16, 3, 3, 1, 1, r),
-		NewBatchNorm(16),
+		NewConv2DOf(s.DType, s.Channels, 16, 3, 3, 1, 1, r),
+		NewBatchNormOf(s.DType, 16),
 		NewReLU(),
-		NewConv2D(16, 16, 3, 3, 1, 1, r),
-		NewBatchNorm(16),
+		NewConv2DOf(s.DType, 16, 16, 3, 3, 1, 1, r),
+		NewBatchNormOf(s.DType, 16),
 		NewReLU(),
 		NewMaxPool2D(2, 2),
-		NewConv2D(16, 32, 3, 3, 1, 1, r),
-		NewBatchNorm(32),
+		NewConv2DOf(s.DType, 16, 32, 3, 3, 1, 1, r),
+		NewBatchNormOf(s.DType, 32),
 		NewReLU(),
 		NewMaxPool2D(2, 2),
 		NewFlatten(),
-		NewDense(32*h*w, 64, r),
+		NewDenseOf(s.DType, 32*h*w, 64, r),
 		NewReLU(),
-		NewDense(64, s.Classes, r),
+		NewDenseOf(s.DType, 64, s.Classes, r),
 	)
 }
 
 func buildResNet(s ModelSpec, r *rng.RNG) *Sequential {
 	h, w := s.Height/2/2, s.Width/2/2
 	return NewSequential(
-		NewConv2D(s.Channels, 8, 3, 3, 1, 1, r),
-		NewBatchNorm(8),
+		NewConv2DOf(s.DType, s.Channels, 8, 3, 3, 1, 1, r),
+		NewBatchNormOf(s.DType, 8),
 		NewReLU(),
-		NewResidual(8, 16, r),
+		NewResidualOf(s.DType, 8, 16, r),
 		NewMaxPool2D(2, 2),
-		NewResidual(16, 16, r),
+		NewResidualOf(s.DType, 16, 16, r),
 		NewMaxPool2D(2, 2),
 		NewFlatten(),
-		NewDense(16*h*w, s.Classes, r),
+		NewDenseOf(s.DType, 16*h*w, s.Classes, r),
 	)
 }

@@ -168,6 +168,10 @@ type correctorFunc func(g, w []float64, off int)
 
 func (f correctorFunc) Correct(g, w []float64, off int) { f(g, w, off) }
 
+func (f correctorFunc) Correct32(g, w []float32, off int) {
+	panic("correctorFunc: unexpected float32 path in a float64 test")
+}
+
 func TestSGDTrainsQuadratic(t *testing.T) {
 	// Minimize ||xW - y||-ish via the model's own loss machinery: check the
 	// optimizer actually descends on a real model.

@@ -10,6 +10,7 @@ import (
 	"github.com/niid-bench/niidbench/internal/fl"
 	"github.com/niid-bench/niidbench/internal/nn"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
 // Federation runs the federated protocol over explicit connections: the
@@ -30,7 +31,7 @@ func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg f
 	if err != nil {
 		return err
 	}
-	client := fl.NewClient(id, local, spec, rng.New(seed))
+	client := fl.NewClient(id, local, cfg.ResolveSpec(spec), rng.New(seed))
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
@@ -85,7 +86,7 @@ func RunLocal(cfg fl.Config, spec nn.ModelSpec, locals []*data.Dataset, test *da
 			partyErrs[i] = ServeParty(conn, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13)
 		}(i, ds, partySide)
 	}
-	fed := &Federation{Cfg: cfg, Spec: spec, Test: test, conns: conns}
+	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns}
 	res, serveErr := fed.serve(len(locals))
 	wg.Wait()
 	if serveErr != nil {
@@ -136,7 +137,7 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 		}
 		conns[i] = NewCountingConn(NewTCPConn(c))
 	}
-	fed := &Federation{Cfg: cfg, Spec: spec, Test: test, conns: conns}
+	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns}
 	return fed.serve(numParties)
 }
 
@@ -186,34 +187,47 @@ func (f *Federation) serve(numParties int) (*fl.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, id := range sampled {
-			if err := f.conns[id].Send(msg); err != nil {
-				return nil, fmt.Errorf("simnet: send to party %d: %w", id, err)
-			}
-		}
 		updates := make([]fl.Update, 0, len(sampled))
 		var trainLoss float64
-		for _, id := range sampled {
-			raw, err := f.conns[id].Recv()
-			if err != nil {
-				return nil, fmt.Errorf("simnet: recv from party %d: %w", id, err)
+		err = func() error {
+			// In-process parties all train concurrently once the global
+			// model lands; apply the same kernel-oversubscription guard as
+			// fl.Simulation.RunRound for the duration of the round. (Over
+			// TCP the parties are other processes and the cap is moot.)
+			if len(sampled) > 1 {
+				defer tensor.CapKernelsPerWorker(len(sampled))()
 			}
-			decoded, err := Unmarshal(raw)
-			if err != nil {
-				return nil, err
+			for _, id := range sampled {
+				if err := f.conns[id].Send(msg); err != nil {
+					return fmt.Errorf("simnet: send to party %d: %w", id, err)
+				}
 			}
-			um, ok := decoded.(UpdateMsg)
-			if !ok {
-				return nil, fmt.Errorf("simnet: unexpected reply %T from party %d", decoded, id)
+			for _, id := range sampled {
+				raw, err := f.conns[id].Recv()
+				if err != nil {
+					return fmt.Errorf("simnet: recv from party %d: %w", id, err)
+				}
+				decoded, err := Unmarshal(raw)
+				if err != nil {
+					return err
+				}
+				um, ok := decoded.(UpdateMsg)
+				if !ok {
+					return fmt.Errorf("simnet: unexpected reply %T from party %d", decoded, id)
+				}
+				if um.Round != t {
+					return fmt.Errorf("simnet: party %d replied for round %d during round %d", id, um.Round, t)
+				}
+				updates = append(updates, fl.Update{
+					Delta: um.Delta, Tau: um.Tau, N: um.N,
+					DeltaC: um.DeltaC, TrainLoss: um.TrainLoss,
+				})
+				trainLoss += um.TrainLoss
 			}
-			if um.Round != t {
-				return nil, fmt.Errorf("simnet: party %d replied for round %d during round %d", id, um.Round, t)
-			}
-			updates = append(updates, fl.Update{
-				Delta: um.Delta, Tau: um.Tau, N: um.N,
-				DeltaC: um.DeltaC, TrainLoss: um.TrainLoss,
-			})
-			trainLoss += um.TrainLoss
+			return nil
+		}()
+		if err != nil {
+			return nil, err
 		}
 		if err := server.Aggregate(updates); err != nil {
 			return nil, err

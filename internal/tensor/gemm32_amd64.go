@@ -1,0 +1,23 @@
+package tensor
+
+// sgemm4x16s accumulates a 4x16 float32 dst tile over kb steps:
+// d[r*ldd + c] += sum over p of a_r[p*sa] * b[p*16 + c]. The four A
+// streams advance sa elements per step (4 walks a packed tile-major
+// panel, 1 walks raw contiguous rows); the B panel is always packed
+// 16-wide, so every load is unit-stride. Implemented in gemm32_amd64.s;
+// kb must be >= 1.
+//
+//go:noescape
+func sgemm4x16s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr)
+
+// sgemm4x8s is the one-ymm-wide variant used for column remainders: it
+// reads the same 16-wide packed B panels but only the first 8 lanes of
+// each step, and writes a 4x8 dst tile.
+//
+//go:noescape
+func sgemm4x8s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr)
+
+// useFMA32 gates the float32 assembly microkernels on the same
+// CPUID/XGETBV check as the float64 kernel. Tests flip it to exercise
+// both code paths on the same machine.
+var useFMA32 = x86HasAVX2FMA()

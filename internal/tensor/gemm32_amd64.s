@@ -1,0 +1,243 @@
+// AVX2+FMA microkernels for the float32 packed-panel GEMM (matmul32.go).
+// Only used when the CPU reports AVX2, FMA and OS ymm-state support (the
+// x86HasAVX2FMA check shared with the float64 kernel); the pure-Go packed
+// kernels remain the portable fallback.
+//
+// The B operand always arrives packed tile-major (16 floats per k step,
+// 64 bytes, unit-stride). The four A streams are pointers advancing sa
+// elements per step: sa=4 walks a tile-major packed A panel, sa=1 walks
+// four raw contiguous matrix rows — either way every stream is
+// unit-stride, so the same kernel serves packed and unpacked A.
+
+#include "textflag.h"
+
+// func sgemm4x16s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr)
+//
+// Computes, for r in 0..3 and c in 0..15:
+//
+//	d[r*ldd + c] += sum over p of a_r[p*sa] * b[p*16 + c]
+//
+// Eight ymm accumulators hold the 4x16 tile (two 8-lane registers per
+// row); each k step costs two B loads, four A broadcasts and eight FMAs.
+// The loop is unrolled by two (the second step reads at offset sa via
+// indexed addressing) to halve the pointer-update/branch overhead; the
+// accumulator chains are eight FMAs apart, which hides FMA latency.
+TEXT ·sgemm4x16s(SB), NOSPLIT, $0-72
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ sa+32(FP), R13
+	MOVQ b+40(FP), BX
+	MOVQ kb+48(FP), CX
+	MOVQ d+56(FP), DI
+	MOVQ ldd+64(FP), DX
+	SHLQ $2, R13 // A step in bytes
+	SHLQ $2, DX  // dst row stride in bytes
+
+	VXORPS Y0, Y0, Y0 // row 0 lanes 0-7
+	VXORPS Y1, Y1, Y1 // row 0 lanes 8-15
+	VXORPS Y2, Y2, Y2 // row 1
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4 // row 2
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6 // row 3
+	VXORPS Y7, Y7, Y7
+
+	CMPQ CX, $2
+	JLT  tail
+
+pair:
+	// step p
+	VMOVUPS      (BX), Y8
+	VMOVUPS      32(BX), Y9
+	VBROADCASTSS (R8), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R9), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS (R10), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (R11), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+
+	// step p+1 (A at offset sa, B at offset 64)
+	VMOVUPS      64(BX), Y8
+	VMOVUPS      96(BX), Y9
+	VBROADCASTSS (R8)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R9)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS (R10)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (R11)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+
+	LEAQ (R8)(R13*2), R8
+	LEAQ (R9)(R13*2), R9
+	LEAQ (R10)(R13*2), R10
+	LEAQ (R11)(R13*2), R11
+	ADDQ $128, BX
+	SUBQ $2, CX
+	CMPQ CX, $2
+	JGE  pair
+
+tail:
+	TESTQ CX, CX
+	JZ    done
+	VMOVUPS      (BX), Y8
+	VMOVUPS      32(BX), Y9
+	VBROADCASTSS (R8), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R9), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS (R10), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (R11), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+
+done:
+	// d += accumulators, row by row
+	VMOVUPS (DI), Y8
+	VMOVUPS 32(DI), Y9
+	VADDPS  Y8, Y0, Y0
+	VADDPS  Y9, Y1, Y1
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Y8
+	VMOVUPS 32(DI), Y9
+	VADDPS  Y8, Y2, Y2
+	VADDPS  Y9, Y3, Y3
+	VMOVUPS Y2, (DI)
+	VMOVUPS Y3, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Y8
+	VMOVUPS 32(DI), Y9
+	VADDPS  Y8, Y4, Y4
+	VADDPS  Y9, Y5, Y5
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Y8
+	VMOVUPS 32(DI), Y9
+	VADDPS  Y8, Y6, Y6
+	VADDPS  Y9, Y7, Y7
+	VMOVUPS Y6, (DI)
+	VMOVUPS Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func sgemm4x8s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr)
+//
+// One-ymm-wide variant for column remainders of 8 or fewer (the packed B
+// panel zero-fills past the matrix edge, and the caller routes the
+// in-bounds columns through edge scratch):
+//
+//	d[r*ldd + c] += sum over p of a_r[p*sa] * b[p*16 + c], c in 0..7
+//
+// B still advances 64 bytes per step because the panels are packed
+// 16-wide; the upper lanes are simply never loaded. Unrolled by two with
+// a second accumulator set so the four FMA chains stay overlapped.
+TEXT ·sgemm4x8s(SB), NOSPLIT, $0-72
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ sa+32(FP), R13
+	MOVQ b+40(FP), BX
+	MOVQ kb+48(FP), CX
+	MOVQ d+56(FP), DI
+	MOVQ ldd+64(FP), DX
+	SHLQ $2, R13
+	SHLQ $2, DX
+
+	VXORPS Y0, Y0, Y0 // even-p accumulators, rows 0-3
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4 // odd-p accumulators
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	CMPQ CX, $2
+	JLT  tail8
+
+pair8:
+	VMOVUPS      (BX), Y8
+	VBROADCASTSS (R8), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VBROADCASTSS (R9), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS (R10), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VBROADCASTSS (R11), Y10
+	VFMADD231PS  Y8, Y10, Y3
+
+	VMOVUPS      64(BX), Y9
+	VBROADCASTSS (R8)(R13*1), Y10
+	VFMADD231PS  Y9, Y10, Y4
+	VBROADCASTSS (R9)(R13*1), Y10
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (R10)(R13*1), Y10
+	VFMADD231PS  Y9, Y10, Y6
+	VBROADCASTSS (R11)(R13*1), Y10
+	VFMADD231PS  Y9, Y10, Y7
+
+	LEAQ (R8)(R13*2), R8
+	LEAQ (R9)(R13*2), R9
+	LEAQ (R10)(R13*2), R10
+	LEAQ (R11)(R13*2), R11
+	ADDQ $128, BX
+	SUBQ $2, CX
+	CMPQ CX, $2
+	JGE  pair8
+
+tail8:
+	TESTQ CX, CX
+	JZ    done8
+	VMOVUPS      (BX), Y8
+	VBROADCASTSS (R8), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VBROADCASTSS (R9), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS (R10), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VBROADCASTSS (R11), Y10
+	VFMADD231PS  Y8, Y10, Y3
+
+done8:
+	// fold odd into even and accumulate into dst
+	VADDPS  Y4, Y0, Y0
+	VADDPS  Y5, Y1, Y1
+	VADDPS  Y6, Y2, Y2
+	VADDPS  Y7, Y3, Y3
+	VMOVUPS (DI), Y8
+	VADDPS  Y8, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Y8
+	VADDPS  Y8, Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Y8
+	VADDPS  Y8, Y2, Y2
+	VMOVUPS Y2, (DI)
+	ADDQ    DX, DI
+	VMOVUPS (DI), Y8
+	VADDPS  Y8, Y3, Y3
+	VMOVUPS Y3, (DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package tensor
+
+// useFMA32 is always false without the amd64 microkernels; the pure-Go
+// packed-tile kernels in matmul32.go handle everything.
+var useFMA32 = false
+
+// sgemm4x16s is never called when useFMA32 is false.
+func sgemm4x16s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr) {
+	panic("tensor: sgemm4x16s without assembly support")
+}
+
+// sgemm4x8s is never called when useFMA32 is false.
+func sgemm4x8s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr) {
+	panic("tensor: sgemm4x8s without assembly support")
+}

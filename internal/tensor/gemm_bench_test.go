@@ -51,6 +51,59 @@ func BenchmarkMatMulTransA(b *testing.B) {
 	}
 }
 
+// benchFill32 is benchFill for the float32 backend.
+func benchFill32(t *Tensor, seed int) {
+	d := t.Data32()
+	for i := range d {
+		d[i] = float32((i*7+seed*13)%23)/11 - 1
+	}
+}
+
+func BenchmarkMatMul32(b *testing.B) {
+	for _, s := range gemmSizes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a, bb, dst := NewOf(Float32, s.m, s.k), NewOf(Float32, s.k, s.n), NewOf(Float32, s.m, s.n)
+			benchFill32(a, 1)
+			benchFill32(bb, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransA32(b *testing.B) {
+	for _, s := range gemmSizes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a, bb, dst := NewOf(Float32, s.k, s.m), NewOf(Float32, s.k, s.n), NewOf(Float32, s.m, s.n)
+			benchFill32(a, 3)
+			benchFill32(bb, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTransAInto(dst, a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransB32(b *testing.B) {
+	for _, s := range gemmSizes {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a, bb, dst := NewOf(Float32, s.m, s.k), NewOf(Float32, s.n, s.k), NewOf(Float32, s.m, s.n)
+			benchFill32(a, 5)
+			benchFill32(bb, 6)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTransBInto(dst, a, bb)
+			}
+		})
+	}
+}
+
 func BenchmarkMatMulTransB(b *testing.B) {
 	for _, s := range gemmSizes {
 		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {

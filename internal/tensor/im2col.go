@@ -2,7 +2,6 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 )
 
@@ -18,7 +17,7 @@ func ConvOutSize(in, kernel, stride, pad int) int {
 // Callers only invoke it when fanning out is worthwhile; the serial path
 // calls the range worker directly (no closure, no goroutines).
 func parallelBatch(b int, body func(b0, b1 int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := kernelWorkers()
 	if workers > b {
 		workers = b
 	}
@@ -41,26 +40,49 @@ func parallelBatch(b int, body func(b0, b1 int)) {
 // batchParallelism reports how many ways a batch-dimension transform of
 // the given total size should fan out (1 = stay serial).
 func batchParallelism(b, totalElems int) bool {
-	return b > 1 && totalElems >= parallelThreshold && runtime.GOMAXPROCS(0) > 1
+	return b > 1 && totalElems >= parallelThreshold && kernelWorkers() > 1
 }
 
-// im2colRange expands the patches of batch images [b0, b1).
-func im2colRange(xd, cd []float64, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
+// im2colRange expands the patches of batch images [b0, b1). The loops are
+// ordered (ci, ky) outer / (ox, kx) inner so the row-validity check runs
+// once per kernel row, and each in-bounds kx run becomes one contiguous
+// kw-element copy — the padding-free interior (the common case) executes
+// no per-element bounds logic at all.
+func im2colRange[T Elem](xd, cd []T, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
 	for bi := b0; bi < b1; bi++ {
+		rowBase := bi * outH * outW
 		for oy := 0; oy < outH; oy++ {
-			for ox := 0; ox < outW; ox++ {
-				row := ((bi*outH+oy)*outW + ox) * rowLen
-				for ci := 0; ci < c; ci++ {
-					base := ((bi * c) + ci) * h * w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride + ky - pad
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride + kx - pad
-							d := row + (ci*kh+ky)*kw + kx
-							if iy >= 0 && iy < h && ix >= 0 && ix < w {
-								cd[d] = xd[base+iy*w+ix]
+			rowY := (rowBase + oy*outW) * rowLen
+			for ci := 0; ci < c; ci++ {
+				base := ((bi * c) + ci) * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					rowOff := (ci*kh + ky) * kw
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							d := rowY + ox*rowLen + rowOff
+							zero := cd[d : d+kw]
+							for i := range zero {
+								zero[i] = 0
+							}
+						}
+						continue
+					}
+					src := base + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix0 := ox*stride - pad
+						d := rowY + ox*rowLen + rowOff
+						if ix0 >= 0 && ix0+kw <= w {
+							copy(cd[d:d+kw], xd[src+ix0:src+ix0+kw])
+							continue
+						}
+						dst := cd[d : d+kw]
+						for kx := range dst {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								dst[kx] = xd[src+ix]
 							} else {
-								cd[d] = 0
+								dst[kx] = 0
 							}
 						}
 					}
@@ -72,7 +94,8 @@ func im2colRange(xd, cd []float64, b0, b1, c, h, w, outH, outW, kh, kw, stride, 
 
 // Im2ColInto expands image patches of x (batch, channels, height, width)
 // into rows of dst, which must have shape (batch*outH*outW,
-// channels*kh*kw). Every element of dst is written. Returns dst.
+// channels*kh*kw) and x's dtype. Every element of dst is written. Returns
+// dst.
 func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col requires a 4-D tensor, got shape %v", x.shape))
@@ -87,7 +110,16 @@ func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if dst.Rank() != 2 || dst.shape[0] != b*outH*outW || dst.shape[1] != rowLen {
 		panic(fmt.Sprintf("tensor: Im2Col dst shape %v, want [%d %d]", dst.shape, b*outH*outW, rowLen))
 	}
-	xd, cd := x.data, dst.data
+	assertSameDType("im2col", x, dst)
+	if x.dt == Float32 {
+		im2colDispatch(x.data32, dst.data32, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+	} else {
+		im2colDispatch(x.data, dst.data, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+	}
+	return dst
+}
+
+func im2colDispatch[T Elem](xd, cd []T, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
 	if batchParallelism(b, b*outH*outW*rowLen) {
 		parallelBatch(b, func(b0, b1 int) {
 			im2colRange(xd, cd, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
@@ -95,13 +127,15 @@ func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) *Tensor {
 	} else {
 		im2colRange(xd, cd, 0, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
 	}
-	return dst
 }
 
 // Im2Col expands image patches into matrix rows so a convolution becomes a
 // matrix product. x has shape (batch, channels, height, width); the result
-// has shape (batch*outH*outW, channels*kh*kw). Each row is the flattened
-// receptive field for one output location.
+// has shape (batch*outH*outW, channels*kh*kw) and x's dtype. Each row is
+// the flattened receptive field for one output location. The result's
+// backing array comes from the shared pool — callers that drop it on the
+// floor lose nothing, and hot loops may hand it back with Shared.Put to
+// run allocation-free.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col requires a 4-D tensor, got shape %v", x.shape))
@@ -109,28 +143,46 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	b, c := x.shape[0], x.shape[1]
 	outH := ConvOutSize(x.shape[2], kh, stride, pad)
 	outW := ConvOutSize(x.shape[3], kw, stride, pad)
-	return Im2ColInto(New(b*outH*outW, c*kh*kw), x, kh, kw, stride, pad)
+	// Every element is written, so the un-zeroed pool path is safe.
+	dst := Shared.getNoZero(x.dt, b*outH*outW, c*kh*kw)
+	return Im2ColInto(dst, x, kh, kw, stride, pad)
 }
 
 // col2imRange scatters the column gradients of batch images [b0, b1).
-func col2imRange(xd, cd []float64, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
+// Mirrors im2colRange's loop order: the row-validity check is hoisted to
+// once per kernel row and interior kx runs accumulate with no per-element
+// bounds logic.
+func col2imRange[T Elem](xd, cd []T, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
 	for bi := b0; bi < b1; bi++ {
+		rowBase := bi * outH * outW
 		for oy := 0; oy < outH; oy++ {
-			for ox := 0; ox < outW; ox++ {
-				row := ((bi*outH+oy)*outW + ox) * rowLen
-				for ci := 0; ci < c; ci++ {
-					base := ((bi * c) + ci) * h * w
-					for ky := 0; ky < kh; ky++ {
-						iy := oy*stride + ky - pad
-						if iy < 0 || iy >= h {
+			rowY := (rowBase + oy*outW) * rowLen
+			for ci := 0; ci < c; ci++ {
+				base := ((bi * c) + ci) * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					rowOff := (ci*kh + ky) * kw
+					dst := xd[base+iy*w:]
+					for ox := 0; ox < outW; ox++ {
+						ix0 := ox*stride - pad
+						d := rowY + ox*rowLen + rowOff
+						if ix0 >= 0 && ix0+kw <= w {
+							out := dst[ix0 : ix0+kw]
+							src := cd[d : d+kw]
+							for i := range out {
+								out[i] += src[i]
+							}
 							continue
 						}
-						for kx := 0; kx < kw; kx++ {
-							ix := ox*stride + kx - pad
-							if ix < 0 || ix >= w {
-								continue
+						src := cd[d : d+kw]
+						for kx := range src {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								dst[ix] += src[kx]
 							}
-							xd[base+iy*w+ix] += cd[row+(ci*kh+ky)*kw+kx]
 						}
 					}
 				}
@@ -142,7 +194,7 @@ func col2imRange(xd, cd []float64, b0, b1, c, h, w, outH, outW, kh, kw, stride, 
 // Col2ImInto is the adjoint of Im2Col: it scatters column gradients back
 // into img (batch, channels, height, width), accumulating overlapping
 // contributions. img is zeroed first; cols must have shape
-// (batch*outH*outW, channels*kh*kw). Returns img.
+// (batch*outH*outW, channels*kh*kw) and img's dtype. Returns img.
 func Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) *Tensor {
 	if img.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Col2Im img shape %v, want 4-D", img.shape))
@@ -154,8 +206,17 @@ func Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) *Tensor {
 	if cols.Rank() != 2 || cols.shape[0] != b*outH*outW || cols.shape[1] != rowLen {
 		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want [%d %d]", cols.shape, b*outH*outW, rowLen))
 	}
+	assertSameDType("col2im", img, cols)
 	img.Zero()
-	xd, cd := img.data, cols.data
+	if img.dt == Float32 {
+		col2imDispatch(img.data32, cols.data32, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+	} else {
+		col2imDispatch(img.data, cols.data, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+	}
+	return img
+}
+
+func col2imDispatch[T Elem](xd, cd []T, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
 	if batchParallelism(b, b*outH*outW*rowLen) {
 		parallelBatch(b, func(b0, b1 int) {
 			col2imRange(xd, cd, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
@@ -163,11 +224,12 @@ func Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) *Tensor {
 	} else {
 		col2imRange(xd, cd, 0, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
 	}
-	return img
 }
 
 // Col2Im scatters column gradients back into a fresh image-shaped gradient
-// of shape (batch, channels, height, width).
+// of shape (batch, channels, height, width), cols' dtype. Like Im2Col, the
+// result is pool-backed.
 func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
-	return Col2ImInto(New(b, c, h, w), cols, kh, kw, stride, pad)
+	// Col2ImInto zeroes img before scattering, so skip the pool's clear.
+	return Col2ImInto(Shared.getNoZero(cols.dt, b, c, h, w), cols, kh, kw, stride, pad)
 }

@@ -2,7 +2,6 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 )
 
@@ -13,10 +12,11 @@ const parallelThreshold = 64 * 1024
 
 // parallelRows splits [0,m) into contiguous chunks and runs body on each
 // chunk concurrently. Chunk boundaries are rounded to multiples of 4 so
-// the register tiles never straddle workers. With a single processor the
-// body runs inline, avoiding goroutine overhead.
+// the register tiles never straddle workers. With a single processor (or
+// a SetKernelParallelism cap of 1) the body runs inline, avoiding
+// goroutine overhead.
 func parallelRows(m int, body func(r0, r1 int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := kernelWorkers()
 	if workers > (m+3)/4 {
 		workers = (m + 3) / 4
 	}
@@ -55,8 +55,14 @@ func MatMulInto(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMul dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
+	assertSameDType("matmul", a, b)
+	assertSameDType("matmul", a, dst)
+	if a.dt == Float32 {
+		matMul32Into(dst, a, b)
+		return
+	}
 	dst.Zero()
-	if m*n >= parallelThreshold && m > 4 && runtime.GOMAXPROCS(0) > 1 {
+	if m*n >= parallelThreshold && m > 4 && kernelWorkers() > 1 {
 		parallelRows(m, func(r0, r1 int) { matMulRows(dst, a, b, r0, r1, k, n) })
 		return
 	}
@@ -207,9 +213,9 @@ func matMulRows(dst, a, b *Tensor, r0, r1, k, n int) {
 	}
 }
 
-// MatMul returns a @ b for 2-D tensors.
+// MatMul returns a @ b for 2-D tensors (same dtype as a).
 func MatMul(a, b *Tensor) *Tensor {
-	out := New(a.shape[0], b.shape[1])
+	out := NewOf(a.dt, a.shape[0], b.shape[1])
 	MatMulInto(out, a, b)
 	return out
 }
@@ -228,8 +234,14 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransA dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
+	assertSameDType("matmultransa", a, b)
+	assertSameDType("matmultransa", a, dst)
+	if a.dt == Float32 {
+		matMulTransA32Into(dst, a, b)
+		return
+	}
 	dst.Zero()
-	if m*n >= parallelThreshold && m > 1 && runtime.GOMAXPROCS(0) > 1 {
+	if m*n >= parallelThreshold && m > 1 && kernelWorkers() > 1 {
 		parallelRows(m, func(r0, r1 int) { matMulTransARows(dst, a, b, r0, r1, k, m, n) })
 		return
 	}
@@ -304,17 +316,23 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransB dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
+	assertSameDType("matmultransb", a, b)
+	assertSameDType("matmultransb", a, dst)
+	if a.dt == Float32 {
+		matMulTransB32Into(dst, a, b)
+		return
+	}
 	if useFMA && n >= 4 && m >= 8 {
 		// Materializing bᵀ through the shared pool costs k*n copies —
 		// negligible against the m*k*n multiply — and unlocks the 4x4
 		// FMA tile, which needs unit-stride b rows.
-		bt := Shared.getNoZero(k, n)
+		bt := Shared.getNoZero(Float64, k, n)
 		TransposeInto(bt, b)
 		MatMulInto(dst, a, bt)
 		Shared.Put(bt)
 		return
 	}
-	if m*n >= parallelThreshold && m > 1 && runtime.GOMAXPROCS(0) > 1 {
+	if m*n >= parallelThreshold && m > 1 && kernelWorkers() > 1 {
 		parallelRows(m, func(r0, r1 int) { matMulTransBRows(dst, a, b, r0, r1, k, n) })
 		return
 	}
@@ -370,20 +388,20 @@ func TransposeInto(dst, a *Tensor) {
 	if dst.shape[0] != n || dst.shape[1] != m {
 		panic(fmt.Sprintf("tensor: Transpose dst shape %v, want [%d %d]", dst.shape, n, m))
 	}
-	for i := 0; i < m; i++ {
-		row := a.data[i*n : (i+1)*n]
-		for j, v := range row {
-			dst.data[j*m+i] = v
-		}
+	assertSameDType("transpose", a, dst)
+	if a.dt == Float32 {
+		transposeSlice(dst.data32, a.data32, m, n)
+		return
 	}
+	transposeSlice(dst.data, a.data, m, n)
 }
 
-// Transpose returns the transpose of a 2-D tensor.
+// Transpose returns the transpose of a 2-D tensor (same dtype).
 func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires a 2-D tensor")
 	}
-	out := New(a.shape[1], a.shape[0])
+	out := NewOf(a.dt, a.shape[1], a.shape[0])
 	TransposeInto(out, a)
 	return out
 }

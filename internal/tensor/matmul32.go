@@ -1,0 +1,334 @@
+package tensor
+
+// Float32 GEMM with tile-major packed panels.
+//
+// Unlike the float64 kernels, which stream the operands in their natural
+// layouts, the float32 path arranges both operands so every microkernel
+// access is unit-stride:
+//
+//   - B (or op(B)) is always packed into nr32-column tile-major panels:
+//     step k of the microkernel reads nr32 consecutive floats, zero-padded
+//     past the matrix edge.
+//   - A streams through four row pointers advancing sa elements per step.
+//     When op(A)'s rows are already contiguous (plain A, and the a operand
+//     of the Bᵀ variant) the kernel walks the matrix directly with sa=1 —
+//     no packing, no copies. Only the Aᵀ variant, whose logical rows are
+//     strided columns, packs A into mr32-row tile-major panels first and
+//     walks them with sa=mr32.
+//
+// Packing costs O(mk + kn) copies against the O(mkn) multiply, which is
+// how all three GEMM variants (plain, Aᵀ, Bᵀ) share one driver and one
+// kernel. The microkernel computes a 4x16 tile (four rows by two ymm
+// registers of eight float32 lanes) with AVX2+FMA (gemm32_amd64.s, gated
+// on the same CPUID check as the float64 kernel); a 4x8 variant covers
+// narrow column remainders, and pure-Go twins of both keep every platform
+// correct.
+
+const (
+	// mr32 x nr32 is the microkernel tile: 4 rows by 16 columns (2 ymm of
+	// 8 float32 lanes). 8 ymm accumulators, 2 loads and 4 broadcasts per k
+	// step keep the FMA pipes saturated without spilling.
+	mr32 = 4
+	nr32 = 16
+	// kc32 is the k-dimension blocking: one packed B panel of kc32 steps
+	// (kc32*nr32*4B = 16 KiB) stays L1-resident across the whole i loop.
+	kc32 = 256
+	// mc32 is the dst-row blocking: a packed A block (mc32*kc32*4B =
+	// 128 KiB) stays L2-resident while its B panels stream through L1.
+	mc32 = 128
+)
+
+// matMul32Into computes dst = a @ b for Float32 tensors; shapes are
+// validated by the dispatching wrapper.
+func matMul32Into(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	dst.Zero()
+	sgemm32(dst.data32, a.data32, b.data32, m, n, k, k, 1, n, 1)
+}
+
+// matMulTransA32Into computes dst = aᵀ @ b with a of shape (k,m).
+func matMulTransA32Into(dst, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	dst.Zero()
+	sgemm32(dst.data32, a.data32, b.data32, m, n, k, 1, m, n, 1)
+}
+
+// matMulTransB32Into computes dst = a @ bᵀ with b of shape (n,k).
+func matMulTransB32Into(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	dst.Zero()
+	sgemm32(dst.data32, a.data32, b.data32, m, n, k, k, 1, 1, k)
+}
+
+// sgemm32 accumulates dd += op(A) @ op(B) where op(A)'s element (i,p)
+// lives at ad[i*ars + p*acs] and op(B)'s element (p,j) at
+// bd[p*brs + j*bcs]. dd is (m,n) row-major and must be pre-zeroed by the
+// caller (the three Into wrappers do).
+func sgemm32(dd, ad, bd []float32, m, n, k, ars, acs, brs, bcs int) {
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	nPanels := (n + nr32 - 1) / nr32
+	for p0 := 0; p0 < k; p0 += kc32 {
+		kb := k - p0
+		if kb > kc32 {
+			kb = kc32
+		}
+		bp := Shared.getNoZero(Float32, nPanels*kb*nr32)
+		packB32(bp.data32, bd, p0, kb, n, brs, bcs)
+		nBlocks := (m + mc32 - 1) / mc32
+		if nBlocks > 1 && m*n >= parallelThreshold && kernelWorkers() > 1 {
+			parallelChunks(nBlocks, func(c0, c1 int) {
+				sgemm32Blocks(dd, ad, bp.data32, c0, c1, m, n, kb, p0, ars, acs)
+			})
+		} else {
+			sgemm32Blocks(dd, ad, bp.data32, 0, nBlocks, m, n, kb, p0, ars, acs)
+		}
+		Shared.Put(bp)
+	}
+}
+
+// sgemm32Blocks multiplies dst-row blocks [c0, c1) of mc32 rows each
+// against the packed B panels. A packs only when op(A)'s rows are strided
+// (acs != 1); each worker packs its own A block, so concurrent blocks
+// never share scratch.
+func sgemm32Blocks(dd, ad, bp []float32, c0, c1, m, n, kb, p0, ars, acs int) {
+	packA := acs != 1
+	var apt *Tensor
+	var ap []float32
+	if packA {
+		apt = Shared.getNoZero(Float32, mc32*kb)
+		ap = apt.data32
+	}
+	// tile is the edge scratch: partial tiles accumulate here first, then
+	// only the in-bounds elements are added to dst.
+	var tile [mr32 * nr32]float32
+	for blk := c0; blk < c1; blk++ {
+		i0 := blk * mc32
+		mb := m - i0
+		if mb > mc32 {
+			mb = mc32
+		}
+		mPanels := (mb + mr32 - 1) / mr32
+		if packA {
+			packA32(ap[:mPanels*kb*mr32], ad, i0, mb, p0, kb, ars, acs)
+		}
+		for pj := 0; pj*nr32 < n; pj++ {
+			j0 := pj * nr32
+			wj := n - j0
+			if wj > nr32 {
+				wj = nr32
+			}
+			bpanel := bp[pj*kb*nr32:]
+			for pi := 0; pi < mPanels; pi++ {
+				i := i0 + pi*mr32
+				hi := mb - pi*mr32
+				if hi > mr32 {
+					hi = mr32
+				}
+				var a0, a1, a2, a3 []float32
+				sa := 1
+				if packA {
+					apanel := ap[pi*kb*mr32:]
+					a0, a1, a2, a3 = apanel, apanel[1:], apanel[2:], apanel[3:]
+					sa = mr32
+				} else {
+					// Raw contiguous rows; rows past the edge alias row i,
+					// their results land in scratch rows that are discarded.
+					a0 = ad[i*ars+p0:]
+					a1, a2, a3 = a0, a0, a0
+					if hi > 1 {
+						a1 = ad[(i+1)*ars+p0:]
+					}
+					if hi > 2 {
+						a2 = ad[(i+2)*ars+p0:]
+					}
+					if hi > 3 {
+						a3 = ad[(i+3)*ars+p0:]
+					}
+				}
+				if hi == mr32 && wj == nr32 {
+					sgemmTile16(a0, a1, a2, a3, sa, bpanel, kb, dd[i*n+j0:], n)
+					continue
+				}
+				for z := range tile {
+					tile[z] = 0
+				}
+				if wj > 8 {
+					sgemmTile16(a0, a1, a2, a3, sa, bpanel, kb, tile[:], nr32)
+				} else {
+					sgemmTile8(a0, a1, a2, a3, sa, bpanel, kb, tile[:], nr32)
+				}
+				for r := 0; r < hi; r++ {
+					drow := dd[(i+r)*n+j0 : (i+r)*n+j0+wj]
+					trow := tile[r*nr32:]
+					for c := range drow {
+						drow[c] += trow[c]
+					}
+				}
+			}
+		}
+	}
+	if packA {
+		Shared.Put(apt)
+	}
+}
+
+// sgemmTile16 accumulates a full 4x16 tile: d[r*ldd+c] += sum_p
+// a_r[p*sa]*b[p*16+c]. Dispatches to the AVX2+FMA microkernel when the
+// CPU supports it.
+func sgemmTile16(a0, a1, a2, a3 []float32, sa int, b []float32, kb int, d []float32, ldd int) {
+	if useFMA32 {
+		sgemm4x16s(&a0[0], &a1[0], &a2[0], &a3[0], uintptr(sa), &b[0], uintptr(kb), &d[0], uintptr(ldd))
+		return
+	}
+	sgemm4x16go(a0, a1, a2, a3, sa, b, kb, d, ldd)
+}
+
+// sgemmTile8 is the one-ymm-wide variant for column remainders of 8 or
+// fewer: it reads the same 16-wide packed B panels but touches only the
+// first 8 lanes of each step.
+func sgemmTile8(a0, a1, a2, a3 []float32, sa int, b []float32, kb int, d []float32, ldd int) {
+	if useFMA32 {
+		sgemm4x8s(&a0[0], &a1[0], &a2[0], &a3[0], uintptr(sa), &b[0], uintptr(kb), &d[0], uintptr(ldd))
+		return
+	}
+	sgemm4x8go(a0, a1, a2, a3, sa, b, kb, d, ldd)
+}
+
+// packA32 packs rows [i0, i0+mb) of op(A), k-range [p0, p0+kb), into
+// mr32-row tile-major panels: ap[panel*kb*mr32 + p*mr32 + r]. Rows past mb
+// in the final panel are zero-filled so the microkernel never needs a row
+// mask. Only the transposed-A variant packs (rows with acs != 1); its
+// ars == 1 layout makes each packed step a contiguous 4-element copy.
+func packA32(ap, ad []float32, i0, mb, p0, kb, ars, acs int) {
+	mPanels := (mb + mr32 - 1) / mr32
+	for pi := 0; pi < mPanels; pi++ {
+		dst := ap[pi*kb*mr32:]
+		rows := mb - pi*mr32
+		if rows > mr32 {
+			rows = mr32
+		}
+		base := (i0 + pi*mr32) * ars
+		if rows == mr32 && ars == 1 {
+			// Four adjacent op(A) rows are four adjacent source elements.
+			for p := 0; p < kb; p++ {
+				s := base + (p0+p)*acs
+				copy(dst[p*mr32:p*mr32+mr32], ad[s:s+mr32])
+			}
+			continue
+		}
+		if rows == mr32 {
+			a0 := ad[base+p0*acs:]
+			a1 := ad[base+ars+p0*acs:]
+			a2 := ad[base+2*ars+p0*acs:]
+			a3 := ad[base+3*ars+p0*acs:]
+			for p := 0; p < kb; p++ {
+				s := p * acs
+				q := p * mr32
+				dst[q] = a0[s]
+				dst[q+1] = a1[s]
+				dst[q+2] = a2[s]
+				dst[q+3] = a3[s]
+			}
+			continue
+		}
+		for p := 0; p < kb; p++ {
+			q := p * mr32
+			s := base + (p0+p)*acs
+			for r := 0; r < mr32; r++ {
+				if r < rows {
+					dst[q+r] = ad[s+r*ars]
+				} else {
+					dst[q+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB32 packs k-range [p0, p0+kb) of op(B), all n columns, into
+// nr32-column tile-major panels: bp[panel*kb*nr32 + p*nr32 + c]. Columns
+// past n in the final panel are zero-filled.
+func packB32(bp, bd []float32, p0, kb, n, brs, bcs int) {
+	nPanels := (n + nr32 - 1) / nr32
+	for pj := 0; pj < nPanels; pj++ {
+		dst := bp[pj*kb*nr32:]
+		j0 := pj * nr32
+		cols := n - j0
+		if cols > nr32 {
+			cols = nr32
+		}
+		if bcs == 1 && cols == nr32 {
+			// Contiguous source rows: straight 16-float copies.
+			for p := 0; p < kb; p++ {
+				src := bd[(p0+p)*brs+j0:]
+				copy(dst[p*nr32:p*nr32+nr32], src[:nr32])
+			}
+			continue
+		}
+		for p := 0; p < kb; p++ {
+			q := p * nr32
+			s := (p0+p)*brs + j0*bcs
+			for c := 0; c < nr32; c++ {
+				if c < cols {
+					dst[q+c] = bd[s+c*bcs]
+				} else {
+					dst[q+c] = 0
+				}
+			}
+		}
+	}
+}
+
+// sgemm4x16go is the portable twin of the assembly microkernel: it
+// accumulates the 4x16 tile in registers/stack and adds into d once.
+func sgemm4x16go(a0, a1, a2, a3 []float32, sa int, b []float32, kb int, d []float32, ldd int) {
+	var acc [mr32 * nr32]float32
+	for p := 0; p < kb; p++ {
+		brow := b[p*nr32 : p*nr32+nr32]
+		s := p * sa
+		ar := [mr32]float32{a0[s], a1[s], a2[s], a3[s]}
+		for r := 0; r < mr32; r++ {
+			av := ar[r]
+			accRow := acc[r*nr32 : r*nr32+nr32]
+			for c, bv := range brow {
+				accRow[c] += av * bv
+			}
+		}
+	}
+	for r := 0; r < mr32; r++ {
+		drow := d[r*ldd : r*ldd+nr32]
+		accRow := acc[r*nr32 : r*nr32+nr32]
+		for c := range drow {
+			drow[c] += accRow[c]
+		}
+	}
+}
+
+// sgemm4x8go is the portable twin of the 8-wide microkernel.
+func sgemm4x8go(a0, a1, a2, a3 []float32, sa int, b []float32, kb int, d []float32, ldd int) {
+	var acc [mr32 * 8]float32
+	for p := 0; p < kb; p++ {
+		brow := b[p*nr32 : p*nr32+8]
+		s := p * sa
+		ar := [mr32]float32{a0[s], a1[s], a2[s], a3[s]}
+		for r := 0; r < mr32; r++ {
+			av := ar[r]
+			accRow := acc[r*8 : r*8+8]
+			for c, bv := range brow {
+				accRow[c] += av * bv
+			}
+		}
+	}
+	for r := 0; r < mr32; r++ {
+		drow := d[r*ldd : r*ldd+8]
+		accRow := acc[r*8 : r*8+8]
+		for c := range drow {
+			drow[c] += accRow[c]
+		}
+	}
+}

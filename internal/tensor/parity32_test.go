@@ -1,0 +1,239 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// Float32 parity tests: the packed-panel kernels must match a float64
+// reference within float32 accumulation error, across odd shapes that
+// exercise every edge path (partial row panels, partial column panels,
+// the 8-wide remainder kernel, k-blocking), in both the assembly and
+// pure-Go paths.
+
+// parityEq32 allows float32 rounding accumulated over k products.
+func parityEq32(got, want float64, k int) bool {
+	tol := 1e-5 * float64(k+1) * (1 + math.Abs(want))
+	return math.Abs(got-want) <= tol
+}
+
+// withBothKernelPaths32 runs f with the float32 FMA microkernel disabled
+// and, when the CPU supports it, enabled as well.
+func withBothKernelPaths32(t *testing.T, f func(t *testing.T)) {
+	saved := useFMA32
+	defer func() { useFMA32 = saved }()
+	useFMA32 = false
+	t.Run("generic", f)
+	if saved {
+		useFMA32 = true
+		t.Run("fma", f)
+	}
+}
+
+func fillDet32(x *Tensor, seed int) {
+	d := x.Data32()
+	for i := range d {
+		d[i] = float32((i*31+seed*17)%19)/7 - 1.3
+	}
+}
+
+// toF64 widens a float32 tensor for reference computation.
+func toF64(x *Tensor) *Tensor {
+	out := New(x.Shape()...)
+	convertSlice(out.Data(), x.Data32())
+	return out
+}
+
+func checkTensorParity32(t *testing.T, name string, got, want *Tensor, k int) {
+	t.Helper()
+	gd, wd := got.Data32(), want.Data()
+	for i := range gd {
+		if !parityEq32(float64(gd[i]), wd[i], k) {
+			t.Fatalf("%s: elem %d got %v want %v", name, i, gd[i], wd[i])
+		}
+	}
+}
+
+// parity32Sizes hits interior tiles (mr32/nr32 multiples), sub-tile edges,
+// the 8-wide column remainder, and sizes past one k block (kc32 = 256).
+var parity32Sizes = []int{1, 3, 5, 8, 17, 33, 64, 300}
+
+func TestGEMM32Parity(t *testing.T) {
+	withBothKernelPaths32(t, func(t *testing.T) {
+		for _, m := range parity32Sizes {
+			for _, k := range parity32Sizes {
+				for _, n := range parity32Sizes {
+					if m*k*n > 3_000_000 {
+						continue // keep the grid fast; 300x300 covers blocking
+					}
+					a, b := NewOf(Float32, m, k), NewOf(Float32, k, n)
+					fillDet32(a, m+2*k+3*n)
+					fillDet32(b, n+5*k)
+					got := NewOf(Float32, m, n)
+					MatMulInto(got, a, b)
+					want := naiveMatMul(toF64(a), toF64(b))
+					checkTensorParity32(t, fmt.Sprintf("MatMul32 %dx%dx%d", m, k, n), got, want, k)
+
+					at := NewOf(Float32, k, m) // aᵀ operand
+					fillDet32(at, 7*m+k)
+					MatMulTransAInto(got, at, b)
+					checkTensorParity32(t, fmt.Sprintf("TransA32 %dx%dx%d", m, k, n), got,
+						naiveMatMul(Transpose(toF64(at)), toF64(b)), k)
+
+					bt := NewOf(Float32, n, k) // bᵀ operand
+					fillDet32(bt, 11*n+k)
+					MatMulTransBInto(got, a, bt)
+					checkTensorParity32(t, fmt.Sprintf("TransB32 %dx%dx%d", m, k, n), got,
+						naiveMatMul(toF64(a), Transpose(toF64(bt))), k)
+				}
+			}
+		}
+	})
+}
+
+func TestIm2ColCol2Im32Parity(t *testing.T) {
+	cases := []struct {
+		b, c, h, w, kh, kw, stride, pad int
+	}{
+		{1, 1, 5, 5, 3, 3, 1, 1},
+		{2, 3, 7, 5, 3, 3, 2, 1},
+		{3, 2, 9, 9, 5, 5, 1, 2},
+		{2, 2, 5, 7, 1, 3, 2, 1},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("b%d_c%d_%dx%d_k%dx%d_s%d_p%d", tc.b, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		x := NewOf(Float32, tc.b, tc.c, tc.h, tc.w)
+		fillDet32(x, tc.b+tc.c+tc.h)
+		cols := Im2Col(x, tc.kh, tc.kw, tc.stride, tc.pad)
+		if cols.DType() != Float32 {
+			t.Fatalf("Im2Col32 %s: dtype %v", name, cols.DType())
+		}
+		wantCols := naiveIm2Col(toF64(x), tc.kh, tc.kw, tc.stride, tc.pad)
+		checkTensorParity32(t, "Im2Col32 "+name, cols, wantCols, 0)
+
+		g := NewOf(Float32, cols.Dim(0), cols.Dim(1))
+		fillDet32(g, 3*tc.kh+tc.kw)
+		img := Col2Im(g, tc.b, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		wantImg := naiveCol2Im(toF64(g), tc.b, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.stride, tc.pad)
+		checkTensorParity32(t, "Col2Im32 "+name, img, wantImg, tc.kh*tc.kw)
+	}
+}
+
+func TestElementwise32(t *testing.T) {
+	a := NewOf(Float32, 3, 5)
+	b := NewOf(Float32, 3, 5)
+	fillDet32(a, 1)
+	fillDet32(b, 2)
+	sum := Add(a, b)
+	if sum.DType() != Float32 {
+		t.Fatalf("Add dtype %v", sum.DType())
+	}
+	for i := range sum.Data32() {
+		want := a.Data32()[i] + b.Data32()[i]
+		if sum.Data32()[i] != want {
+			t.Fatalf("Add32 elem %d: %v want %v", i, sum.Data32()[i], want)
+		}
+	}
+	d := a.Clone()
+	d.AddScaled(0.5, b)
+	for i := range d.Data32() {
+		want := a.Data32()[i] + 0.5*b.Data32()[i]
+		if math.Abs(float64(d.Data32()[i]-want)) > 1e-6 {
+			t.Fatalf("AddScaled32 elem %d: %v want %v", i, d.Data32()[i], want)
+		}
+	}
+	d.Scale(2)
+	if got := d.Sum(); math.Abs(got-2*(a.Sum()+0.5*b.Sum())) > 1e-3 {
+		t.Fatalf("Scale/Sum32: %v", got)
+	}
+	// Round-trip through the float64 state boundary.
+	flat := make([]float64, a.Len())
+	a.CopyToF64(flat)
+	back := NewOf(Float32, 3, 5)
+	back.CopyFromF64(flat)
+	for i := range back.Data32() {
+		if back.Data32()[i] != a.Data32()[i] {
+			t.Fatal("CopyToF64/CopyFromF64 round trip changed values")
+		}
+	}
+}
+
+func TestEnsureOfDTypeSwitch(t *testing.T) {
+	f64 := Ensure(nil, 4, 4)
+	if f64.DType() != Float64 {
+		t.Fatalf("Ensure(nil) dtype %v", f64.DType())
+	}
+	f32 := EnsureOf(Float32, f64, 4, 4)
+	if f32 == f64 || f32.DType() != Float32 {
+		t.Fatal("EnsureOf must reallocate on dtype switch")
+	}
+	again := EnsureOf(Float32, f32, 2, 3)
+	if again != f32 {
+		t.Fatal("EnsureOf should reuse matching-dtype capacity")
+	}
+	if kept := Ensure(f32, 4, 2); kept != f32 || kept.DType() != Float32 {
+		t.Fatal("Ensure must preserve the tensor's dtype")
+	}
+}
+
+// TestPool32ConcurrentClients exercises the float32 buckets of the shared
+// pool the way concurrent float32 clients do; under -race this is the f32
+// pool's race-detector test.
+func TestPool32ConcurrentClients(t *testing.T) {
+	pool := &Pool{}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws := NewWorkspace(pool)
+			for round := 0; round < 50; round++ {
+				a := ws.GetOf(Float32, 64, 3+g)
+				b := ws.GetOf(Float32, 128)
+				c := ws.Get(32) // interleave f64 to cover both bucket sets
+				mark := float64(g*1000 + round)
+				a.Fill(mark)
+				b.Fill(-mark)
+				c.Fill(mark)
+				for _, v := range a.Data32() {
+					if v != float32(mark) {
+						errs <- fmt.Errorf("goroutine %d round %d: f32 workspace not isolated", g, round)
+						return
+					}
+				}
+				for _, v := range b.Data32() {
+					if v != float32(-mark) {
+						errs <- fmt.Errorf("goroutine %d round %d: f32 workspace not isolated", g, round)
+						return
+					}
+				}
+				ws.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSetKernelParallelism(t *testing.T) {
+	defer SetKernelParallelism(0)
+	SetKernelParallelism(1)
+	if kernelWorkers() != 1 {
+		t.Fatalf("kernelWorkers under cap 1: %d", kernelWorkers())
+	}
+	// The capped path must still be correct.
+	a, b := NewOf(Float32, 65, 33), NewOf(Float32, 33, 17)
+	fillDet32(a, 1)
+	fillDet32(b, 2)
+	got := NewOf(Float32, 65, 17)
+	MatMulInto(got, a, b)
+	SetKernelParallelism(0)
+	want := naiveMatMul(toF64(a), toF64(b))
+	checkTensorParity32(t, "capped MatMul32", got, want, 33)
+}

@@ -9,12 +9,17 @@ import (
 // This file implements the workspace/pooling subsystem that keeps the
 // training hot path allocation-free. Two complementary tools:
 //
-//   - Ensure grows a caller-held scratch tensor in place. Layers use it for
-//     per-layer buffers that live as long as the layer (the common case).
+//   - Ensure/EnsureOf grow a caller-held scratch tensor in place. Layers
+//     use them for per-layer buffers that live as long as the layer (the
+//     common case).
 //   - Pool/Workspace recycle size-bucketed backing arrays across
 //     goroutines. The federated layer uses a Workspace per client so the
 //     round-scoped scratch of the K sampled parties is shared through one
 //     pool instead of being held by all N parties forever.
+//
+// Both dtypes are served: the pool keeps separate bucket sets for float64
+// and float32 backing arrays, and Ensure preserves the dtype of the tensor
+// it grows.
 //
 // The steady-state training rule: no tensor.New inside Forward/Backward or
 // the per-batch training loop. New is for construction time (weights,
@@ -44,31 +49,52 @@ func shapeLen(shape []int) int {
 
 // Ensure returns a tensor with the given shape for use as scratch: it
 // reshapes t in place when its backing array has enough capacity and
-// allocates a fresh tensor otherwise. The contents are unspecified —
-// callers that accumulate must Zero it first; callers that fully overwrite
-// need not. Typical use: `l.buf = tensor.Ensure(l.buf, m, n)`. In steady
-// state (stable shapes) it performs no allocations at all.
+// allocates a fresh tensor otherwise. A nil t yields a Float64 tensor; a
+// non-nil t keeps its dtype (use EnsureOf to demand one). The contents are
+// unspecified — callers that accumulate must Zero it first; callers that
+// fully overwrite need not. Typical use: `l.buf = tensor.Ensure(l.buf, m,
+// n)`. In steady state (stable shapes) it performs no allocations at all.
 func Ensure(t *Tensor, shape ...int) *Tensor {
-	n := shapeLen(shape)
-	if t == nil || cap(t.data) < n {
-		s := make([]int, len(shape))
-		copy(s, shape)
-		return &Tensor{shape: s, data: make([]float64, n)}
+	if t == nil {
+		return EnsureOf(Float64, nil, shape...)
 	}
-	t.data = t.data[:n]
+	return EnsureOf(t.dt, t, shape...)
+}
+
+// EnsureOf is Ensure with an explicit dtype: a tensor of the wrong dtype
+// (or insufficient capacity, or nil) is replaced by a fresh allocation.
+func EnsureOf(dt DType, t *Tensor, shape ...int) *Tensor {
+	n := shapeLen(shape)
+	if dt == Float32 {
+		if t == nil || t.dt != Float32 || cap(t.data32) < n {
+			s := make([]int, len(shape))
+			copy(s, shape)
+			return &Tensor{shape: s, data32: make([]float32, n), dt: Float32}
+		}
+		t.data32 = t.data32[:n]
+	} else {
+		if t == nil || t.dt != Float64 || cap(t.data) < n {
+			s := make([]int, len(shape))
+			copy(s, shape)
+			return &Tensor{shape: s, data: make([]float64, n)}
+		}
+		t.data = t.data[:n]
+	}
 	t.shape = append(t.shape[:0], shape...)
 	return t
 }
 
 // maxPoolBucket caps pooled backing arrays at 2^maxPoolBucket elements
-// (512 MiB of float64); larger requests bypass the pool.
+// (512 MiB of float64, 256 MiB of float32); larger requests bypass the
+// pool.
 const maxPoolBucket = 26
 
-// Pool recycles tensors through size-bucketed sync.Pools. Get and Put are
-// goroutine-safe; the same Pool may serve many concurrently-training
-// clients. Tensors returned by Get are zeroed.
+// Pool recycles tensors through size-bucketed sync.Pools, one bucket set
+// per dtype. Get and Put are goroutine-safe; the same Pool may serve many
+// concurrently-training clients. Tensors returned by Get/GetOf are zeroed.
 type Pool struct {
-	buckets [maxPoolBucket + 1]sync.Pool
+	buckets   [maxPoolBucket + 1]sync.Pool // float64 backing arrays
+	buckets32 [maxPoolBucket + 1]sync.Pool // float32 backing arrays
 }
 
 // Shared is the process-wide default pool, used by Workspaces constructed
@@ -88,33 +114,53 @@ func bucketFor(n int) int {
 	return b
 }
 
-// Get returns a zeroed tensor with the given shape, reusing a pooled
-// backing array when one is available.
+// Get returns a zeroed Float64 tensor with the given shape, reusing a
+// pooled backing array when one is available.
 func (p *Pool) Get(shape ...int) *Tensor {
-	t := p.getNoZero(shape...)
+	return p.GetOf(Float64, shape...)
+}
+
+// GetOf is Get with an explicit dtype.
+func (p *Pool) GetOf(dt DType, shape ...int) *Tensor {
+	t := p.getNoZero(dt, shape...)
 	t.Zero()
 	return t
 }
 
-// getNoZero is Get without the clearing pass, for internal callers that
+// getNoZero is GetOf without the clearing pass, for internal callers that
 // fully overwrite the tensor. The contents are unspecified.
-func (p *Pool) getNoZero(shape ...int) *Tensor {
+func (p *Pool) getNoZero(dt DType, shape ...int) *Tensor {
 	n := shapeLen(shape)
 	b := bucketFor(n)
+	set := &p.buckets
+	if dt == Float32 {
+		set = &p.buckets32
+	}
 	size := n
 	if b >= 0 {
-		if v := p.buckets[b].Get(); v != nil {
+		if v := set[b].Get(); v != nil {
 			t := v.(*Tensor)
-			t.data = t.data[:n]
+			if dt == Float32 {
+				t.data32 = t.data32[:n]
+			} else {
+				t.data = t.data[:n]
+			}
 			t.shape = append(t.shape[:0], shape...)
 			return t
 		}
 		size = 1 << b
 	}
-	data := make([]float64, size)
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: data[:n]}
+	t := &Tensor{shape: s, dt: dt}
+	if dt == Float32 {
+		data := make([]float32, size)
+		t.data32 = data[:n]
+	} else {
+		data := make([]float64, size)
+		t.data = data[:n]
+	}
+	return t
 }
 
 // Put returns t's backing array to the pool. t must not be used afterwards.
@@ -125,6 +171,11 @@ func (p *Pool) Put(t *Tensor) {
 		return
 	}
 	c := cap(t.data)
+	set := &p.buckets
+	if t.dt == Float32 {
+		c = cap(t.data32)
+		set = &p.buckets32
+	}
 	if c == 0 || c&(c-1) != 0 {
 		return
 	}
@@ -132,8 +183,12 @@ func (p *Pool) Put(t *Tensor) {
 	if b > maxPoolBucket {
 		return
 	}
-	t.data = t.data[:c]
-	p.buckets[b].Put(t)
+	if t.dt == Float32 {
+		t.data32 = t.data32[:c]
+	} else {
+		t.data = t.data[:c]
+	}
+	set[b].Put(t)
 }
 
 // Workspace is a convenience view over a Pool that remembers what it handed
@@ -160,10 +215,15 @@ func NewWorkspace(p *Pool) *Workspace {
 	return &Workspace{pool: p}
 }
 
-// Get returns a zeroed tensor from the underlying pool, tracked for the
-// next Release.
+// Get returns a zeroed Float64 tensor from the underlying pool, tracked
+// for the next Release.
 func (w *Workspace) Get(shape ...int) *Tensor {
-	t := w.pool.Get(shape...)
+	return w.GetOf(Float64, shape...)
+}
+
+// GetOf is Get with an explicit dtype.
+func (w *Workspace) GetOf(dt DType, shape ...int) *Tensor {
+	t := w.pool.GetOf(dt, shape...)
 	w.taken = append(w.taken, t)
 	return t
 }

@@ -1,4 +1,4 @@
-// Package tensor implements dense row-major float64 tensors and the linear
+// Package tensor implements dense row-major tensors and the linear
 // algebra NIID-Bench's neural-network stack needs: matrix multiplication,
 // element-wise arithmetic, reductions, and the im2col/col2im transforms
 // that turn convolutions into matrix products.
@@ -7,22 +7,40 @@
 // federated-learning layer moves models around as flat []float64 vectors,
 // so tensors expose their data directly rather than hiding it.
 //
+// # Dtypes
+//
+// Every tensor carries a DType: Float64 (the default — all existing
+// constructors produce it) or Float32, the low-precision training backend.
+// A float32 tensor stores its elements in a []float32 reachable via
+// Data32; Data/Data32 panic when called for the wrong dtype so layout bugs
+// surface immediately. Binary operations require matching dtypes;
+// CopyToF64/CopyFromF64 convert at the model-state boundary, which is how
+// the federated layer aggregates float32 models in float64. Choose the
+// dtype at construction (NewOf, EnsureOf, Pool.GetOf) — the nn layer
+// plumbs nn.ModelSpec.DType down to every kernel.
+//
 // # Performance
 //
-// The GEMM kernels (MatMulInto, MatMulTransAInto, MatMulTransBInto) are
-// cache-blocked and register-tiled, fan out across goroutines above
+// The float64 GEMM kernels (MatMulInto, MatMulTransAInto, MatMulTransBInto)
+// are cache-blocked and register-tiled, fan out across goroutines above
 // parallelThreshold, and on amd64 CPUs with AVX2+FMA dispatch to an
-// assembly 4x4 microkernel (gemm_amd64.s). Im2Col/Col2Im parallelize over
-// the batch dimension. Everything has an Into variant writing into
-// caller-provided storage.
+// assembly 4x4 microkernel (gemm_amd64.s). The float32 kernels pack both
+// operands into tile-major panels and run an 8-lane-ymm 4x16 AVX2+FMA
+// microkernel over them (gemm32_amd64.s, see matmul32.go).
+// Im2Col/Col2Im parallelize over the batch dimension. Everything has an
+// Into variant writing into caller-provided storage. The goroutine fan-out
+// of all kernels respects SetKernelParallelism, so a simulation running
+// many clients concurrently can stop the kernels from oversubscribing the
+// machine.
 //
 // # Workspaces and the no-alloc rule
 //
 // Steady-state training must not call New: per-layer scratch is grown in
-// place with Ensure, and round-scoped scratch comes from a Pool/Workspace
-// (see pool.go). New is for construction time and for results that escape
-// their scope. Benchmarks enforce this: BenchmarkConvForwardBackward and
-// BenchmarkLocalTrainStep report ~0 allocs/op.
+// place with Ensure/EnsureOf, and round-scoped scratch comes from a
+// Pool/Workspace (see pool.go). New is for construction time and for
+// results that escape their scope. Benchmarks enforce this:
+// BenchmarkConvForwardBackward and BenchmarkLocalTrainStep report ~0
+// allocs/op.
 package tensor
 
 import (
@@ -30,15 +48,23 @@ import (
 	"math"
 )
 
-// Tensor is a dense row-major array of float64 values.
+// Tensor is a dense row-major array of float64 or float32 values; exactly
+// one of the backing slices is active, selected by dt.
 type Tensor struct {
-	shape []int
-	data  []float64
+	shape  []int
+	data   []float64
+	data32 []float32
+	dt     DType
 }
 
-// New creates a zero tensor with the given shape. All dimensions must be
-// positive.
+// New creates a zero Float64 tensor with the given shape. All dimensions
+// must be positive.
 func New(shape ...int) *Tensor {
+	return NewOf(Float64, shape...)
+}
+
+// NewOf creates a zero tensor of the given dtype and shape.
+func NewOf(dt DType, shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
@@ -48,36 +74,79 @@ func New(shape ...int) *Tensor {
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: make([]float64, n)}
+	t := &Tensor{shape: s, dt: dt}
+	if dt == Float32 {
+		t.data32 = make([]float32, n)
+	} else {
+		t.data = make([]float64, n)
+	}
+	return t
 }
 
-// FromSlice wraps data in a tensor with the given shape. The slice is used
-// directly (not copied); its length must equal the shape's element count.
+// FromSlice wraps data in a Float64 tensor with the given shape. The slice
+// is used directly (not copied); its length must equal the shape's element
+// count.
 func FromSlice(data []float64, shape ...int) *Tensor {
-	n := 1
-	for _, d := range shape {
-		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
-		}
-		n *= d
-	}
-	if len(data) != n {
-		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elems)", len(data), shape, n))
-	}
+	checkSliceShape(len(data), shape)
 	s := make([]int, len(shape))
 	copy(s, shape)
 	return &Tensor{shape: s, data: data}
 }
 
+// FromSlice32 wraps data in a Float32 tensor with the given shape. The
+// slice is used directly (not copied).
+func FromSlice32(data []float32, shape ...int) *Tensor {
+	checkSliceShape(len(data), shape)
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data32: data, dt: Float32}
+}
+
+func checkSliceShape(have int, shape []int) {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	if have != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elems)", have, shape, n))
+	}
+}
+
+// DType returns the tensor's element type.
+func (t *Tensor) DType() DType { return t.dt }
+
 // Shape returns the tensor's dimensions. The returned slice must not be
 // modified.
 func (t *Tensor) Shape() []int { return t.shape }
 
-// Data returns the flat backing slice. Mutating it mutates the tensor.
-func (t *Tensor) Data() []float64 { return t.data }
+// Data returns the flat float64 backing slice. Mutating it mutates the
+// tensor. It panics for Float32 tensors — use Data32.
+func (t *Tensor) Data() []float64 {
+	if t.dt != Float64 {
+		panic("tensor: Data() on a " + t.dt.String() + " tensor")
+	}
+	return t.data
+}
+
+// Data32 returns the flat float32 backing slice. It panics for Float64
+// tensors — use Data.
+func (t *Tensor) Data32() []float32 {
+	if t.dt != Float32 {
+		panic("tensor: Data32() on a " + t.dt.String() + " tensor")
+	}
+	return t.data32
+}
 
 // Len returns the total number of elements.
-func (t *Tensor) Len() int { return len(t.data) }
+func (t *Tensor) Len() int {
+	if t.dt == Float32 {
+		return len(t.data32)
+	}
+	return len(t.data)
+}
 
 // Dim returns the size of dimension i.
 func (t *Tensor) Dim(i int) int { return t.shape[i] }
@@ -85,10 +154,14 @@ func (t *Tensor) Dim(i int) int { return t.shape[i] }
 // Rank returns the number of dimensions.
 func (t *Tensor) Rank() int { return len(t.shape) }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (same dtype).
 func (t *Tensor) Clone() *Tensor {
-	c := New(t.shape...)
-	copy(c.data, t.data)
+	c := NewOf(t.dt, t.shape...)
+	if t.dt == Float32 {
+		copy(c.data32, t.data32)
+	} else {
+		copy(c.data, t.data)
+	}
 	return c
 }
 
@@ -99,12 +172,12 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	for _, d := range shape {
 		n *= d
 	}
-	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	if n != t.Len() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, t.Len(), shape, n))
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: t.data}
+	return &Tensor{shape: s, data: t.data, data32: t.data32, dt: t.dt}
 }
 
 // ReshapeInPlace changes t's shape in place, sharing the data; the element
@@ -113,8 +186,8 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 // and re-shape it on every use.
 func (t *Tensor) ReshapeInPlace(shape ...int) *Tensor {
 	n := shapeLen(shape)
-	if n != len(t.data) {
-		panicReshapeLen(n, len(t.data))
+	if n != t.Len() {
+		panicReshapeLen(n, t.Len())
 	}
 	t.shape = append(t.shape[:0], shape...)
 	return t
@@ -125,14 +198,25 @@ func panicReshapeLen(n, have int) {
 	panic(fmt.Sprintf("tensor: cannot reshape %d elems to a %d-elem shape in place", have, n))
 }
 
-// At returns the element at the given multi-dimensional index.
+// At returns the element at the given multi-dimensional index as a
+// float64, whatever the dtype. It is for tests and construction-time code,
+// not hot loops.
 func (t *Tensor) At(idx ...int) float64 {
-	return t.data[t.offset(idx)]
+	off := t.offset(idx)
+	if t.dt == Float32 {
+		return float64(t.data32[off])
+	}
+	return t.data[off]
 }
 
-// Set writes v at the given multi-dimensional index.
+// Set writes v (narrowed for Float32 tensors) at the given index.
 func (t *Tensor) Set(v float64, idx ...int) {
-	t.data[t.offset(idx)] = v
+	off := t.offset(idx)
+	if t.dt == Float32 {
+		t.data32[off] = float32(v)
+		return
+	}
+	t.data[off] = v
 }
 
 func (t *Tensor) offset(idx []int) int {
@@ -151,16 +235,41 @@ func (t *Tensor) offset(idx []int) int {
 
 // Fill sets every element to v.
 func (t *Tensor) Fill(v float64) {
-	for i := range t.data {
-		t.data[i] = v
+	if t.dt == Float32 {
+		fillSlice(t.data32, float32(v))
+		return
 	}
+	fillSlice(t.data, v)
 }
 
 // Zero sets every element to 0.
 func (t *Tensor) Zero() {
-	for i := range t.data {
-		t.data[i] = 0
+	if t.dt == Float32 {
+		fillSlice(t.data32, 0)
+		return
 	}
+	fillSlice(t.data, 0)
+}
+
+// CopyToF64 converts the tensor's elements into dst (length Len), widening
+// Float32 values. This is the model-state boundary: the federated layer
+// aggregates every model — whatever its compute dtype — in float64.
+func (t *Tensor) CopyToF64(dst []float64) {
+	if t.dt == Float32 {
+		convertSlice(dst[:len(t.data32)], t.data32)
+		return
+	}
+	copy(dst, t.data)
+}
+
+// CopyFromF64 loads the tensor's elements from src (length >= Len),
+// narrowing into Float32 tensors.
+func (t *Tensor) CopyFromF64(src []float64) {
+	if t.dt == Float32 {
+		convertSlice(t.data32, src[:len(t.data32)])
+		return
+	}
+	copy(t.data, src[:len(t.data)])
 }
 
 // SameShape reports whether t and o have identical shapes.
@@ -182,19 +291,29 @@ func assertSameShape(op string, a, b *Tensor) {
 	}
 }
 
-// AddInto computes dst = a + b element-wise. All three must share a shape;
-// dst may alias a or b.
+func assertSameDType(op string, a, b *Tensor) {
+	if a.dt != b.dt {
+		panic(fmt.Sprintf("tensor: %s dtype mismatch %v vs %v", op, a.dt, b.dt))
+	}
+}
+
+// AddInto computes dst = a + b element-wise. All three must share a shape
+// and dtype; dst may alias a or b.
 func AddInto(dst, a, b *Tensor) {
 	assertSameShape("add", a, b)
 	assertSameShape("add", a, dst)
-	for i := range dst.data {
-		dst.data[i] = a.data[i] + b.data[i]
+	assertSameDType("add", a, b)
+	assertSameDType("add", a, dst)
+	if dst.dt == Float32 {
+		addSlices(dst.data32, a.data32, b.data32)
+		return
 	}
+	addSlices(dst.data, a.data, b.data)
 }
 
 // Add returns a + b element-wise.
 func Add(a, b *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewOf(a.dt, a.shape...)
 	AddInto(out, a, b)
 	return out
 }
@@ -203,14 +322,18 @@ func Add(a, b *Tensor) *Tensor {
 func SubInto(dst, a, b *Tensor) {
 	assertSameShape("sub", a, b)
 	assertSameShape("sub", a, dst)
-	for i := range dst.data {
-		dst.data[i] = a.data[i] - b.data[i]
+	assertSameDType("sub", a, b)
+	assertSameDType("sub", a, dst)
+	if dst.dt == Float32 {
+		subSlices(dst.data32, a.data32, b.data32)
+		return
 	}
+	subSlices(dst.data, a.data, b.data)
 }
 
 // Sub returns a - b element-wise.
 func Sub(a, b *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewOf(a.dt, a.shape...)
 	SubInto(out, a, b)
 	return out
 }
@@ -219,74 +342,85 @@ func Sub(a, b *Tensor) *Tensor {
 func MulInto(dst, a, b *Tensor) {
 	assertSameShape("mul", a, b)
 	assertSameShape("mul", a, dst)
-	for i := range dst.data {
-		dst.data[i] = a.data[i] * b.data[i]
+	assertSameDType("mul", a, b)
+	assertSameDType("mul", a, dst)
+	if dst.dt == Float32 {
+		mulSlices(dst.data32, a.data32, b.data32)
+		return
 	}
+	mulSlices(dst.data, a.data, b.data)
 }
 
 // Mul returns the element-wise product of a and b.
 func Mul(a, b *Tensor) *Tensor {
-	out := New(a.shape...)
+	out := NewOf(a.dt, a.shape...)
 	MulInto(out, a, b)
 	return out
 }
 
 // Scale multiplies every element by s in place and returns t.
 func (t *Tensor) Scale(s float64) *Tensor {
-	for i := range t.data {
-		t.data[i] *= s
+	if t.dt == Float32 {
+		scaleSlice(t.data32, float32(s))
+		return t
 	}
+	scaleSlice(t.data, s)
 	return t
 }
 
-// AddScaled adds s*o to t in place (axpy). Shapes must match.
+// AddScaled adds s*o to t in place (axpy). Shapes and dtypes must match.
 func (t *Tensor) AddScaled(s float64, o *Tensor) {
 	assertSameShape("addscaled", t, o)
-	for i := range t.data {
-		t.data[i] += s * o.data[i]
+	assertSameDType("addscaled", t, o)
+	if t.dt == Float32 {
+		axpySlice(t.data32, o.data32, float32(s))
+		return
 	}
+	axpySlice(t.data, o.data, s)
 }
 
-// Sum returns the sum of all elements.
+// Sum returns the sum of all elements (accumulated in float64).
 func (t *Tensor) Sum() float64 {
-	var s float64
-	for _, v := range t.data {
-		s += v
+	if t.dt == Float32 {
+		return sumSlice(t.data32)
 	}
-	return s
+	return sumSlice(t.data)
 }
 
 // Mean returns the arithmetic mean of all elements.
 func (t *Tensor) Mean() float64 {
-	return t.Sum() / float64(len(t.data))
+	return t.Sum() / float64(t.Len())
 }
 
 // Max returns the maximum element.
 func (t *Tensor) Max() float64 {
-	m := math.Inf(-1)
-	for _, v := range t.data {
-		if v > m {
-			m = v
-		}
+	if t.Len() == 0 {
+		return math.Inf(-1)
 	}
-	return m
+	if t.dt == Float32 {
+		return maxSlice(t.data32)
+	}
+	return maxSlice(t.data)
 }
 
-// Dot returns the inner product of the flattened tensors.
+// Dot returns the inner product of the flattened tensors (accumulated in
+// float64).
 func Dot(a, b *Tensor) float64 {
 	assertSameShape("dot", a, b)
-	var s float64
-	for i := range a.data {
-		s += a.data[i] * b.data[i]
+	assertSameDType("dot", a, b)
+	if a.dt == Float32 {
+		return dotSlices(a.data32, b.data32)
 	}
-	return s
+	return dotSlices(a.data, b.data)
 }
 
 // Norm2 returns the Euclidean norm of the flattened tensor.
 func (t *Tensor) Norm2() float64 {
 	var s float64
-	for _, v := range t.data {
-		s += v * v
+	if t.dt == Float32 {
+		s = sumSquares(t.data32)
+	} else {
+		s = sumSquares(t.data)
 	}
 	return math.Sqrt(s)
 }
@@ -297,13 +431,13 @@ func (t *Tensor) AddRowVector(v *Tensor) {
 	if t.Rank() != 2 || v.Len() != t.shape[1] {
 		panic(fmt.Sprintf("tensor: AddRowVector shape mismatch %v vs %v", t.shape, v.shape))
 	}
+	assertSameDType("addrowvector", t, v)
 	rows, cols := t.shape[0], t.shape[1]
-	for r := 0; r < rows; r++ {
-		row := t.data[r*cols : (r+1)*cols]
-		for c := range row {
-			row[c] += v.data[c]
-		}
+	if t.dt == Float32 {
+		addRowVec(t.data32, v.data32, rows, cols)
+		return
 	}
+	addRowVec(t.data, v.data, rows, cols)
 }
 
 // ColSumsInto accumulates the column sums of the 2-D tensor t into dst
@@ -312,11 +446,11 @@ func (t *Tensor) ColSumsInto(dst *Tensor) {
 	if t.Rank() != 2 || dst.Len() != t.shape[1] {
 		panic(fmt.Sprintf("tensor: ColSumsInto shape mismatch %v vs %v", t.shape, dst.shape))
 	}
+	assertSameDType("colsums", t, dst)
 	rows, cols := t.shape[0], t.shape[1]
-	for r := 0; r < rows; r++ {
-		row := t.data[r*cols : (r+1)*cols]
-		for c := range row {
-			dst.data[c] += row[c]
-		}
+	if t.dt == Float32 {
+		colSums(dst.data32, t.data32, rows, cols)
+		return
 	}
+	colSums(dst.data, t.data, rows, cols)
 }

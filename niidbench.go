@@ -13,6 +13,21 @@
 //	}, "cifar10", strat, 10, train, test)
 //	fmt.Println(result.FinalAccuracy)
 //
+// # Choosing a compute dtype
+//
+// Local training runs in float64 by default. Setting RunConfig.DType to
+// Float32 switches every party's model — parameters, gradients, layer
+// scratch and optimizer state — onto the float32 kernel set, which packs
+// GEMM operands into tile-major panels for 8-lane SIMD and roughly halves
+// local-training time (see BENCH_tensor.json). Server-side aggregation,
+// checkpoints and all exchanged state vectors stay float64 in either
+// mode, so accuracies are directly comparable; on the benchmark configs
+// the float32 backend lands within 1e-2 of the float64 run:
+//
+//	result, _ := niidbench.RunFederated(niidbench.RunConfig{
+//		Algorithm: niidbench.FedAvg, Rounds: 20, DType: niidbench.Float32,
+//	}, "cifar10", strat, 10, train, test)
+//
 // The heavy lifting lives in the internal packages; this package re-exports
 // the stable surface a downstream user needs.
 package niidbench
@@ -24,6 +39,7 @@ import (
 	"github.com/niid-bench/niidbench/internal/nn"
 	"github.com/niid-bench/niidbench/internal/partition"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
 // Dataset is an in-memory labelled dataset.
@@ -68,8 +84,23 @@ const (
 
 // RunConfig holds the federated training hyper-parameters, including the
 // extension knobs: server optimizers (FedOpt), stratified sampling, DP
-// gradient sanitization and top-k update compression.
+// gradient sanitization, top-k update compression and the compute DType.
 type RunConfig = fl.Config
+
+// DType selects the local-training compute precision (see RunConfig.DType
+// and the package example above).
+type DType = tensor.DType
+
+// The two compute backends: Float64 is the default and the reference;
+// Float32 is the packed-panel SIMD fast path.
+const (
+	Float64 = tensor.Float64
+	Float32 = tensor.Float32
+)
+
+// ParseDType maps "float64"/"f64"/"" and "float32"/"f32" to a DType; ok is
+// false for anything else. Used by the CLI's -dtype flag.
+func ParseDType(s string) (DType, bool) { return tensor.ParseDType(s) }
 
 // Party sampling strategies for partial participation.
 const (

@@ -34,6 +34,31 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestFacadeFloat32Backend(t *testing.T) {
+	train, test, err := LoadDataset("adult", DataConfig{TrainN: 400, TestN: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt, ok := ParseDType("f32"); !ok || dt != Float32 {
+		t.Fatalf("ParseDType(f32) = %v, %v", dt, ok)
+	}
+	if _, ok := ParseDType("bf16"); ok {
+		t.Fatal("ParseDType accepted an unknown dtype")
+	}
+	strat := Strategy{Kind: LabelDirichlet, Beta: 0.5}
+	cfg := RunConfig{
+		Algorithm: FedProx, Rounds: 3, LocalEpochs: 2, BatchSize: 32,
+		LR: 0.05, Mu: 0.01, Seed: 4, DType: Float32,
+	}
+	res, err := RunFederated(cfg, "adult", strat, 4, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy <= 0.4 {
+		t.Fatalf("float32 accuracy %v", res.FinalAccuracy)
+	}
+}
+
 func TestFacadeSplitAndStats(t *testing.T) {
 	train, _, err := LoadDataset("mnist", DataConfig{TrainN: 300, TestN: 100, Seed: 2})
 	if err != nil {

@@ -14,13 +14,13 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkMatMul$|BenchmarkMatMulTransA$|BenchmarkMatMulTransB$|BenchmarkIm2Col$' \
+  -bench 'BenchmarkMatMul$|BenchmarkMatMulTransA$|BenchmarkMatMulTransB$|BenchmarkIm2Col$|BenchmarkMatMul32$|BenchmarkMatMulTransA32$|BenchmarkMatMulTransB32$|BenchmarkIm2Col32$' \
   -benchtime "$BENCHTIME" ./internal/tensor/ | tee -a "$TMP"
 go test -run '^$' \
   -bench 'BenchmarkConvForwardBackward$|BenchmarkCNNForwardBackward$' \
   -benchtime "$BENCHTIME" ./internal/nn/ | tee -a "$TMP"
 go test -run '^$' \
-  -bench 'BenchmarkLocalTrainStep$' \
+  -bench 'BenchmarkLocalTrainStep$|BenchmarkLocalTrainStep32$' \
   -benchtime "$BENCHTIME" ./internal/fl/ | tee -a "$TMP"
 
 awk '
