@@ -81,7 +81,8 @@ common flags (artifact commands):
   -scale smoke|quick|paper   experiment scale (default quick)
   -seed N                    master seed
   -trials N                  trials per cell (default: scale's)
-  -datasets a,b,c            restrict to these datasets`)
+  -datasets a,b,c            restrict to these datasets
+  -conc N                    concurrent grid cells (default 1)`)
 }
 
 func cmdList() error {
@@ -100,14 +101,16 @@ func expFlags(name string, args []string) (experiments.Options, error) {
 	seed := fs.Uint64("seed", 1, "master seed")
 	trials := fs.Int("trials", 0, "trials per setting (0 = scale default)")
 	datasets := fs.String("datasets", "", "comma-separated dataset filter")
+	conc := fs.Int("conc", 1, "concurrent grid cells (trials) per experiment")
 	if err := fs.Parse(args); err != nil {
 		return experiments.Options{}, err
 	}
 	opt := experiments.Options{
-		Scale:  experiments.Scale(*scale),
-		Seed:   *seed,
-		Trials: *trials,
-		Out:    os.Stdout,
+		Scale:       experiments.Scale(*scale),
+		Seed:        *seed,
+		Trials:      *trials,
+		Out:         os.Stdout,
+		Concurrency: *conc,
 	}
 	if *datasets != "" {
 		opt.Datasets = strings.Split(*datasets, ",")

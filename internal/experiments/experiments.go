@@ -15,6 +15,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -65,6 +66,13 @@ type Options struct {
 	// TuneMu makes FedProx runs sweep mu over the paper's grid
 	// {0.001, 0.01, 0.1, 1} and report the best, as Table III does.
 	TuneMu bool
+	// Concurrency bounds how many grid cells (trials) run at once
+	// (default 1, sequential). Concurrent cells are safe because every
+	// simulation's kernel fan-out comes from per-model compute budgets —
+	// there is no process-global parallelism state to clobber — and each
+	// cell's within-round client parallelism is scaled down to its share
+	// of the machine.
+	Concurrency int
 }
 
 func (o Options) normalize() Options {
@@ -76,6 +84,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Trials == 0 {
 		o.Trials = profiles[o.Scale].trials
+	}
+	if o.Concurrency < 1 {
+		o.Concurrency = 1
 	}
 	return o
 }
@@ -296,6 +307,14 @@ func (h *Harness) RunSetting(s Setting) (*fl.Result, error) {
 		Unweighted:       s.Unweighted,
 		Variant:          s.Variant,
 	}
+	if c := h.opt.Concurrency; c > 1 {
+		// Concurrent grid cells split the machine: each cell trains its
+		// round's clients under 1/c of the cores; the per-model compute
+		// budgets inside fl keep the kernels within that share.
+		if cfg.Parallelism = runtime.GOMAXPROCS(0) / c; cfg.Parallelism < 1 {
+			cfg.Parallelism = 1
+		}
+	}
 	sim, err := fl.NewSimulation(cfg, spec, locals, test)
 	if err != nil {
 		return nil, err
@@ -334,15 +353,36 @@ func (h *Harness) RunTrials(s Setting) ([]float64, error) {
 	return h.runTrialsOnce(s)
 }
 
+// runTrialsOnce executes the setting's trials, up to opt.Concurrency at a
+// time. Trial seeds are fixed up front, so the result set is identical
+// whatever the concurrency — concurrent Simulations are deterministic and
+// fully isolated (per-model compute budgets, no shared mutable state).
 func (h *Harness) runTrialsOnce(s Setting) ([]float64, error) {
-	accs := make([]float64, 0, h.opt.Trials)
+	accs := make([]float64, h.opt.Trials)
+	errs := make([]error, h.opt.Trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, h.opt.Concurrency)
 	for trial := 0; trial < h.opt.Trials; trial++ {
-		s.Seed = h.opt.Seed + uint64(trial)*1000003
-		res, err := h.RunSetting(s)
+		st := s
+		st.Seed = h.opt.Seed + uint64(trial)*1000003
+		wg.Add(1)
+		go func(trial int, st Setting) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := h.RunSetting(st)
+			if err != nil {
+				errs[trial] = err
+				return
+			}
+			accs[trial] = res.FinalAccuracy
+		}(trial, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		accs = append(accs, res.FinalAccuracy)
 	}
 	return accs, nil
 }

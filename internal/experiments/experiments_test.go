@@ -303,3 +303,31 @@ func TestFig22SkipsInvalidKForBinaryDatasets(t *testing.T) {
 		t.Fatalf("expected skip notice:\n%s", out.String())
 	}
 }
+
+func TestConcurrentTrialsMatchSequential(t *testing.T) {
+	// Grid cells running in parallel must reproduce the sequential results
+	// exactly: trial seeds are fixed up front, and concurrent Simulations
+	// are bitwise deterministic (per-model compute budgets change
+	// scheduling, never arithmetic).
+	setting := Setting{
+		Dataset:  "adult",
+		Strategy: partition.Strategy{Kind: partition.Homogeneous},
+		Algo:     fl.FedAvg,
+	}
+	seq, err := NewHarness(Options{Scale: Smoke, Seed: 3, Trials: 2}).RunTrials(setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewHarness(Options{Scale: Smoke, Seed: 3, Trials: 2, Concurrency: 2}).RunTrials(setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("trial counts: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("trial %d: sequential %v vs concurrent %v", i, seq[i], par[i])
+		}
+	}
+}

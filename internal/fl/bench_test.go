@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/niid-bench/niidbench/internal/data"
@@ -67,4 +68,41 @@ func BenchmarkLocalTrainStep(b *testing.B) {
 // backend; the issue-tracking target is >= 1.6x over the float64 run.
 func BenchmarkLocalTrainStep32(b *testing.B) {
 	benchLocalTrainStep(b, tensor.Float32)
+}
+
+// BenchmarkRoundParties measures whole communication rounds (sampling,
+// concurrent local training under per-client compute budgets, streaming
+// aggregation) as the federation scales: rounds/sec vs parties. On a
+// many-core host the budgets should keep per-round time roughly flat up
+// to parties ≈ cores.
+func BenchmarkRoundParties(b *testing.B) {
+	for _, parties := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("parties=%d", parties), func(b *testing.B) {
+			per := 64
+			locals := make([]*data.Dataset, parties)
+			for i := range locals {
+				locals[i] = benchDataset(per)
+			}
+			spec := nn.ModelSpec{Kind: nn.KindMLP, InputDim: locals[0].FeatLen, Classes: 10}
+			cfg := Config{
+				Algorithm:   FedAvg,
+				Rounds:      1,
+				LocalEpochs: 1,
+				BatchSize:   32,
+				LR:          0.01,
+				Seed:        5,
+			}
+			sim, err := NewSimulation(cfg, spec, locals, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunRound(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -65,6 +65,23 @@ type Client struct {
 	yBuf     []int
 	lossGrad *tensor.Tensor
 	moon     moonScratch
+	// cmp is the kernel compute budget this client trains under; the round
+	// engine splits the machine across the concurrently-training clients.
+	cmp tensor.Compute
+}
+
+// SetComputeBudget installs the kernel compute budget for this client's
+// local training: the client's model (and MOON's frozen replicas) cap
+// their per-kernel goroutine fan-out at the budget. Budgets are per-client
+// state — concurrent clients, and concurrent Simulations, never share a
+// knob.
+func (c *Client) SetComputeBudget(cmp tensor.Compute) {
+	c.cmp = cmp
+	c.model.SetCompute(cmp)
+	if c.auxGlobal != nil {
+		c.auxGlobal.SetCompute(cmp)
+		c.auxPrev.SetCompute(cmp)
+	}
 }
 
 // NewClient builds a party with its own deterministic RNG stream.

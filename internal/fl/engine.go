@@ -1,0 +1,199 @@
+package fl
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/tensor"
+)
+
+// Transport produces a round's worth of local training for the Engine.
+// Two implementations exist: the in-process simulation (function calls,
+// goroutine-per-client) and the simnet federation (serialized messages
+// over pipes or TCP). The Engine owns everything transport-independent —
+// party sampling, streaming aggregation, metrics, evaluation cadence and
+// Result assembly — so the round machinery exists exactly once.
+type Transport interface {
+	// PartyMeta returns the aggregation metadata of party id (its local
+	// dataset size and per-round step count).
+	PartyMeta(id int) UpdateMeta
+	// TrainRound trains the sampled parties from the given global state
+	// (and SCAFFOLD control variate; nil otherwise) and delivers each
+	// update through deliver in sampled order. Parties may train — and
+	// their updates may arrive — in any order; the transport reorders so
+	// the fold is deterministic for a given sample. deliver does not
+	// retain the update's slices.
+	TrainRound(round int, sampled []int, global, control []float64, deliver func(Update) error) error
+}
+
+// byteMeter is implemented by transports that measure real communication
+// bytes (simnet's counting conns); the engine then reports measured rather
+// than analytic volumes.
+type byteMeter interface {
+	RoundBytes() int64
+}
+
+// Engine drives federated rounds over a Transport: sampling, dispatch,
+// streaming aggregation, metrics, evaluation cadence and Result assembly.
+type Engine struct {
+	cfg        Config
+	server     *Server
+	eval       *Evaluator
+	r          *rng.RNG
+	strat      *stratifier // non-nil under stratified partial participation
+	numParties int
+}
+
+// NewEngine wires the transport-independent round machinery. sampler
+// drives party selection; labelDists (one distribution per party) is
+// consulted only under stratified sampling and may be nil otherwise. The
+// config must be normalized.
+func NewEngine(cfg Config, server *Server, eval *Evaluator, numParties int, sampler *rng.RNG, labelDists [][]float64) (*Engine, error) {
+	e := &Engine{cfg: cfg, server: server, eval: eval, r: sampler, numParties: numParties}
+	if eval != nil {
+		// Evaluation shares the run's core budget, so concurrent runs in
+		// one process (experiment grid cells) also evaluate within their
+		// shares.
+		eval.SetCompute(tensor.Compute{Workers: cfg.Parallelism})
+	}
+	if cfg.Sampling == SampleStratified && cfg.SampleFraction < 1 {
+		if len(labelDists) != numParties {
+			return nil, fmt.Errorf("fl: stratified sampling needs %d label distributions, have %d", numParties, len(labelDists))
+		}
+		k := int(cfg.SampleFraction*float64(numParties) + 0.5)
+		e.strat = newStratifier(labelDists, k, sampler.Split())
+	}
+	return e, nil
+}
+
+// sampleParties selects the round's participants (Algorithm 1 line 4).
+func (e *Engine) sampleParties() []int {
+	n := e.numParties
+	k := int(e.cfg.SampleFraction*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	if e.strat != nil {
+		return e.strat.sample(e.r)
+	}
+	return e.r.SampleWithoutReplacement(n, k)
+}
+
+// commBytesForUpdate computes one party's round communication volume
+// analytically from the exchanged vector lengths (8 bytes per float64):
+// the global state down, the state delta up (sparse-encoded under top-k
+// compression), plus the two control variates for SCAFFOLD — which is why
+// SCAFFOLD costs exactly twice FedAvg.
+func (e *Engine) commBytesForUpdate(u Update) int64 {
+	stateBytes := int64(len(e.server.State())) * 8
+	ctrlBytes := int64(e.server.paramLen) * 8
+	down, up := stateBytes, stateBytes
+	if e.cfg.CompressTopK > 0 {
+		up = sparseCommBytes(u.Kept, e.server.paramLen, len(e.server.State()))
+	}
+	if e.cfg.Algorithm == Scaffold {
+		down += ctrlBytes
+		up += ctrlBytes
+	}
+	return down + up
+}
+
+// RunRound executes one communication round over the transport and returns
+// its metrics (TestAccuracy is -1; the Run loop fills it on evaluation
+// rounds). Updates are folded into the global state as they are delivered
+// — the server never holds more than the streaming accumulator.
+func (e *Engine) RunRound(tr Transport, round int) (RoundMetrics, error) {
+	start := time.Now()
+	sampled := e.sampleParties()
+	// Snapshot what the parties train against: the streaming fold mutates
+	// SCAFFOLD's control variate while later parties are still training,
+	// so they must read the round-start copy, exactly as the batched
+	// aggregation semantics had it.
+	global := append([]float64{}, e.server.State()...)
+	var serverC []float64
+	if c := e.server.Control(); c != nil {
+		serverC = append([]float64{}, c...)
+	}
+
+	metas := make([]UpdateMeta, len(sampled))
+	for j, id := range sampled {
+		metas[j] = tr.PartyMeta(id)
+	}
+	if err := e.server.BeginRound(metas); err != nil {
+		return RoundMetrics{}, err
+	}
+	var loss float64
+	var analyticBytes int64
+	delivered := 0
+	deliver := func(u Update) error {
+		if err := e.server.AddUpdate(u); err != nil {
+			return err
+		}
+		loss += u.TrainLoss
+		analyticBytes += e.commBytesForUpdate(u)
+		delivered++
+		return nil
+	}
+	if err := tr.TrainRound(round, sampled, global, serverC, deliver); err != nil {
+		e.server.AbortRound()
+		return RoundMetrics{}, err
+	}
+	if err := e.server.FinishRound(); err != nil {
+		e.server.AbortRound()
+		return RoundMetrics{}, err
+	}
+	bytes := analyticBytes
+	if bm, ok := tr.(byteMeter); ok {
+		bytes = bm.RoundBytes()
+	}
+	return RoundMetrics{
+		Round:        round,
+		TestAccuracy: -1,
+		TrainLoss:    loss / float64(delivered),
+		CommBytes:    bytes,
+		Duration:     time.Since(start),
+		Sampled:      sampled,
+	}, nil
+}
+
+// Run executes the configured number of rounds over the transport and
+// assembles the Result: per-round curve, evaluation cadence, communication
+// accounting and the final global state.
+func (e *Engine) Run(tr Transport) (*Result, error) {
+	res := &Result{
+		Config:     e.cfg,
+		ParamCount: e.server.paramLen,
+		StateCount: len(e.server.State()),
+	}
+	var compute time.Duration
+	for t := 0; t < e.cfg.Rounds; t++ {
+		m, err := e.RunRound(tr, t)
+		if err != nil {
+			return nil, err
+		}
+		compute += m.Duration
+		if (t+1)%e.cfg.EvalEvery == 0 || t == e.cfg.Rounds-1 {
+			m.TestAccuracy = e.eval.Accuracy(e.server.State())
+			if m.TestAccuracy > res.BestAccuracy {
+				res.BestAccuracy = m.TestAccuracy
+			}
+		}
+		res.Curve = append(res.Curve, m)
+		res.TotalCommBytes += m.CommBytes
+	}
+	res.ComputeTime = compute
+	res.FinalState = append([]float64{}, e.server.State()...)
+	if len(res.Curve) > 0 {
+		res.CommBytesPerRound = float64(res.TotalCommBytes) / float64(len(res.Curve))
+		res.FinalAccuracy = res.Curve[len(res.Curve)-1].TestAccuracy
+	}
+	return res, nil
+}

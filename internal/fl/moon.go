@@ -32,6 +32,8 @@ func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD, ws
 		// overwritten every round, so the init RNG does not matter.
 		c.auxGlobal = nn.Build(c.Spec, c.r.Split())
 		c.auxPrev = nn.Build(c.Spec, c.r.Split())
+		c.auxGlobal.SetCompute(c.cmp)
+		c.auxPrev.SetCompute(c.cmp)
 	}
 	if c.prevState == nil {
 		// First round: the "previous" model is the global one; the

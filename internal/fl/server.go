@@ -5,8 +5,33 @@ import (
 	"math"
 )
 
+// UpdateMeta is what the server knows about an expected update before it
+// arrives: the party's local dataset size (the aggregation weight) and its
+// deterministic local step count. Both are fixed by the party's data and
+// the run config, so the server can finalize the round's weighting — and
+// FedNova's effective step count — at BeginRound and fold each update the
+// moment it lands, holding O(state) memory instead of O(sampled x state).
+type UpdateMeta struct {
+	// N is the party's local dataset size.
+	N int
+	// Tau is the party's local SGD step count for the round.
+	Tau int
+}
+
+// PredictTau returns the number of local SGD steps a party with n samples
+// performs under cfg: LocalEpochs passes of ceil(n/BatchSize) mini-batches.
+// It mirrors the batching loop in Client.LocalTrain exactly; the streaming
+// aggregator validates arriving updates against it.
+func PredictTau(cfg Config, n int) int {
+	return cfg.LocalEpochs * ((n + cfg.BatchSize - 1) / cfg.BatchSize)
+}
+
 // Server holds the global model state and implements the aggregation rules
-// of the four algorithms (Algorithm 1 lines 9-10, Algorithm 2 lines 9-10).
+// of the four algorithms (Algorithm 1 lines 9-10, Algorithm 2 lines 9-10)
+// plus the FedDyn/MOON extensions, as a streaming accumulator: the round
+// opens with BeginRound, each update folds in with AddUpdate as it
+// arrives, and FinishRound applies the accumulated pseudo-gradient. The
+// batched Aggregate remains as a convenience wrapper.
 type Server struct {
 	cfg      Config
 	state    []float64 // global model state (params then buffers)
@@ -22,6 +47,16 @@ type Server struct {
 	velocity     []float64
 	adamM, adamV []float64
 	adamT        int
+
+	// Streaming-round state. agg is the round's pseudo-gradient
+	// accumulator, reused across rounds so steady state allocates nothing
+	// per round beyond the metas slice.
+	agg     []float64
+	metas   []UpdateMeta
+	totalN  int
+	tauEff  float64 // FedNova's effective step count, fixed at BeginRound
+	added   int
+	inRound bool
 }
 
 // NewServer creates a server with the given initial global state.
@@ -48,14 +83,178 @@ func (s *Server) State() []float64 { return s.state }
 // Control returns SCAFFOLD's server control variate (nil otherwise).
 func (s *Server) Control() []float64 { return s.control }
 
-// Aggregate folds the round's updates into the global state. It implements
-// the paper's weighted rules:
+// weightFor returns the aggregation weight of an update with local size n,
+// given the round's totals. It reproduces the paper's weighted rule
+// (n_i/n) and the unweighted ablation (1/K) with the exact arithmetic of
+// the batched reference, so streaming and batched aggregation are
+// bit-identical.
+func (s *Server) weightFor(n int) float64 {
+	if s.cfg.Unweighted {
+		return 1 / float64(len(s.metas))
+	}
+	return float64(n) / float64(s.totalN)
+}
+
+// BeginRound opens a streaming aggregation round. metas lists the sampled
+// parties' dataset sizes and step counts in dispatch order; AddUpdate must
+// then be called once per meta, in the same order, so the floating-point
+// fold order is deterministic for a given sample.
+func (s *Server) BeginRound(metas []UpdateMeta) error {
+	if s.inRound {
+		return fmt.Errorf("fl: BeginRound during an open round")
+	}
+	if len(metas) == 0 {
+		return fmt.Errorf("fl: no updates to aggregate")
+	}
+	totalN := 0
+	for _, m := range metas {
+		if m.Tau <= 0 {
+			return fmt.Errorf("fl: update with non-positive tau %d", m.Tau)
+		}
+		totalN += m.N
+	}
+	s.metas = append(s.metas[:0], metas...)
+	s.totalN = totalN
+	s.added = 0
+	s.tauEff = 0
+	if s.agg == nil {
+		s.agg = make([]float64, len(s.state))
+	}
+	for i := range s.agg {
+		s.agg[i] = 0
+	}
+	if s.cfg.Algorithm == FedNova {
+		for _, m := range metas {
+			s.tauEff += s.weightFor(m.N) * float64(m.Tau)
+		}
+	}
+	s.inRound = true
+	return nil
+}
+
+// AddUpdate folds one arriving update into the open round. The update must
+// match the next unconsumed meta (same N and Tau): the round's weights were
+// fixed from the metas at BeginRound, so a mismatch would silently skew the
+// aggregation. The update's Delta is not retained — callers may recycle it
+// as soon as AddUpdate returns.
+func (s *Server) AddUpdate(u Update) error {
+	if !s.inRound {
+		return fmt.Errorf("fl: AddUpdate outside a round")
+	}
+	if s.added >= len(s.metas) {
+		return fmt.Errorf("fl: more updates than sampled parties (%d)", len(s.metas))
+	}
+	if len(u.Delta) != len(s.state) {
+		return fmt.Errorf("fl: update length %d, state %d", len(u.Delta), len(s.state))
+	}
+	if u.Tau <= 0 {
+		return fmt.Errorf("fl: update with non-positive tau %d", u.Tau)
+	}
+	meta := s.metas[s.added]
+	if u.N != meta.N || u.Tau != meta.Tau {
+		return fmt.Errorf("fl: update (n=%d tau=%d) does not match expected meta (n=%d tau=%d)",
+			u.N, u.Tau, meta.N, meta.Tau)
+	}
+
+	var w float64
+	switch s.cfg.Algorithm {
+	case FedNova:
+		w = s.weightFor(u.N) * s.tauEff / float64(u.Tau)
+	case FedDyn:
+		// FedDyn averages participating models unweighted (Acar et al.).
+		w = 1 / float64(len(s.metas))
+	default:
+		w = s.weightFor(u.N)
+	}
+	for i, d := range u.Delta {
+		s.agg[i] += w * d
+	}
+
+	if s.cfg.Algorithm == FedDyn {
+		// h <- h + (alpha/N) * sum_i Delta_i (params only).
+		for i := 0; i < s.paramLen; i++ {
+			s.dynH[i] += s.cfg.Alpha * u.Delta[i] / float64(s.numParties)
+		}
+	}
+	if s.cfg.Algorithm == Scaffold {
+		if u.DeltaC == nil {
+			return fmt.Errorf("fl: SCAFFOLD update missing DeltaC")
+		}
+		for i, d := range u.DeltaC {
+			s.control[i] += d / float64(s.numParties)
+		}
+	}
+	s.added++
+	return nil
+}
+
+// FinishRound closes the round and applies the accumulated pseudo-gradient
+// to the global state through the configured server optimizer.
+func (s *Server) FinishRound() error {
+	if !s.inRound {
+		return fmt.Errorf("fl: FinishRound outside a round")
+	}
+	if s.added != len(s.metas) {
+		return fmt.Errorf("fl: round incomplete: %d of %d updates", s.added, len(s.metas))
+	}
+	s.inRound = false
+	s.applyUpdate(s.agg)
+	if s.cfg.Algorithm == FedDyn {
+		// w <- mean(w_i) - h/alpha.
+		for i := 0; i < s.paramLen; i++ {
+			s.state[i] -= s.dynH[i] / s.cfg.Alpha
+		}
+	}
+	return nil
+}
+
+// AbortRound abandons an open round (e.g. a transport failure mid-round).
+// Contributions already folded into SCAFFOLD's control variate or FedDyn's
+// h are not rolled back — matching the batched implementation, which also
+// mutated them before detecting a bad update — so a server whose round
+// aborted should not be trusted for further rounds.
+func (s *Server) AbortRound() { s.inRound = false }
+
+// Aggregate folds a complete round of updates into the global state. It
+// implements the paper's weighted rules:
 //
 //	FedAvg/FedProx/SCAFFOLD: w <- w - serverLR * sum_i (n_i/n) Delta_i
 //	FedNova:                 w <- w - serverLR * tau_eff * sum_i (n_i/n) Delta_i / tau_i
 //	                          with tau_eff = sum_i (n_i/n) tau_i
 //	SCAFFOLD additionally:   c <- c + (1/N) sum_i DeltaC_i
+//
+// It is a convenience wrapper over the streaming BeginRound/AddUpdate/
+// FinishRound accumulator and produces bit-identical results.
 func (s *Server) Aggregate(updates []Update) error {
+	if len(updates) == 0 {
+		return fmt.Errorf("fl: no updates to aggregate")
+	}
+	metas := make([]UpdateMeta, len(updates))
+	for j, u := range updates {
+		if len(u.Delta) != len(s.state) {
+			return fmt.Errorf("fl: update length %d, state %d", len(u.Delta), len(s.state))
+		}
+		if u.Tau <= 0 {
+			return fmt.Errorf("fl: update with non-positive tau %d", u.Tau)
+		}
+		metas[j] = UpdateMeta{N: u.N, Tau: u.Tau}
+	}
+	if err := s.BeginRound(metas); err != nil {
+		return err
+	}
+	for _, u := range updates {
+		if err := s.AddUpdate(u); err != nil {
+			s.AbortRound()
+			return err
+		}
+	}
+	return s.FinishRound()
+}
+
+// aggregateBatched is the original non-streaming aggregation, retained
+// verbatim as the reference implementation for the streaming-equivalence
+// tests: it buffers the whole round and folds it in one pass.
+func (s *Server) aggregateBatched(updates []Update) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("fl: no updates to aggregate")
 	}

@@ -2,7 +2,6 @@ package fl
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -41,7 +40,14 @@ type Result struct {
 	FinalState []float64
 }
 
-// Simulation drives a full federated run over in-process parties.
+// Simulation drives a full federated run over in-process parties. It is
+// the function-call Transport over the shared round Engine; the simnet
+// package provides the message-passing one.
+//
+// Multiple Simulations may run concurrently in one process: every client
+// model carries its own kernel compute budget, so concurrent runs never
+// interfere with each other's parallelism (or results — the budgets change
+// scheduling only, never arithmetic).
 type Simulation struct {
 	Cfg     Config
 	Spec    nn.ModelSpec
@@ -49,9 +55,8 @@ type Simulation struct {
 	Test    *data.Dataset
 
 	server *Server
-	r      *rng.RNG
+	engine *Engine
 	eval   *Evaluator
-	strat  *stratifier // non-nil under stratified sampling
 }
 
 // NewSimulation wires up a federation: one client per local dataset, a
@@ -79,141 +84,84 @@ func NewSimulation(cfg Config, spec nn.ModelSpec, locals []*data.Dataset, test *
 		Spec:    spec,
 		Clients: clients,
 		Test:    test,
-		r:       root.Split(),
 		eval:    NewEvaluator(spec, test),
 	}
 	sim.server = NewServer(cfg, initModel.State(), initModel.ParamCount(), len(clients))
+	var dists [][]float64
 	if cfg.Sampling == SampleStratified && cfg.SampleFraction < 1 {
-		k := int(cfg.SampleFraction*float64(len(clients)) + 0.5)
-		dists := make([][]float64, len(clients))
+		dists = make([][]float64, len(clients))
 		for i, cl := range clients {
 			dists[i] = cl.Data.LabelDistribution()
 		}
-		sim.strat = newStratifier(dists, k, sim.r.Split())
+	}
+	sim.engine, err = NewEngine(cfg, sim.server, sim.eval, len(clients), root.Split(), dists)
+	if err != nil {
+		return nil, err
 	}
 	return sim, nil
 }
 
-// sampleParties selects the round's participants (Algorithm 1 line 4).
-func (s *Simulation) sampleParties() []int {
-	n := len(s.Clients)
-	k := int(s.Cfg.SampleFraction*float64(n) + 0.5)
-	if k < 1 {
-		k = 1
-	}
-	if k >= n {
-		ids := make([]int, n)
-		for i := range ids {
-			ids[i] = i
-		}
-		return ids
-	}
-	if s.strat != nil {
-		return s.strat.sample(s.r)
-	}
-	return s.r.SampleWithoutReplacement(n, k)
+// sampleParties selects a round's participants (exposed for tests).
+func (s *Simulation) sampleParties() []int { return s.engine.sampleParties() }
+
+// PartyMeta implements Transport.
+func (s *Simulation) PartyMeta(id int) UpdateMeta {
+	n := s.Clients[id].Data.Len()
+	return UpdateMeta{N: n, Tau: PredictTau(s.Cfg, n)}
 }
 
-// commBytesFor computes the communication volume of a round analytically
-// from the exchanged vector lengths (8 bytes per float64): the global
-// state down, the state delta up (sparse-encoded under top-k compression),
-// plus the two control variates for SCAFFOLD — which is why SCAFFOLD costs
-// exactly twice FedAvg.
-func (s *Simulation) commBytesFor(updates []Update) int64 {
-	stateBytes := int64(len(s.server.State())) * 8
-	ctrlBytes := int64(s.server.paramLen) * 8
-	var total int64
-	for _, u := range updates {
-		down, up := stateBytes, stateBytes
-		if s.Cfg.CompressTopK > 0 {
-			up = sparseCommBytes(u.Kept, s.server.paramLen, len(s.server.State()))
-		}
-		if s.Cfg.Algorithm == Scaffold {
-			down += ctrlBytes
-			up += ctrlBytes
-		}
-		total += down + up
+// TrainRound implements Transport: it fans the sampled parties out across
+// up to Cfg.Parallelism goroutines and streams their updates to deliver in
+// sampled order, folding each as soon as its slot is the next in line —
+// so at most ~Parallelism update vectors are in flight instead of the
+// whole round's.
+//
+// Each sampled client's kernels run under a budget of Parallelism/conc
+// workers, so clients x kernel goroutines never exceeds this run's core
+// share. The budgets are per-model — no process-global state — which is
+// what lets two Simulations share a process safely.
+func (s *Simulation) TrainRound(round int, sampled []int, global, control []float64, deliver func(Update) error) error {
+	conc := s.Cfg.Parallelism
+	if conc > len(sampled) {
+		conc = len(sampled)
 	}
-	return total
+	// Split this run's own core share (Cfg.Parallelism, GOMAXPROCS by
+	// default) across the concurrent clients — not the whole machine, so
+	// several runs in one process (experiment grid cells) stay within
+	// their slices.
+	budget := tensor.Compute{Workers: s.Cfg.Parallelism}.Split(conc)
+	slots := make([]chan Update, len(sampled))
+	for j := range slots {
+		slots[j] = make(chan Update, 1)
+	}
+	sem := make(chan struct{}, s.Cfg.Parallelism)
+	for j, id := range sampled {
+		go func(j, id int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cl := s.Clients[id]
+			cl.SetComputeBudget(budget)
+			slots[j] <- cl.LocalTrain(global, control, s.Cfg)
+		}(j, id)
+	}
+	// Fold the prefix as it completes; slots are buffered so stragglers
+	// never block even if deliver fails early.
+	for j := range slots {
+		if err := deliver(<-slots[j]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunRound executes one communication round and returns its metrics.
 func (s *Simulation) RunRound(round int) (RoundMetrics, error) {
-	start := time.Now()
-	sampled := s.sampleParties()
-	global := append([]float64{}, s.server.State()...)
-	serverC := s.server.Control()
-
-	// Oversubscription guard: when several clients train concurrently,
-	// cap each client's per-kernel goroutine fan-out so that
-	// clients x kernel workers never exceeds GOMAXPROCS. Without the cap
-	// every client's GEMM fans out to all cores and the scheduler thrashes.
-	if conc := min(s.Cfg.Parallelism, len(sampled)); conc > 1 {
-		defer tensor.CapKernelsPerWorker(conc)()
-	}
-
-	updates := make([]Update, len(sampled))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.Cfg.Parallelism)
-	for j, id := range sampled {
-		wg.Add(1)
-		go func(j, id int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			updates[j] = s.Clients[id].LocalTrain(global, serverC, s.Cfg)
-		}(j, id)
-	}
-	wg.Wait()
-
-	if err := s.server.Aggregate(updates); err != nil {
-		return RoundMetrics{}, err
-	}
-	var loss float64
-	for _, u := range updates {
-		loss += u.TrainLoss
-	}
-	m := RoundMetrics{
-		Round:        round,
-		TestAccuracy: -1,
-		TrainLoss:    loss / float64(len(updates)),
-		CommBytes:    s.commBytesFor(updates),
-		Duration:     time.Since(start),
-		Sampled:      sampled,
-	}
-	return m, nil
+	return s.engine.RunRound(s, round)
 }
 
 // Run executes the configured number of rounds and returns the result.
 func (s *Simulation) Run() (*Result, error) {
-	res := &Result{
-		Config:     s.Cfg,
-		ParamCount: s.server.paramLen,
-		StateCount: len(s.server.State()),
-	}
-	var compute time.Duration
-	for t := 0; t < s.Cfg.Rounds; t++ {
-		m, err := s.RunRound(t)
-		if err != nil {
-			return nil, err
-		}
-		compute += m.Duration
-		if (t+1)%s.Cfg.EvalEvery == 0 || t == s.Cfg.Rounds-1 {
-			m.TestAccuracy = s.eval.Accuracy(s.server.State())
-			if m.TestAccuracy > res.BestAccuracy {
-				res.BestAccuracy = m.TestAccuracy
-			}
-		}
-		res.Curve = append(res.Curve, m)
-		res.TotalCommBytes += m.CommBytes
-	}
-	res.ComputeTime = compute
-	res.FinalState = append([]float64{}, s.server.State()...)
-	if len(res.Curve) > 0 {
-		res.CommBytesPerRound = float64(res.TotalCommBytes) / float64(len(res.Curve))
-		res.FinalAccuracy = res.Curve[len(res.Curve)-1].TestAccuracy
-	}
-	return res, nil
+	return s.engine.Run(s)
 }
 
 // GlobalState exposes the current global model state (for tests and for
@@ -267,13 +215,15 @@ func (s *evalShard) accuracyRange(spec nn.ModelSpec, test *data.Dataset, state [
 }
 
 // Evaluator measures test accuracy of a model state. The test set is
-// sharded across up to GOMAXPROCS goroutines between rounds, each shard
-// owning a model replica and its batch scratch (reused across calls), so
-// evaluation uses all cores while staying essentially allocation-free.
+// sharded across the evaluator's compute budget (all cores by default)
+// between rounds, each shard owning a model replica and its batch scratch
+// (reused across calls), so evaluation uses its core share while staying
+// essentially allocation-free.
 type Evaluator struct {
 	spec   nn.ModelSpec
 	test   *data.Dataset
 	shards []*evalShard
+	cmp    tensor.Compute
 }
 
 // NewEvaluator builds an evaluator; shard replicas are created on first
@@ -281,6 +231,11 @@ type Evaluator struct {
 func NewEvaluator(spec nn.ModelSpec, test *data.Dataset) *Evaluator {
 	return &Evaluator{spec: spec, test: test}
 }
+
+// SetCompute bounds the evaluator's total fan-out (shards x per-shard
+// kernel workers). The round engine sets it to the run's Parallelism so
+// concurrent runs in one process evaluate within their core shares.
+func (e *Evaluator) SetCompute(c tensor.Compute) { e.cmp = c }
 
 // shard returns the i-th worker, growing the replica list on demand. The
 // replica weights are overwritten by SetState every call, so the init RNG
@@ -298,16 +253,17 @@ func (e *Evaluator) Accuracy(state []float64) float64 {
 		return 0
 	}
 	n := e.test.Len()
-	shards := runtime.GOMAXPROCS(0)
+	shards := e.cmp.Resolve()
 	if maxShards := (n + evalBatch - 1) / evalBatch; shards > maxShards {
 		shards = maxShards
 	}
 	if shards <= 1 {
 		return float64(e.shard(0).accuracyRange(e.spec, e.test, state, 0, n)) / float64(n)
 	}
-	// The same oversubscription guard as RunRound: each shard's kernels
-	// must share the machine with the other shards.
-	defer tensor.CapKernelsPerWorker(shards)()
+	// The same oversubscription guard as TrainRound: each shard's model
+	// gets its own kernel budget so shards x kernel goroutines stays
+	// within the evaluator's budget.
+	budget := e.cmp.Split(shards)
 	// Contiguous per-shard ranges rounded up to whole batches so every
 	// shard but the last runs full mini-batches.
 	per := (n + shards - 1) / shards
@@ -321,6 +277,7 @@ func (e *Evaluator) Accuracy(state []float64) float64 {
 		}
 		hi := min(lo+per, n)
 		sh := e.shard(i)
+		sh.model.SetCompute(budget)
 		wg.Add(1)
 		go func(i int, sh *evalShard, lo, hi int) {
 			defer wg.Done()

@@ -21,6 +21,7 @@ type Conv2D struct {
 	Stride, Pad   int
 	W, B          *Param
 	dt            tensor.DType
+	cmp           tensor.Compute // kernel fan-out budget (zero = all cores)
 	cols          *tensor.Tensor // cached im2col of the input
 	inB, inH, inW int            // cached input geometry
 	outH, outW    int
@@ -51,6 +52,10 @@ func NewConv2DOf(dt tensor.DType, inC, outC, kh, kw, stride, pad int, r *rng.RNG
 	return c
 }
 
+// SetCompute installs the kernel compute budget for the layer's im2col,
+// col2im and matmul kernels.
+func (c *Conv2D) SetCompute(cmp tensor.Compute) { c.cmp = cmp }
+
 // Forward computes the convolution of x (batch, inC, H, W). The returned
 // tensor is layer-owned scratch, valid until the next Forward call.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -62,10 +67,10 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.outW = tensor.ConvOutSize(c.inW, c.KW, c.Stride, c.Pad)
 	rows := c.inB * c.outH * c.outW
 	c.cols = tensor.EnsureOf(c.dt, c.cols, rows, c.InC*c.KH*c.KW)
-	tensor.Im2ColInto(c.cols, x, c.KH, c.KW, c.Stride, c.Pad)
+	c.cmp.Im2ColInto(c.cols, x, c.KH, c.KW, c.Stride, c.Pad)
 	// (B*oh*ow, inC*kh*kw) @ (inC*kh*kw, outC) -> (B*oh*ow, outC)
 	c.prod = tensor.EnsureOf(c.dt, c.prod, rows, c.OutC)
-	tensor.MatMulInto(c.prod, c.cols, c.W.Data)
+	c.cmp.MatMulInto(c.prod, c.cols, c.W.Data)
 	c.prod.AddRowVector(c.B.Data)
 	c.out = tensor.EnsureOf(c.dt, c.out, c.inB, c.OutC, c.outH, c.outW)
 	rowsToNCHWInto(c.out, c.prod)
@@ -80,15 +85,15 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	nchwToRowsInto(c.gcols, grad)
 	// dW += colsᵀ @ gcols
 	c.dw = tensor.EnsureOf(c.dt, c.dw, c.W.Data.Dim(0), c.W.Data.Dim(1))
-	tensor.MatMulTransAInto(c.dw, c.cols, c.gcols)
+	c.cmp.MatMulTransAInto(c.dw, c.cols, c.gcols)
 	tensor.AddInto(c.W.Grad, c.W.Grad, c.dw)
 	// db += column sums
 	c.gcols.ColSumsInto(c.B.Grad)
 	// dcols = gcols @ Wᵀ, then scatter back to image shape.
 	c.dcols = tensor.EnsureOf(c.dt, c.dcols, rows, c.W.Data.Dim(0))
-	tensor.MatMulTransBInto(c.dcols, c.gcols, c.W.Data)
+	c.cmp.MatMulTransBInto(c.dcols, c.gcols, c.W.Data)
 	c.dx = tensor.EnsureOf(c.dt, c.dx, c.inB, c.InC, c.inH, c.inW)
-	return tensor.Col2ImInto(c.dx, c.dcols, c.KH, c.KW, c.Stride, c.Pad)
+	return c.cmp.Col2ImInto(c.dx, c.dcols, c.KH, c.KW, c.Stride, c.Pad)
 }
 
 // Params returns the kernel and bias.

@@ -28,11 +28,15 @@ func initHeUniform(t *tensor.Tensor, fanIn int, r *rng.RNG) {
 type Dense struct {
 	W, B *Param
 	dt   tensor.DType
+	cmp  tensor.Compute // kernel fan-out budget (zero = all cores)
 	in   *tensor.Tensor // cached input for the backward pass
 	out  *tensor.Tensor // forward scratch
 	dw   *tensor.Tensor // backward scratch: weight gradient
 	dx   *tensor.Tensor // backward scratch: input gradient
 }
+
+// SetCompute installs the kernel compute budget for the layer's matmuls.
+func (d *Dense) SetCompute(c tensor.Compute) { d.cmp = c }
 
 // NewDense creates a float64 dense layer with He-uniform initialized
 // weights, the standard choice for ReLU networks.
@@ -53,7 +57,7 @@ func NewDenseOf(dt tensor.DType, in, out int, r *rng.RNG) *Dense {
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d.in = x
 	d.out = tensor.EnsureOf(d.dt, d.out, x.Dim(0), d.W.Data.Dim(1))
-	tensor.MatMulInto(d.out, x, d.W.Data)
+	d.cmp.MatMulInto(d.out, x, d.W.Data)
 	d.out.AddRowVector(d.B.Data)
 	return d.out
 }
@@ -62,13 +66,13 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dW += xᵀ g
 	d.dw = tensor.EnsureOf(d.dt, d.dw, d.W.Data.Dim(0), d.W.Data.Dim(1))
-	tensor.MatMulTransAInto(d.dw, d.in, grad)
+	d.cmp.MatMulTransAInto(d.dw, d.in, grad)
 	tensor.AddInto(d.W.Grad, d.W.Grad, d.dw)
 	// db += column sums of g
 	grad.ColSumsInto(d.B.Grad)
 	// dx = g Wᵀ
 	d.dx = tensor.EnsureOf(d.dt, d.dx, grad.Dim(0), d.W.Data.Dim(0))
-	tensor.MatMulTransBInto(d.dx, grad, d.W.Data)
+	d.cmp.MatMulTransBInto(d.dx, grad, d.W.Data)
 	return d.dx
 }
 

@@ -67,6 +67,14 @@ type Buffered interface {
 	Buffers() []*Buffer
 }
 
+// ComputeAware is implemented by layers whose kernels can fan out across
+// goroutines (dense, convolution) and by containers that forward the
+// budget to such layers. SetCompute installs the kernel compute budget the
+// layer runs under; the zero Compute means "all cores".
+type ComputeAware interface {
+	SetCompute(tensor.Compute)
+}
+
 // Sequential chains layers; the output of each is the input of the next.
 // The layer list must not change after the first Forward/Params call: the
 // flattened parameter and buffer lists are cached, since the training loop
@@ -76,6 +84,18 @@ type Sequential struct {
 	params  []*Param
 	buffers []*Buffer
 	cached  bool
+}
+
+// SetCompute installs the kernel compute budget every layer of the model
+// runs under. Each model instance owns its budget, so per-client replicas
+// in a federated round cap their kernel fan-out independently — no shared
+// global knob. The zero Compute restores "all cores".
+func (m *Sequential) SetCompute(c tensor.Compute) {
+	for _, l := range m.Layers {
+		if ca, ok := l.(ComputeAware); ok {
+			ca.SetCompute(c)
+		}
+	}
 }
 
 // NewSequential builds a model from the given layers.

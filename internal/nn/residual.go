@@ -48,6 +48,16 @@ func NewResidualOf(dt tensor.DType, inC, outC int, r *rng.RNG) *Residual {
 	return blk
 }
 
+// SetCompute forwards the kernel compute budget to the block's
+// convolutions.
+func (b *Residual) SetCompute(c tensor.Compute) {
+	b.conv1.SetCompute(c)
+	b.conv2.SetCompute(c)
+	if b.proj != nil {
+		b.proj.SetCompute(c)
+	}
+}
+
 // Forward runs the main path and adds the skip connection.
 func (b *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b.skipIn = x

@@ -18,6 +18,7 @@ const (
 	msgGlobal   byte = 1
 	msgUpdate   byte = 2
 	msgShutdown byte = 3
+	msgHello    byte = 4
 )
 
 // GlobalMsg is the server-to-party payload at the start of a round: the
@@ -26,6 +27,20 @@ type GlobalMsg struct {
 	Round   int
 	State   []float64
 	Control []float64 // nil unless SCAFFOLD
+	// Budget is the kernel compute budget (max goroutines per kernel) the
+	// party should train under this round; 0 means uncapped. The server
+	// sets it when parties share its process, so K concurrently-training
+	// parties split the machine instead of oversubscribing it.
+	Budget int
+}
+
+// HelloMsg is the party-to-server handshake sent once at connect: the
+// party's identity and what the server needs for weighting (dataset size)
+// and stratified sampling (label distribution).
+type HelloMsg struct {
+	ID        int
+	N         int
+	LabelDist []float64
 }
 
 // UpdateMsg is the party-to-server payload at the end of local training.
@@ -85,8 +100,15 @@ func Marshal(msg any) ([]byte, error) {
 	case GlobalMsg:
 		b := []byte{msgGlobal}
 		b = appendUint32(b, uint32(m.Round))
+		b = appendUint32(b, uint32(m.Budget))
 		b = appendFloats(b, m.State)
 		b = appendFloats(b, m.Control)
+		return b, nil
+	case HelloMsg:
+		b := []byte{msgHello}
+		b = appendUint32(b, uint32(m.ID))
+		b = appendUint32(b, uint32(m.N))
+		b = appendFloats(b, m.LabelDist)
 		return b, nil
 	case UpdateMsg:
 		b := []byte{msgUpdate}
@@ -118,10 +140,31 @@ func Unmarshal(b []byte) (any, error) {
 			return nil, err
 		}
 		m.Round = int(r)
+		bg, b, err := readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		m.Budget = int(bg)
 		if m.State, b, err = readFloats(b); err != nil {
 			return nil, err
 		}
 		if m.Control, _, err = readFloats(b); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgHello:
+		var m HelloMsg
+		id, b, err := readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		m.ID = int(id)
+		n, b, err := readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		m.N = int(n)
+		if m.LabelDist, _, err = readFloats(b); err != nil {
 			return nil, err
 		}
 		return m, nil

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
 
 	"github.com/niid-bench/niidbench/internal/data"
 	"github.com/niid-bench/niidbench/internal/fl"
@@ -16,22 +15,46 @@ import (
 // Federation runs the federated protocol over explicit connections: the
 // server goroutine owns aggregation, each party goroutine owns its local
 // dataset and model, and all model movement happens through serialized
-// messages on Conns.
+// messages on Conns. The round machinery — sampling, streaming
+// aggregation, metrics, evaluation cadence — is the shared fl.Engine; this
+// type is its message-passing Transport.
 type Federation struct {
 	Cfg   fl.Config
 	Spec  nn.ModelSpec
 	Test  *data.Dataset
-	conns []*CountingConn // server side, one per party
+	conns []*CountingConn // server side, in arrival order
+	// local marks in-process parties (RunLocal): the server then sends
+	// per-round kernel compute budgets so K concurrently-training parties
+	// split the machine instead of oversubscribing it. Over TCP parties
+	// are other processes and the budget stays 0 (uncapped).
+	local bool
+
+	// Populated by the hello handshake.
+	byParty []*CountingConn // conn per party ID
+	metas   []fl.UpdateMeta // aggregation metadata per party ID
+	dists   [][]float64     // label distribution per party ID
+
+	prevBytes int64 // byte watermark for per-round accounting
 }
 
 // ServeParty runs one party's message loop on conn until shutdown. It is
-// exported so parties can be run in separate processes over TCP.
+// exported so parties can be run in separate processes over TCP. The party
+// introduces itself with a HelloMsg (identity, dataset size, label
+// distribution) so the server can weight its updates and sample
+// stratified without ever seeing the raw data.
 func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64) error {
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return err
 	}
 	client := fl.NewClient(id, local, cfg.ResolveSpec(spec), rng.New(seed))
+	hello, err := Marshal(HelloMsg{ID: id, N: local.Len(), LabelDist: local.LabelDistribution()})
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(hello); err != nil {
+		return fmt.Errorf("simnet: party %d hello: %w", id, err)
+	}
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
@@ -45,6 +68,7 @@ func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg f
 		case ShutdownMsg:
 			return nil
 		case GlobalMsg:
+			client.SetComputeBudget(tensor.Compute{Workers: m.Budget})
 			up := client.LocalTrain(m.State, m.Control, cfg)
 			reply, err := Marshal(UpdateMsg{
 				Round: m.Round, N: up.N, Tau: up.Tau,
@@ -86,7 +110,7 @@ func RunLocal(cfg fl.Config, spec nn.ModelSpec, locals []*data.Dataset, test *da
 			partyErrs[i] = ServeParty(conn, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13)
 		}(i, ds, partySide)
 	}
-	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns}
+	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns, local: true}
 	res, serveErr := fed.serve(len(locals))
 	wg.Wait()
 	if serveErr != nil {
@@ -152,20 +176,134 @@ func DialParty(addr string, id int, local *data.Dataset, spec nn.ModelSpec, cfg 
 	return ServeParty(NewTCPConn(c), id, local, spec, cfg, seed)
 }
 
-// serve runs the server side of the protocol over the federation's conns.
-func (f *Federation) serve(numParties int) (*fl.Result, error) {
-	cfg := f.Cfg
-	root := rng.New(cfg.Seed)
-	initModel := nn.Build(f.Spec, root.Split())
-	server := fl.NewServer(cfg, initModel.State(), initModel.ParamCount(), numParties)
-	eval := fl.NewEvaluator(f.Spec, f.Test)
-	sampler := root.Split()
-
-	res := &fl.Result{
-		Config:     cfg,
-		ParamCount: initModel.ParamCount(),
-		StateCount: initModel.StateCount(),
+// handshake reads one HelloMsg from every conn and indexes conns and
+// metadata by party ID. Connections may arrive in any order (TCP accept
+// order is not party order); the hello carries the identity.
+func (f *Federation) handshake(numParties int) error {
+	f.byParty = make([]*CountingConn, numParties)
+	f.metas = make([]fl.UpdateMeta, numParties)
+	f.dists = make([][]float64, numParties)
+	for _, c := range f.conns {
+		raw, err := c.Recv()
+		if err != nil {
+			return fmt.Errorf("simnet: hello recv: %w", err)
+		}
+		decoded, err := Unmarshal(raw)
+		if err != nil {
+			return fmt.Errorf("simnet: hello decode: %w", err)
+		}
+		h, ok := decoded.(HelloMsg)
+		if !ok {
+			return fmt.Errorf("simnet: expected hello, got %T", decoded)
+		}
+		if h.ID < 0 || h.ID >= numParties {
+			return fmt.Errorf("simnet: party ID %d out of range [0,%d)", h.ID, numParties)
+		}
+		if f.byParty[h.ID] != nil {
+			return fmt.Errorf("simnet: duplicate hello from party %d", h.ID)
+		}
+		f.byParty[h.ID] = c
+		f.metas[h.ID] = fl.UpdateMeta{N: h.N, Tau: fl.PredictTau(f.Cfg, h.N)}
+		f.dists[h.ID] = h.LabelDist
 	}
+	return nil
+}
+
+// PartyMeta implements fl.Transport.
+func (f *Federation) PartyMeta(id int) fl.UpdateMeta { return f.metas[id] }
+
+// TrainRound implements fl.Transport: it broadcasts the round's global
+// state to the sampled parties, then receives their replies concurrently —
+// tolerating arrival in any order — and folds each into the aggregation
+// the moment the next-in-sample-order update is available, so the server
+// never buffers the whole round.
+func (f *Federation) TrainRound(round int, sampled []int, global, control []float64, deliver func(fl.Update) error) error {
+	budget := 0
+	if f.local && len(sampled) > 0 {
+		// In-process parties all train concurrently once the global model
+		// lands: split this run's core share (Cfg.Parallelism, GOMAXPROCS
+		// by default) across them — the same oversubscription guard as
+		// fl.Simulation, but carried per-party in the message instead of
+		// any process-global knob.
+		budget = tensor.Compute{Workers: f.Cfg.Parallelism}.Split(len(sampled)).Workers
+	}
+	msg, err := Marshal(GlobalMsg{Round: round, State: global, Control: control, Budget: budget})
+	if err != nil {
+		return err
+	}
+	for _, id := range sampled {
+		if err := f.byParty[id].Send(msg); err != nil {
+			return fmt.Errorf("simnet: send to party %d: %w", id, err)
+		}
+	}
+	type reply struct {
+		u   fl.Update
+		err error
+	}
+	// One receiver goroutine per sampled party: replies land whenever each
+	// party finishes, in any order across parties. Slots are buffered so
+	// no receiver ever blocks, even if the fold loop bails early.
+	slots := make([]chan reply, len(sampled))
+	for j := range slots {
+		slots[j] = make(chan reply, 1)
+	}
+	for j, id := range sampled {
+		go func(j, id int) {
+			u, err := f.recvUpdate(id, round)
+			slots[j] <- reply{u: u, err: err}
+		}(j, id)
+	}
+	// Fold the longest available prefix in sampled order so the
+	// aggregation's floating-point order is deterministic for a given
+	// sample, whatever the wire order was.
+	for j := range slots {
+		r := <-slots[j]
+		if r.err != nil {
+			return r.err
+		}
+		if err := deliver(r.u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvUpdate reads and validates one round reply from a party.
+func (f *Federation) recvUpdate(id, round int) (fl.Update, error) {
+	raw, err := f.byParty[id].Recv()
+	if err != nil {
+		return fl.Update{}, fmt.Errorf("simnet: recv from party %d: %w", id, err)
+	}
+	decoded, err := Unmarshal(raw)
+	if err != nil {
+		return fl.Update{}, err
+	}
+	um, ok := decoded.(UpdateMsg)
+	if !ok {
+		return fl.Update{}, fmt.Errorf("simnet: unexpected reply %T from party %d", decoded, id)
+	}
+	if um.Round != round {
+		return fl.Update{}, fmt.Errorf("simnet: party %d replied for round %d during round %d", id, um.Round, round)
+	}
+	return fl.Update{
+		Delta: um.Delta, Tau: um.Tau, N: um.N,
+		DeltaC: um.DeltaC, TrainLoss: um.TrainLoss,
+	}, nil
+}
+
+// RoundBytes reports the bytes moved since the previous call, so the
+// engine's CommBytes is measured from the actual serialized traffic
+// (implements the engine's byteMeter).
+func (f *Federation) RoundBytes() int64 {
+	total := f.totalBytes()
+	delta := total - f.prevBytes
+	f.prevBytes = total
+	return delta
+}
+
+// serve runs the server side of the protocol over the federation's conns:
+// hello handshake, then the shared round engine to completion.
+func (f *Federation) serve(numParties int) (*fl.Result, error) {
 	defer func() {
 		// Always attempt a clean shutdown of every party.
 		if msg, err := Marshal(ShutdownMsg{}); err == nil {
@@ -177,88 +315,23 @@ func (f *Federation) serve(numParties int) (*fl.Result, error) {
 			_ = c.Close()
 		}
 	}()
-
-	var compute time.Duration
-	var prevBytes int64
-	for t := 0; t < cfg.Rounds; t++ {
-		start := time.Now()
-		sampled := sampleParties(sampler, numParties, cfg.SampleFraction)
-		msg, err := Marshal(GlobalMsg{Round: t, State: server.State(), Control: server.Control()})
-		if err != nil {
-			return nil, err
-		}
-		updates := make([]fl.Update, 0, len(sampled))
-		var trainLoss float64
-		err = func() error {
-			// In-process parties all train concurrently once the global
-			// model lands; apply the same kernel-oversubscription guard as
-			// fl.Simulation.RunRound for the duration of the round. (Over
-			// TCP the parties are other processes and the cap is moot.)
-			if len(sampled) > 1 {
-				defer tensor.CapKernelsPerWorker(len(sampled))()
-			}
-			for _, id := range sampled {
-				if err := f.conns[id].Send(msg); err != nil {
-					return fmt.Errorf("simnet: send to party %d: %w", id, err)
-				}
-			}
-			for _, id := range sampled {
-				raw, err := f.conns[id].Recv()
-				if err != nil {
-					return fmt.Errorf("simnet: recv from party %d: %w", id, err)
-				}
-				decoded, err := Unmarshal(raw)
-				if err != nil {
-					return err
-				}
-				um, ok := decoded.(UpdateMsg)
-				if !ok {
-					return fmt.Errorf("simnet: unexpected reply %T from party %d", decoded, id)
-				}
-				if um.Round != t {
-					return fmt.Errorf("simnet: party %d replied for round %d during round %d", id, um.Round, t)
-				}
-				updates = append(updates, fl.Update{
-					Delta: um.Delta, Tau: um.Tau, N: um.N,
-					DeltaC: um.DeltaC, TrainLoss: um.TrainLoss,
-				})
-				trainLoss += um.TrainLoss
-			}
-			return nil
-		}()
-		if err != nil {
-			return nil, err
-		}
-		if err := server.Aggregate(updates); err != nil {
-			return nil, err
-		}
-		roundBytes := f.totalBytes() - prevBytes
-		prevBytes = f.totalBytes()
-		m := fl.RoundMetrics{
-			Round:        t,
-			TestAccuracy: -1,
-			TrainLoss:    trainLoss / float64(len(updates)),
-			CommBytes:    roundBytes,
-			Duration:     time.Since(start),
-			Sampled:      sampled,
-		}
-		compute += m.Duration
-		if (t+1)%cfg.EvalEvery == 0 || t == cfg.Rounds-1 {
-			m.TestAccuracy = eval.Accuracy(server.State())
-			if m.TestAccuracy > res.BestAccuracy {
-				res.BestAccuracy = m.TestAccuracy
-			}
-		}
-		res.Curve = append(res.Curve, m)
-		res.TotalCommBytes += m.CommBytes
+	if err := f.handshake(numParties); err != nil {
+		return nil, err
 	}
-	res.ComputeTime = compute
-	res.FinalState = append([]float64{}, server.State()...)
-	if len(res.Curve) > 0 {
-		res.CommBytesPerRound = float64(res.TotalCommBytes) / float64(len(res.Curve))
-		res.FinalAccuracy = res.Curve[len(res.Curve)-1].TestAccuracy
+	// The hello handshake is setup traffic, not round traffic: reset the
+	// byte watermark so round 0's measured CommBytes covers only the
+	// round's own messages, matching the analytic model.
+	f.prevBytes = f.totalBytes()
+	cfg := f.Cfg
+	root := rng.New(cfg.Seed)
+	initModel := nn.Build(f.Spec, root.Split())
+	server := fl.NewServer(cfg, initModel.State(), initModel.ParamCount(), numParties)
+	eval := fl.NewEvaluator(f.Spec, f.Test)
+	engine, err := fl.NewEngine(cfg, server, eval, numParties, root.Split(), f.dists)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return engine.Run(f)
 }
 
 func (f *Federation) totalBytes() int64 {
@@ -267,19 +340,4 @@ func (f *Federation) totalBytes() int64 {
 		total += c.Sent() + c.Received()
 	}
 	return total
-}
-
-func sampleParties(r *rng.RNG, n int, fraction float64) []int {
-	k := int(fraction*float64(n) + 0.5)
-	if k < 1 {
-		k = 1
-	}
-	if k >= n {
-		ids := make([]int, n)
-		for i := range ids {
-			ids[i] = i
-		}
-		return ids
-	}
-	return r.SampleWithoutReplacement(n, k)
 }

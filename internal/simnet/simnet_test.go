@@ -317,3 +317,74 @@ func TestUnmarshalTruncationsOfValidMessage(t *testing.T) {
 		}
 	}
 }
+
+func TestStratifiedSamplingOverTransport(t *testing.T) {
+	// Four single-label parties (two per class) and SampleFraction 0.5:
+	// the stratified sampler clusters parties by label distribution and
+	// draws one per cluster, so every round must sample exactly one party
+	// from each label group. The old simnet server silently fell back to
+	// uniform sampling; now both transports share the engine's sampler.
+	train, test, err := data.Load("adult", data.Config{TrainN: 600, TestN: 200, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.LabelQuantity, K: 1}.Split(train, 4, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	majority := make([]int, len(locals))
+	for i, ds := range locals {
+		counts := ds.ClassCounts()
+		best := 0
+		for c := range counts {
+			if counts[c] > counts[best] {
+				best = c
+			}
+		}
+		majority[i] = best
+	}
+	spec, _ := data.Model("adult")
+	cfg := fl.Config{
+		Algorithm: fl.FedAvg, Rounds: 6, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, SampleFraction: 0.5, Sampling: fl.SampleStratified,
+	}
+	res, err := RunLocal(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Curve {
+		if len(m.Sampled) != 2 {
+			t.Fatalf("round %d sampled %d parties, want one per label cluster (2)", m.Round, len(m.Sampled))
+		}
+		seen := map[int]bool{}
+		for _, id := range m.Sampled {
+			seen[majority[id]] = true
+		}
+		if len(seen) != 2 {
+			t.Fatalf("round %d sampled parties %v cover label groups %v, want both classes", m.Round, m.Sampled, seen)
+		}
+	}
+}
+
+func TestTransportUpdatesToleratesSlowParty(t *testing.T) {
+	// With per-party receiver goroutines the server folds whatever prefix
+	// of the sampled order is ready; a straggling first party must not
+	// deadlock nor corrupt the fold. The pipes deliver replies in whatever
+	// order parties finish, which under concurrent training is already
+	// out of order — this just pins the round completing correctly.
+	cfg, locals, test := smallFederation(t)
+	cfg.Rounds = 3
+	spec, _ := data.Model("adult")
+	res, err := RunLocal(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 3 {
+		t.Fatalf("rounds: %d", len(res.Curve))
+	}
+	for _, m := range res.Curve {
+		if len(m.Sampled) != len(locals) {
+			t.Fatalf("round %d sampled %v", m.Round, m.Sampled)
+		}
+	}
+}

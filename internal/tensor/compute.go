@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Compute is an explicit kernel compute budget: the maximum goroutine
+// fan-out any single kernel call may use. It replaces the old process-wide
+// SetKernelParallelism knob so independent consumers — per-client model
+// replicas, evaluator shards, concurrent simulations in one process — each
+// carry their own budget instead of clobbering a global.
+//
+// The zero value means "use GOMAXPROCS at call time", which is the right
+// default for a model that has the machine to itself. A federation running
+// K clients concurrently gives each client Compute{Workers: GOMAXPROCS/K}
+// so clients x kernel goroutines never exceeds the machine.
+//
+// Compute is a small value type: copy it freely, hang it off long-lived
+// objects (models, workspaces), and call kernels as methods on it:
+//
+//	cmp := tensor.Compute{Workers: 2}
+//	cmp.MatMulInto(dst, a, b)
+//
+// The package-level kernel functions (MatMulInto, Im2ColInto, ...) remain
+// as wrappers that consult the deprecated global knob for backward
+// compatibility; new code should thread a Compute instead.
+type Compute struct {
+	// Workers caps the goroutine fan-out of a kernel call; <= 0 means
+	// GOMAXPROCS at call time.
+	Workers int
+}
+
+// workers resolves the budget to a concrete fan-out for this call.
+func (c Compute) workers() int {
+	w := runtime.GOMAXPROCS(0)
+	if c.Workers > 0 && c.Workers < w {
+		w = c.Workers
+	}
+	return w
+}
+
+// Resolve returns the concrete worker count the budget allows right now:
+// min(Workers, GOMAXPROCS), or GOMAXPROCS when unset.
+func (c Compute) Resolve() int { return c.workers() }
+
+// Split divides the budget across n concurrent consumers: each gets
+// max(1, workers/n). It is the oversubscription guard for fan-out sites
+// (concurrent clients, evaluator shards): per-consumer budgets multiply
+// out to at most the parent budget.
+func (c Compute) Split(n int) Compute {
+	if n < 1 {
+		n = 1
+	}
+	per := c.workers() / n
+	if per < 1 {
+		per = 1
+	}
+	return Compute{Workers: per}
+}
+
+// parallelRows splits [0,m) into contiguous chunks and runs body on each
+// chunk concurrently across at most `workers` goroutines. Chunk boundaries
+// are rounded to multiples of 4 so the register tiles never straddle
+// workers. With a single worker the body runs inline, avoiding goroutine
+// overhead. The chunk decomposition depends only on (workers, m), and each
+// output row is produced by exactly one worker with the same sequential
+// arithmetic, so results are bitwise independent of scheduling.
+func parallelRows(workers, m int, body func(r0, r1 int)) {
+	if workers > (m+3)/4 {
+		workers = (m + 3) / 4
+	}
+	if workers <= 1 {
+		body(0, m)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	chunk = (chunk + 3) &^ 3
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < m; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			body(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// parallelChunks splits [0,n) into one contiguous chunk per worker and
+// runs body on each concurrently. With one worker the body runs inline.
+func parallelChunks(workers, n int, body func(c0, c1 int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for c0 := 0; c0 < n; c0 += chunk {
+		c1 := c0 + chunk
+		if c1 > n {
+			c1 = n
+		}
+		wg.Add(1)
+		go func(c0, c1 int) {
+			defer wg.Done()
+			body(c0, c1)
+		}(c0, c1)
+	}
+	wg.Wait()
+}

@@ -10,6 +10,13 @@ package tensor
 //go:noescape
 func sgemm4x16s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr)
 
+// sgemm4x16st is the store-mode twin of sgemm4x16s: same accumulation,
+// but the dst tile is overwritten (d[r*ldd+c] = sum) instead of added to,
+// so the first k-block needs no dst pre-zero.
+//
+//go:noescape
+func sgemm4x16st(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr)
+
 // sgemm4x8s is the one-ymm-wide variant used for column remainders: it
 // reads the same 16-wide packed B panels but only the first 8 lanes of
 // each step, and writes a 4x8 dst tile.

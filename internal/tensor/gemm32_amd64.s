@@ -139,6 +139,113 @@ done:
 	VZEROUPPER
 	RET
 
+// func sgemm4x16st(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr)
+//
+// Store-mode twin of sgemm4x16s: identical accumulation loop, but the
+// epilogue writes the tile into d without reading it first
+// (d[r*ldd + c] = sum), so the driver can skip zeroing dst before the
+// first k-block.
+TEXT ·sgemm4x16st(SB), NOSPLIT, $0-72
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ sa+32(FP), R13
+	MOVQ b+40(FP), BX
+	MOVQ kb+48(FP), CX
+	MOVQ d+56(FP), DI
+	MOVQ ldd+64(FP), DX
+	SHLQ $2, R13 // A step in bytes
+	SHLQ $2, DX  // dst row stride in bytes
+
+	VXORPS Y0, Y0, Y0 // row 0 lanes 0-7
+	VXORPS Y1, Y1, Y1 // row 0 lanes 8-15
+	VXORPS Y2, Y2, Y2 // row 1
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4 // row 2
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6 // row 3
+	VXORPS Y7, Y7, Y7
+
+	CMPQ CX, $2
+	JLT  tailst
+
+pairst:
+	// step p
+	VMOVUPS      (BX), Y8
+	VMOVUPS      32(BX), Y9
+	VBROADCASTSS (R8), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R9), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS (R10), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (R11), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+
+	// step p+1 (A at offset sa, B at offset 64)
+	VMOVUPS      64(BX), Y8
+	VMOVUPS      96(BX), Y9
+	VBROADCASTSS (R8)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R9)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS (R10)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (R11)(R13*1), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+
+	LEAQ (R8)(R13*2), R8
+	LEAQ (R9)(R13*2), R9
+	LEAQ (R10)(R13*2), R10
+	LEAQ (R11)(R13*2), R11
+	ADDQ $128, BX
+	SUBQ $2, CX
+	CMPQ CX, $2
+	JGE  pairst
+
+tailst:
+	TESTQ CX, CX
+	JZ    donest
+	VMOVUPS      (BX), Y8
+	VMOVUPS      32(BX), Y9
+	VBROADCASTSS (R8), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS (R9), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS (R10), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS (R11), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+
+donest:
+	// d = accumulators, row by row (no read-modify-write)
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPS Y2, (DI)
+	VMOVUPS Y3, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y5, 32(DI)
+	ADDQ    DX, DI
+	VMOVUPS Y6, (DI)
+	VMOVUPS Y7, 32(DI)
+	VZEROUPPER
+	RET
+
 // func sgemm4x8s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr)
 //
 // One-ymm-wide variant for column remainders of 8 or fewer (the packed B

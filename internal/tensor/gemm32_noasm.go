@@ -11,6 +11,11 @@ func sgemm4x16s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *
 	panic("tensor: sgemm4x16s without assembly support")
 }
 
+// sgemm4x16st is never called when useFMA32 is false.
+func sgemm4x16st(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr) {
+	panic("tensor: sgemm4x16st without assembly support")
+}
+
 // sgemm4x8s is never called when useFMA32 is false.
 func sgemm4x8s(a0, a1, a2, a3 *float32, sa uintptr, b *float32, kb uintptr, d *float32, ldd uintptr) {
 	panic("tensor: sgemm4x8s without assembly support")

@@ -11,13 +11,13 @@ func ConvOutSize(in, kernel, stride, pad int) int {
 	return (in+2*pad-kernel)/stride + 1
 }
 
-// parallelBatch runs body over [0,b) batch indices across goroutines.
-// Each batch index touches a disjoint slice of both the image and the
-// column matrix, so the split is race-free for im2col and col2im alike.
-// Callers only invoke it when fanning out is worthwhile; the serial path
-// calls the range worker directly (no closure, no goroutines).
-func parallelBatch(b int, body func(b0, b1 int)) {
-	workers := kernelWorkers()
+// parallelBatch runs body over [0,b) batch indices across at most
+// `workers` goroutines. Each batch index touches a disjoint slice of both
+// the image and the column matrix, so the split is race-free for im2col
+// and col2im alike. Callers only invoke it when fanning out is worthwhile;
+// the serial path calls the range worker directly (no closure, no
+// goroutines).
+func parallelBatch(workers, b int, body func(b0, b1 int)) {
 	if workers > b {
 		workers = b
 	}
@@ -37,10 +37,10 @@ func parallelBatch(b int, body func(b0, b1 int)) {
 	wg.Wait()
 }
 
-// batchParallelism reports how many ways a batch-dimension transform of
-// the given total size should fan out (1 = stay serial).
-func batchParallelism(b, totalElems int) bool {
-	return b > 1 && totalElems >= parallelThreshold && kernelWorkers() > 1
+// batchParallelism reports whether a batch-dimension transform of the
+// given total size should fan out across the given worker budget.
+func batchParallelism(workers, b, totalElems int) bool {
+	return b > 1 && totalElems >= parallelThreshold && workers > 1
 }
 
 // im2colRange expands the patches of batch images [b0, b1). The loops are
@@ -92,36 +92,43 @@ func im2colRange[T Elem](xd, cd []T, b0, b1, c, h, w, outH, outW, kh, kw, stride
 	}
 }
 
+// Im2ColInto expands image patches under the deprecated global
+// parallelism knob; prefer the Compute method.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) *Tensor {
+	return legacyCompute().Im2ColInto(dst, x, kh, kw, stride, pad)
+}
+
 // Im2ColInto expands image patches of x (batch, channels, height, width)
 // into rows of dst, which must have shape (batch*outH*outW,
 // channels*kh*kw) and x's dtype. Every element of dst is written. Returns
 // dst.
-func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) *Tensor {
+func (c Compute) Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col requires a 4-D tensor, got shape %v", x.shape))
 	}
-	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	workers := c.workers()
+	b, ch, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	outH := ConvOutSize(h, kh, stride, pad)
 	outW := ConvOutSize(w, kw, stride, pad)
 	if outH <= 0 || outW <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col kernel %dx%d too large for input %dx%d", kh, kw, h, w))
 	}
-	rowLen := c * kh * kw
+	rowLen := ch * kh * kw
 	if dst.Rank() != 2 || dst.shape[0] != b*outH*outW || dst.shape[1] != rowLen {
 		panic(fmt.Sprintf("tensor: Im2Col dst shape %v, want [%d %d]", dst.shape, b*outH*outW, rowLen))
 	}
 	assertSameDType("im2col", x, dst)
 	if x.dt == Float32 {
-		im2colDispatch(x.data32, dst.data32, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+		im2colDispatch(workers, x.data32, dst.data32, b, ch, h, w, outH, outW, kh, kw, stride, pad, rowLen)
 	} else {
-		im2colDispatch(x.data, dst.data, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+		im2colDispatch(workers, x.data, dst.data, b, ch, h, w, outH, outW, kh, kw, stride, pad, rowLen)
 	}
 	return dst
 }
 
-func im2colDispatch[T Elem](xd, cd []T, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
-	if batchParallelism(b, b*outH*outW*rowLen) {
-		parallelBatch(b, func(b0, b1 int) {
+func im2colDispatch[T Elem](workers int, xd, cd []T, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
+	if batchParallelism(workers, b, b*outH*outW*rowLen) {
+		parallelBatch(workers, b, func(b0, b1 int) {
 			im2colRange(xd, cd, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
 		})
 	} else {
@@ -137,15 +144,21 @@ func im2colDispatch[T Elem](xd, cd []T, b, c, h, w, outH, outW, kh, kw, stride, 
 // floor lose nothing, and hot loops may hand it back with Shared.Put to
 // run allocation-free.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	return legacyCompute().Im2Col(x, kh, kw, stride, pad)
+}
+
+// Im2Col is the allocating variant under an explicit compute budget; the
+// result's backing array comes from the shared pool.
+func (c Compute) Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col requires a 4-D tensor, got shape %v", x.shape))
 	}
-	b, c := x.shape[0], x.shape[1]
+	b, ch := x.shape[0], x.shape[1]
 	outH := ConvOutSize(x.shape[2], kh, stride, pad)
 	outW := ConvOutSize(x.shape[3], kw, stride, pad)
 	// Every element is written, so the un-zeroed pool path is safe.
-	dst := Shared.getNoZero(x.dt, b*outH*outW, c*kh*kw)
-	return Im2ColInto(dst, x, kh, kw, stride, pad)
+	dst := Shared.getNoZero(x.dt, b*outH*outW, ch*kh*kw)
+	return c.Im2ColInto(dst, x, kh, kw, stride, pad)
 }
 
 // col2imRange scatters the column gradients of batch images [b0, b1).
@@ -191,34 +204,41 @@ func col2imRange[T Elem](xd, cd []T, b0, b1, c, h, w, outH, outW, kh, kw, stride
 	}
 }
 
+// Col2ImInto scatters column gradients under the deprecated global
+// parallelism knob; prefer the Compute method.
+func Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) *Tensor {
+	return legacyCompute().Col2ImInto(img, cols, kh, kw, stride, pad)
+}
+
 // Col2ImInto is the adjoint of Im2Col: it scatters column gradients back
 // into img (batch, channels, height, width), accumulating overlapping
 // contributions. img is zeroed first; cols must have shape
 // (batch*outH*outW, channels*kh*kw) and img's dtype. Returns img.
-func Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) *Tensor {
+func (c Compute) Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) *Tensor {
 	if img.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Col2Im img shape %v, want 4-D", img.shape))
 	}
-	b, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
+	workers := c.workers()
+	b, ch, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
 	outH := ConvOutSize(h, kh, stride, pad)
 	outW := ConvOutSize(w, kw, stride, pad)
-	rowLen := c * kh * kw
+	rowLen := ch * kh * kw
 	if cols.Rank() != 2 || cols.shape[0] != b*outH*outW || cols.shape[1] != rowLen {
 		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want [%d %d]", cols.shape, b*outH*outW, rowLen))
 	}
 	assertSameDType("col2im", img, cols)
 	img.Zero()
 	if img.dt == Float32 {
-		col2imDispatch(img.data32, cols.data32, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+		col2imDispatch(workers, img.data32, cols.data32, b, ch, h, w, outH, outW, kh, kw, stride, pad, rowLen)
 	} else {
-		col2imDispatch(img.data, cols.data, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
+		col2imDispatch(workers, img.data, cols.data, b, ch, h, w, outH, outW, kh, kw, stride, pad, rowLen)
 	}
 	return img
 }
 
-func col2imDispatch[T Elem](xd, cd []T, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
-	if batchParallelism(b, b*outH*outW*rowLen) {
-		parallelBatch(b, func(b0, b1 int) {
+func col2imDispatch[T Elem](workers int, xd, cd []T, b, c, h, w, outH, outW, kh, kw, stride, pad, rowLen int) {
+	if batchParallelism(workers, b, b*outH*outW*rowLen) {
+		parallelBatch(workers, b, func(b0, b1 int) {
 			col2imRange(xd, cd, b0, b1, c, h, w, outH, outW, kh, kw, stride, pad, rowLen)
 		})
 	} else {
@@ -230,6 +250,11 @@ func col2imDispatch[T Elem](xd, cd []T, b, c, h, w, outH, outW, kh, kw, stride, 
 // of shape (batch, channels, height, width), cols' dtype. Like Im2Col, the
 // result is pool-backed.
 func Col2Im(cols *Tensor, b, c, h, w, kh, kw, stride, pad int) *Tensor {
+	return legacyCompute().Col2Im(cols, b, c, h, w, kh, kw, stride, pad)
+}
+
+// Col2Im is the allocating variant under an explicit compute budget.
+func (c Compute) Col2Im(cols *Tensor, b, ch, h, w, kh, kw, stride, pad int) *Tensor {
 	// Col2ImInto zeroes img before scattering, so skip the pool's clear.
-	return Col2ImInto(Shared.getNoZero(cols.dt, b, c, h, w), cols, kh, kw, stride, pad)
+	return c.Col2ImInto(Shared.getNoZero(cols.dt, b, ch, h, w), cols, kh, kw, stride, pad)
 }

@@ -2,7 +2,6 @@ package tensor
 
 import (
 	"fmt"
-	"sync"
 )
 
 // parallelThreshold is the number of output elements above which the GEMM
@@ -10,40 +9,14 @@ import (
 // Small problems are faster single-threaded.
 const parallelThreshold = 64 * 1024
 
-// parallelRows splits [0,m) into contiguous chunks and runs body on each
-// chunk concurrently. Chunk boundaries are rounded to multiples of 4 so
-// the register tiles never straddle workers. With a single processor (or
-// a SetKernelParallelism cap of 1) the body runs inline, avoiding
-// goroutine overhead.
-func parallelRows(m int, body func(r0, r1 int)) {
-	workers := kernelWorkers()
-	if workers > (m+3)/4 {
-		workers = (m + 3) / 4
-	}
-	if workers <= 1 {
-		body(0, m)
-		return
-	}
-	chunk := (m + workers - 1) / workers
-	chunk = (chunk + 3) &^ 3
-	var wg sync.WaitGroup
-	for r0 := 0; r0 < m; r0 += chunk {
-		r1 := r0 + chunk
-		if r1 > m {
-			r1 = m
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			body(r0, r1)
-		}(r0, r1)
-	}
-	wg.Wait()
-}
+// MatMulInto computes dst = a @ b for 2-D tensors under the deprecated
+// global parallelism knob; prefer the Compute method.
+func MatMulInto(dst, a, b *Tensor) { legacyCompute().MatMulInto(dst, a, b) }
 
 // MatMulInto computes dst = a @ b for 2-D tensors. a is (m,k), b is (k,n),
-// dst must be (m,n) and must not alias a or b.
-func MatMulInto(dst, a, b *Tensor) {
+// dst must be (m,n) and must not alias a or b. The goroutine fan-out is
+// bounded by the receiver's budget.
+func (c Compute) MatMulInto(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		panic("tensor: MatMul requires 2-D tensors")
 	}
@@ -58,12 +31,12 @@ func MatMulInto(dst, a, b *Tensor) {
 	assertSameDType("matmul", a, b)
 	assertSameDType("matmul", a, dst)
 	if a.dt == Float32 {
-		matMul32Into(dst, a, b)
+		c.matMul32Into(dst, a, b)
 		return
 	}
 	dst.Zero()
-	if m*n >= parallelThreshold && m > 4 && kernelWorkers() > 1 {
-		parallelRows(m, func(r0, r1 int) { matMulRows(dst, a, b, r0, r1, k, n) })
+	if w := c.workers(); m*n >= parallelThreshold && m > 4 && w > 1 {
+		parallelRows(w, m, func(r0, r1 int) { matMulRows(dst, a, b, r0, r1, k, n) })
 		return
 	}
 	matMulRows(dst, a, b, 0, m, k, n)
@@ -220,9 +193,13 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// MatMulTransAInto computes dst = aᵀ @ b under the deprecated global
+// parallelism knob; prefer the Compute method.
+func MatMulTransAInto(dst, a, b *Tensor) { legacyCompute().MatMulTransAInto(dst, a, b) }
+
 // MatMulTransAInto computes dst = aᵀ @ b where a is (k,m), b is (k,n) and
 // dst is (m,n). Used for weight gradients without materializing aᵀ.
-func MatMulTransAInto(dst, a, b *Tensor) {
+func (c Compute) MatMulTransAInto(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		panic("tensor: MatMulTransA requires 2-D tensors")
 	}
@@ -237,12 +214,12 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 	assertSameDType("matmultransa", a, b)
 	assertSameDType("matmultransa", a, dst)
 	if a.dt == Float32 {
-		matMulTransA32Into(dst, a, b)
+		c.matMulTransA32Into(dst, a, b)
 		return
 	}
 	dst.Zero()
-	if m*n >= parallelThreshold && m > 1 && kernelWorkers() > 1 {
-		parallelRows(m, func(r0, r1 int) { matMulTransARows(dst, a, b, r0, r1, k, m, n) })
+	if w := c.workers(); m*n >= parallelThreshold && m > 1 && w > 1 {
+		parallelRows(w, m, func(r0, r1 int) { matMulTransARows(dst, a, b, r0, r1, k, m, n) })
 		return
 	}
 	matMulTransARows(dst, a, b, 0, m, k, m, n)
@@ -302,9 +279,13 @@ func matMulTransARows(dst, a, b *Tensor, i0, i1, k, m, n int) {
 	}
 }
 
+// MatMulTransBInto computes dst = a @ bᵀ under the deprecated global
+// parallelism knob; prefer the Compute method.
+func MatMulTransBInto(dst, a, b *Tensor) { legacyCompute().MatMulTransBInto(dst, a, b) }
+
 // MatMulTransBInto computes dst = a @ bᵀ where a is (m,k), b is (n,k) and
 // dst is (m,n). Used for input gradients without materializing bᵀ.
-func MatMulTransBInto(dst, a, b *Tensor) {
+func (c Compute) MatMulTransBInto(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		panic("tensor: MatMulTransB requires 2-D tensors")
 	}
@@ -319,7 +300,7 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	assertSameDType("matmultransb", a, b)
 	assertSameDType("matmultransb", a, dst)
 	if a.dt == Float32 {
-		matMulTransB32Into(dst, a, b)
+		c.matMulTransB32Into(dst, a, b)
 		return
 	}
 	if useFMA && n >= 4 && m >= 8 {
@@ -328,12 +309,12 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 		// FMA tile, which needs unit-stride b rows.
 		bt := Shared.getNoZero(Float64, k, n)
 		TransposeInto(bt, b)
-		MatMulInto(dst, a, bt)
+		c.MatMulInto(dst, a, bt)
 		Shared.Put(bt)
 		return
 	}
-	if m*n >= parallelThreshold && m > 1 && kernelWorkers() > 1 {
-		parallelRows(m, func(r0, r1 int) { matMulTransBRows(dst, a, b, r0, r1, k, n) })
+	if w := c.workers(); m*n >= parallelThreshold && m > 1 && w > 1 {
+		parallelRows(w, m, func(r0, r1 int) { matMulTransBRows(dst, a, b, r0, r1, k, n) })
 		return
 	}
 	matMulTransBRows(dst, a, b, 0, m, k, n)

@@ -40,35 +40,39 @@ const (
 
 // matMul32Into computes dst = a @ b for Float32 tensors; shapes are
 // validated by the dispatching wrapper.
-func matMul32Into(dst, a, b *Tensor) {
+func (c Compute) matMul32Into(dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[1]
-	dst.Zero()
-	sgemm32(dst.data32, a.data32, b.data32, m, n, k, k, 1, n, 1)
+	sgemm32(c.workers(), dst.data32, a.data32, b.data32, m, n, k, k, 1, n, 1)
 }
 
 // matMulTransA32Into computes dst = aᵀ @ b with a of shape (k,m).
-func matMulTransA32Into(dst, a, b *Tensor) {
+func (c Compute) matMulTransA32Into(dst, a, b *Tensor) {
 	k, m := a.shape[0], a.shape[1]
 	n := b.shape[1]
-	dst.Zero()
-	sgemm32(dst.data32, a.data32, b.data32, m, n, k, 1, m, n, 1)
+	sgemm32(c.workers(), dst.data32, a.data32, b.data32, m, n, k, 1, m, n, 1)
 }
 
 // matMulTransB32Into computes dst = a @ bᵀ with b of shape (n,k).
-func matMulTransB32Into(dst, a, b *Tensor) {
+func (c Compute) matMulTransB32Into(dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[0]
-	dst.Zero()
-	sgemm32(dst.data32, a.data32, b.data32, m, n, k, k, 1, 1, k)
+	sgemm32(c.workers(), dst.data32, a.data32, b.data32, m, n, k, k, 1, 1, k)
 }
 
-// sgemm32 accumulates dd += op(A) @ op(B) where op(A)'s element (i,p)
-// lives at ad[i*ars + p*acs] and op(B)'s element (p,j) at
-// bd[p*brs + j*bcs]. dd is (m,n) row-major and must be pre-zeroed by the
-// caller (the three Into wrappers do).
-func sgemm32(dd, ad, bd []float32, m, n, k, ars, acs, brs, bcs int) {
-	if m == 0 || n == 0 || k == 0 {
+// sgemm32 computes dd = op(A) @ op(B) where op(A)'s element (i,p) lives at
+// ad[i*ars + p*acs] and op(B)'s element (p,j) at bd[p*brs + j*bcs]. dd is
+// (m,n) row-major and need not be pre-zeroed: the first k-block runs the
+// microkernels in store mode, which overwrites every dst element, and the
+// remaining k-blocks accumulate. workers bounds the goroutine fan-out.
+func sgemm32(workers int, dd, ad, bd []float32, m, n, k, ars, acs, brs, bcs int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		for i := range dd[:m*n] {
+			dd[i] = 0
+		}
 		return
 	}
 	nPanels := (n + nr32 - 1) / nr32
@@ -77,15 +81,16 @@ func sgemm32(dd, ad, bd []float32, m, n, k, ars, acs, brs, bcs int) {
 		if kb > kc32 {
 			kb = kc32
 		}
+		store := p0 == 0 // first k-block overwrites dst, the rest accumulate
 		bp := Shared.getNoZero(Float32, nPanels*kb*nr32)
 		packB32(bp.data32, bd, p0, kb, n, brs, bcs)
 		nBlocks := (m + mc32 - 1) / mc32
-		if nBlocks > 1 && m*n >= parallelThreshold && kernelWorkers() > 1 {
-			parallelChunks(nBlocks, func(c0, c1 int) {
-				sgemm32Blocks(dd, ad, bp.data32, c0, c1, m, n, kb, p0, ars, acs)
+		if nBlocks > 1 && m*n >= parallelThreshold && workers > 1 {
+			parallelChunks(workers, nBlocks, func(c0, c1 int) {
+				sgemm32Blocks(dd, ad, bp.data32, c0, c1, m, n, kb, p0, ars, acs, store)
 			})
 		} else {
-			sgemm32Blocks(dd, ad, bp.data32, 0, nBlocks, m, n, kb, p0, ars, acs)
+			sgemm32Blocks(dd, ad, bp.data32, 0, nBlocks, m, n, kb, p0, ars, acs, store)
 		}
 		Shared.Put(bp)
 	}
@@ -94,8 +99,9 @@ func sgemm32(dd, ad, bd []float32, m, n, k, ars, acs, brs, bcs int) {
 // sgemm32Blocks multiplies dst-row blocks [c0, c1) of mc32 rows each
 // against the packed B panels. A packs only when op(A)'s rows are strided
 // (acs != 1); each worker packs its own A block, so concurrent blocks
-// never share scratch.
-func sgemm32Blocks(dd, ad, bp []float32, c0, c1, m, n, kb, p0, ars, acs int) {
+// never share scratch. store selects the non-accumulating microkernel
+// epilogue (dst is overwritten rather than added to).
+func sgemm32Blocks(dd, ad, bp []float32, c0, c1, m, n, kb, p0, ars, acs int, store bool) {
 	packA := acs != 1
 	var apt *Tensor
 	var ap []float32
@@ -151,7 +157,11 @@ func sgemm32Blocks(dd, ad, bp []float32, c0, c1, m, n, kb, p0, ars, acs int) {
 					}
 				}
 				if hi == mr32 && wj == nr32 {
-					sgemmTile16(a0, a1, a2, a3, sa, bpanel, kb, dd[i*n+j0:], n)
+					if store {
+						sgemmTile16st(a0, a1, a2, a3, sa, bpanel, kb, dd[i*n+j0:], n)
+					} else {
+						sgemmTile16(a0, a1, a2, a3, sa, bpanel, kb, dd[i*n+j0:], n)
+					}
 					continue
 				}
 				for z := range tile {
@@ -165,6 +175,10 @@ func sgemm32Blocks(dd, ad, bp []float32, c0, c1, m, n, kb, p0, ars, acs int) {
 				for r := 0; r < hi; r++ {
 					drow := dd[(i+r)*n+j0 : (i+r)*n+j0+wj]
 					trow := tile[r*nr32:]
+					if store {
+						copy(drow, trow[:wj])
+						continue
+					}
 					for c := range drow {
 						drow[c] += trow[c]
 					}
@@ -186,6 +200,18 @@ func sgemmTile16(a0, a1, a2, a3 []float32, sa int, b []float32, kb int, d []floa
 		return
 	}
 	sgemm4x16go(a0, a1, a2, a3, sa, b, kb, d, ldd)
+}
+
+// sgemmTile16st is the non-accumulating (store) variant of sgemmTile16:
+// d[r*ldd+c] = sum_p a_r[p*sa]*b[p*16+c]. The driver uses it for the first
+// k-block so dst never needs a pre-zero pass; edge tiles still accumulate
+// into zeroed scratch and copy out.
+func sgemmTile16st(a0, a1, a2, a3 []float32, sa int, b []float32, kb int, d []float32, ldd int) {
+	if useFMA32 {
+		sgemm4x16st(&a0[0], &a1[0], &a2[0], &a3[0], uintptr(sa), &b[0], uintptr(kb), &d[0], uintptr(ldd))
+		return
+	}
+	sgemm4x16goStore(a0, a1, a2, a3, sa, b, kb, d, ldd)
 }
 
 // sgemmTile8 is the one-ymm-wide variant for column remainders of 8 or
@@ -306,6 +332,27 @@ func sgemm4x16go(a0, a1, a2, a3 []float32, sa int, b []float32, kb int, d []floa
 		for c := range drow {
 			drow[c] += accRow[c]
 		}
+	}
+}
+
+// sgemm4x16goStore is the portable twin of the store-mode microkernel: it
+// overwrites the 4x16 dst tile instead of accumulating into it.
+func sgemm4x16goStore(a0, a1, a2, a3 []float32, sa int, b []float32, kb int, d []float32, ldd int) {
+	var acc [mr32 * nr32]float32
+	for p := 0; p < kb; p++ {
+		brow := b[p*nr32 : p*nr32+nr32]
+		s := p * sa
+		ar := [mr32]float32{a0[s], a1[s], a2[s], a3[s]}
+		for r := 0; r < mr32; r++ {
+			av := ar[r]
+			accRow := acc[r*nr32 : r*nr32+nr32]
+			for c, bv := range brow {
+				accRow[c] += av * bv
+			}
+		}
+	}
+	for r := 0; r < mr32; r++ {
+		copy(d[r*ldd:r*ldd+nr32], acc[r*nr32:r*nr32+nr32])
 	}
 }
 

@@ -2,43 +2,45 @@ package tensor
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
-// kernelParallelism caps the goroutine fan-out of the GEMM and
-// im2col/col2im kernels; 0 means "use GOMAXPROCS".
-var kernelParallelism atomic.Int32
+// legacyParallelism backs the deprecated SetKernelParallelism knob. It is
+// consulted only by the package-level kernel wrappers (MatMulInto and
+// friends called as free functions); kernels invoked through an explicit
+// Compute never read it, so the training hot path — where every model
+// carries its own Compute — has no process-global mutable parallelism
+// state left.
+var legacyParallelism atomic.Int32
 
-// SetKernelParallelism bounds how many goroutines any single kernel call
-// may fan out across. The federated simulation uses it as an
-// oversubscription guard: when K clients train concurrently, each client's
-// kernels are capped at GOMAXPROCS/K workers so clients x kernel
-// goroutines never exceeds the machine. n <= 0 restores the default
-// (GOMAXPROCS at call time). Safe to call concurrently with running
-// kernels; in-flight calls keep the fan-out they started with.
+// SetKernelParallelism bounds how many goroutines the package-level kernel
+// wrappers may fan out across; 0 restores the default (GOMAXPROCS at call
+// time).
 //
-// The cap is a single process-wide knob, not a stack: concurrent
-// simulations in one process overwrite each other's setting and their
-// save/restore pairs can interleave. Run concurrent federations in
-// separate processes; a per-workspace cap is queued as a ROADMAP
-// follow-up.
+// Deprecated: the cap is a single process-wide knob, so concurrent
+// consumers in one process overwrite each other's setting. Thread an
+// explicit Compute budget through the kernel methods instead
+// (Compute{Workers: n}.MatMulInto(...)); this shim remains for callers of
+// the free functions only.
 func SetKernelParallelism(n int) {
 	if n < 0 {
 		n = 0
 	}
-	kernelParallelism.Store(int32(n))
+	legacyParallelism.Store(int32(n))
 }
 
-// KernelParallelism returns the current cap (0 = GOMAXPROCS).
-func KernelParallelism() int { return int(kernelParallelism.Load()) }
-
-// CapKernelsPerWorker is the oversubscription guard used by every site
-// that fans training or evaluation out across n concurrent workers: it
-// caps each worker's kernel fan-out at GOMAXPROCS/n (minimum 1) and
-// returns a func restoring the previous cap. Idiomatic use:
+// KernelParallelism returns the current deprecated global cap
+// (0 = GOMAXPROCS).
 //
-//	defer tensor.CapKernelsPerWorker(workers)()
+// Deprecated: see SetKernelParallelism.
+func KernelParallelism() int { return int(legacyParallelism.Load()) }
+
+// CapKernelsPerWorker caps the deprecated global knob at GOMAXPROCS/n
+// (minimum 1) and returns a func restoring the previous cap.
+//
+// Deprecated: use Compute.Split to derive per-worker budgets instead; a
+// save/restore pair on a process-wide knob interleaves badly with any
+// other concurrent consumer.
 func CapKernelsPerWorker(n int) (restore func()) {
 	prev := KernelParallelism()
 	per := runtime.GOMAXPROCS(0) / n
@@ -49,38 +51,8 @@ func CapKernelsPerWorker(n int) (restore func()) {
 	return func() { SetKernelParallelism(prev) }
 }
 
-// kernelWorkers returns how many goroutines a kernel may use right now.
-func kernelWorkers() int {
-	w := runtime.GOMAXPROCS(0)
-	if lim := int(kernelParallelism.Load()); lim > 0 && lim < w {
-		w = lim
-	}
-	return w
-}
-
-// parallelChunks splits [0,n) into one contiguous chunk per worker and
-// runs body on each concurrently. With one worker the body runs inline.
-func parallelChunks(n int, body func(c0, c1 int)) {
-	workers := kernelWorkers()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		body(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for c0 := 0; c0 < n; c0 += chunk {
-		c1 := c0 + chunk
-		if c1 > n {
-			c1 = n
-		}
-		wg.Add(1)
-		go func(c0, c1 int) {
-			defer wg.Done()
-			body(c0, c1)
-		}(c0, c1)
-	}
-	wg.Wait()
+// legacyCompute is the budget the package-level kernel wrappers run under:
+// the deprecated global knob, or all cores when it is unset.
+func legacyCompute() Compute {
+	return Compute{Workers: int(legacyParallelism.Load())}
 }

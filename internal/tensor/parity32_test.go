@@ -224,8 +224,8 @@ func TestPool32ConcurrentClients(t *testing.T) {
 func TestSetKernelParallelism(t *testing.T) {
 	defer SetKernelParallelism(0)
 	SetKernelParallelism(1)
-	if kernelWorkers() != 1 {
-		t.Fatalf("kernelWorkers under cap 1: %d", kernelWorkers())
+	if w := legacyCompute().workers(); w != 1 {
+		t.Fatalf("legacy workers under cap 1: %d", w)
 	}
 	// The capped path must still be correct.
 	a, b := NewOf(Float32, 65, 33), NewOf(Float32, 33, 17)
@@ -236,4 +236,38 @@ func TestSetKernelParallelism(t *testing.T) {
 	SetKernelParallelism(0)
 	want := naiveMatMul(toF64(a), toF64(b))
 	checkTensorParity32(t, "capped MatMul32", got, want, 33)
+}
+
+// TestComputeBudgetParity checks that an explicit Compute budget changes
+// only scheduling, never results: every worker count produces bitwise the
+// same output as the serial path, for both dtypes.
+func TestComputeBudgetParity(t *testing.T) {
+	a64, b64 := New(70, 40), New(40, 30)
+	a32, b32 := NewOf(Float32, 70, 40), NewOf(Float32, 40, 30)
+	fillDet(a64, 3)
+	fillDet(b64, 5)
+	fillDet32(a32, 3)
+	fillDet32(b32, 5)
+	ref64 := New(70, 30)
+	ref32 := NewOf(Float32, 70, 30)
+	tensorCmp := Compute{Workers: 1}
+	tensorCmp.MatMulInto(ref64, a64, b64)
+	tensorCmp.MatMulInto(ref32, a32, b32)
+	for _, w := range []int{0, 2, 3, 7} {
+		cmp := Compute{Workers: w}
+		got64 := New(70, 30)
+		cmp.MatMulInto(got64, a64, b64)
+		for i, v := range got64.Data() {
+			if v != ref64.Data()[i] {
+				t.Fatalf("workers=%d f64 elem %d: %v vs %v", w, i, v, ref64.Data()[i])
+			}
+		}
+		got32 := NewOf(Float32, 70, 30)
+		cmp.MatMulInto(got32, a32, b32)
+		for i, v := range got32.Data32() {
+			if v != ref32.Data32()[i] {
+				t.Fatalf("workers=%d f32 elem %d: %v vs %v", w, i, v, ref32.Data32()[i])
+			}
+		}
+	}
 }

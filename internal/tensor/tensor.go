@@ -29,9 +29,12 @@
 // microkernel over them (gemm32_amd64.s, see matmul32.go).
 // Im2Col/Col2Im parallelize over the batch dimension. Everything has an
 // Into variant writing into caller-provided storage. The goroutine fan-out
-// of all kernels respects SetKernelParallelism, so a simulation running
-// many clients concurrently can stop the kernels from oversubscribing the
-// machine.
+// of every kernel is bounded by an explicit Compute budget — call kernels
+// as methods on a Compute value (Compute{Workers: n}.MatMulInto(...)) —
+// so independent consumers in one process (per-client model replicas,
+// concurrent simulations) each cap their own fan-out without any shared
+// global knob. The package-level kernel functions remain as wrappers that
+// honor the deprecated SetKernelParallelism global.
 //
 // # Workspaces and the no-alloc rule
 //

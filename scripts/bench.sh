@@ -22,6 +22,11 @@ go test -run '^$' \
 go test -run '^$' \
   -bench 'BenchmarkLocalTrainStep$|BenchmarkLocalTrainStep32$' \
   -benchtime "$BENCHTIME" ./internal/fl/ | tee -a "$TMP"
+# Parties-scaling: whole rounds (sampling, concurrent training under
+# per-client compute budgets, streaming aggregation) vs federation size.
+go test -run '^$' \
+  -bench 'BenchmarkRoundParties' \
+  -benchtime "${ROUNDBENCHTIME:-1s}" ./internal/fl/ | tee -a "$TMP"
 
 awk '
 BEGIN { print "{"; first = 1 }
