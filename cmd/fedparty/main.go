@@ -36,7 +36,7 @@ func main() {
 	}
 	local := locals[*index]
 	fmt.Printf("fedparty %d: %d local samples, dialing %s\n", *index, local.Len(), *addr)
-	if err := simnet.DialParty(*addr, *index, local, spec, cfg, shared.PartySeed(*index)); err != nil {
+	if err := simnet.DialParty(*addr, *index, local, spec, cfg, shared.PartySeed(*index), shared.Token); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("fedparty %d: federation complete\n", *index)

@@ -31,6 +31,7 @@ func main() {
 	shared.Register(fs)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	saveModel := fs.String("save-model", "", "write the final model state to this file")
+	roundTimeout := fs.Duration("round-timeout", 0, "max wait per reply frame within a round (0 = wait forever); stalled parties are evicted in chunked mode")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
@@ -44,6 +45,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ln.Close()
+	ln.Token = shared.Token
+	ln.RoundTimeout = *roundTimeout
+	ln.OnReject = func(err error) { log.Printf("fedserver: rejected connection: %v", err) }
 	fmt.Printf("fedserver: listening on %s for %d parties (%s on %s, %s)\n",
 		ln.Addr(), shared.Parties, cfg.Algorithm, shared.Dataset, shared.Partition)
 	res, err := ln.AcceptAndRun(shared.Parties, cfg, spec, test)

@@ -190,6 +190,7 @@ func cmdRun(args []string) error {
 	saveModel := fs.String("save-model", "", "write the final global model state to this file")
 	loadModel := fs.String("load-model", "", "initialize the global model from this checkpoint")
 	dtypeName := fs.String("dtype", "float64", "local-training compute precision: float64 or float32 (SIMD fast path)")
+	chunk := fs.Int("chunk", 65536, "stream updates into the aggregator in chunks of this many float64 elements (0 = whole updates); bit-identical either way")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -235,6 +236,7 @@ func cmdRun(args []string) error {
 		DPNoise:         *dpNoise,
 		CompressTopK:    *topK,
 		DType:           dtype,
+		ChunkSize:       *chunk,
 	}
 	var res *fl.Result
 	if *useTCP {

@@ -26,7 +26,7 @@ func runOverTCP(cfg fl.Config, spec nn.ModelSpec, locals []*data.Dataset, test *
 		wg.Add(1)
 		go func(i int, ds *data.Dataset) {
 			defer wg.Done()
-			partyErrs[i] = simnet.DialParty(addr, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13)
+			partyErrs[i] = simnet.DialParty(addr, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13, "")
 		}(i, ds)
 	}
 	res, serveErr := ln.AcceptAndRun(len(locals), cfg, spec, test)

@@ -62,7 +62,7 @@ func main() {
 		wg.Add(1)
 		go func(i int, ds *data.Dataset) {
 			defer wg.Done()
-			if err := simnet.DialParty(ln.Addr(), i, ds, spec, cfg, uint64(1000+i)); err != nil {
+			if err := simnet.DialParty(ln.Addr(), i, ds, spec, cfg, uint64(1000+i), ""); err != nil {
 				log.Printf("party %d: %v", i, err)
 			}
 		}(i, ds)

@@ -32,6 +32,14 @@ type Shared struct {
 	TrainN    int
 	TestN     int
 	Seed      uint64
+	// Chunk is the update streaming chunk size in float64 elements
+	// (0 = whole-update frames). The server's value is authoritative: it
+	// rides each round's GlobalMsg, so parties follow it even if their
+	// own flag differs.
+	Chunk int
+	// Token is the optional shared handshake secret. The server rejects
+	// (only) the connections that fail to present it.
+	Token string
 }
 
 // Register wires the shared flags into fs.
@@ -51,6 +59,8 @@ func (s *Shared) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.TrainN, "train", 0, "training samples (0 = family default)")
 	fs.IntVar(&s.TestN, "test", 0, "test samples (0 = family default)")
 	fs.Uint64Var(&s.Seed, "seed", 1, "shared seed; all processes must use the same value")
+	fs.IntVar(&s.Chunk, "chunk", 65536, "update streaming chunk size in float64 elements (0 = whole-update frames); the server's value wins")
+	fs.StringVar(&s.Token, "token", "", "shared handshake secret; when the server sets one, parties must present it")
 }
 
 // Build regenerates the dataset, partition, model spec and training config
@@ -85,6 +95,7 @@ func (s *Shared) Build() (fl.Config, nn.ModelSpec, []*data.Dataset, *data.Datase
 		Momentum:    0.9,
 		Mu:          s.Mu,
 		Seed:        s.Seed,
+		ChunkSize:   s.Chunk,
 	}
 	if _, err := cfg.Normalize(); err != nil {
 		return fl.Config{}, nn.ModelSpec{}, nil, nil, err

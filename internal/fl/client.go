@@ -130,13 +130,97 @@ func (c *Client) indices(n int) []int {
 	return c.idx
 }
 
+// PendingUpdate is a trained-but-undelivered update whose delta vectors
+// live in the owning client's pooled round workspace: transports stream
+// it chunk-at-a-time (Chunks) or read it whole (Update), then give the
+// memory back with Release. A client must not train again until its
+// pending update is released.
+type PendingUpdate struct {
+	u  Update
+	ws *tensor.Workspace
+}
+
+// Update returns the whole update. Its Delta/DeltaC slices alias pooled
+// workspace memory and are valid only until Release.
+func (p *PendingUpdate) Update() Update { return p.u }
+
+// Trailer returns the update's aggregation metadata with the delta
+// vectors stripped — what the chunked fold needs after the last chunk.
+func (p *PendingUpdate) Trailer() Update {
+	t := p.u
+	t.Delta, t.DeltaC = nil, nil
+	return t
+}
+
+// StreamLen returns the update's total chunk-stream length: the
+// state-length delta plus, for SCAFFOLD, the parameter-length control
+// delta.
+func (p *PendingUpdate) StreamLen() int { return len(p.u.Delta) + len(p.u.DeltaC) }
+
+// Chunks emits the update's flattened stream — delta first, then
+// SCAFFOLD's control delta — as consecutive views of at most size
+// elements, with offsets indexing the combined stream. The views alias
+// pooled memory: the receiver must fold or serialize each chunk before
+// returning from emit. Chunks never cross the delta/control boundary. A
+// non-positive size emits each vector as a single chunk.
+func (p *PendingUpdate) Chunks(size int, emit func(offset int, chunk []float64) error) error {
+	off := 0
+	for _, vec := range [2][]float64{p.u.Delta, p.u.DeltaC} {
+		for start := 0; start < len(vec); {
+			end := len(vec)
+			if size > 0 && start+size < end {
+				end = start + size
+			}
+			if err := emit(off, vec[start:end]); err != nil {
+				return err
+			}
+			off += end - start
+			start = end
+		}
+	}
+	return nil
+}
+
+// Release returns the update's workspace memory to the pool. The update's
+// vectors (and any chunk views of them) must not be used afterwards.
+func (p *PendingUpdate) Release() { p.ws.Release() }
+
 // LocalTrain runs E local epochs of mini-batch SGD from the given global
 // state and returns the update. serverC is SCAFFOLD's server control
 // variate (nil otherwise). The config must be normalized.
 func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Update {
+	p := c.TrainStream(global, serverC, cfg)
+	u := p.u
+	u.Delta = append([]float64{}, p.u.Delta...)
+	if p.u.DeltaC != nil {
+		u.DeltaC = append([]float64{}, p.u.DeltaC...)
+	}
+	p.Release()
+	return u
+}
+
+// TrainStream is LocalTrain without the final copy-out: the returned
+// update's vectors stay in the client's pooled workspace, so transports
+// can stream them chunk-at-a-time (or serialize them frame by frame)
+// without a second state-length allocation per update. The caller owns
+// the pending update and must Release it before this client trains again.
+func (c *Client) TrainStream(global []float64, serverC []float64, cfg Config) *PendingUpdate {
 	paramLen := c.model.ParamCount()
 	ws := c.workspace()
-	defer ws.Release()
+	if c.Data.Len() == 0 {
+		// A party with no local data trains zero steps and reports an
+		// all-zero delta. Guarded here because the batching loop — and
+		// SCAFFOLD's 1/(tau*eta) control update — divide by the step
+		// count; the server weights such parties at zero.
+		u := Update{Delta: ws.Get(c.model.StateCount()).Data(), Kept: paramLen}
+		if cfg.CompressTopK > 0 {
+			u.Kept = 0
+		}
+		if cfg.Algorithm == Scaffold {
+			u.DeltaC = ws.Get(paramLen).Data()
+		}
+		return &PendingUpdate{u: u, ws: ws}
+	}
 	if cfg.KeepBNStatsLocal && c.localBN != nil {
 		// FedBN-style ablation: take the global parameters but keep this
 		// party's own batch-norm statistics.
@@ -165,7 +249,7 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 		opt.AddCorrector(&optim.Dyn{Alpha: cfg.Alpha, Global: global[:paramLen], H: c.dynH})
 	}
 	if cfg.Algorithm == Moon {
-		return c.localTrainMoon(global, cfg, opt, ws)
+		return &PendingUpdate{u: c.localTrainMoon(global, cfg, opt, ws), ws: ws}
 	}
 
 	n := c.Data.Len()
@@ -210,7 +294,7 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 
 	state := ws.Get(c.model.StateCount()).Data()
 	c.model.GetState(state)
-	delta := make([]float64, len(state))
+	delta := ws.Get(len(state)).Data()
 	for i := range delta {
 		delta[i] = global[i] - state[i]
 	}
@@ -236,7 +320,7 @@ func (c *Client) LocalTrain(global []float64, serverC []float64, cfg Config) Upd
 			c.dynH[i] += cfg.Alpha * delta[i]
 		}
 	}
-	return up
+	return &PendingUpdate{u: up, ws: ws}
 }
 
 // updateControlVariate implements Algorithm 2 lines 23-25 and returns
@@ -297,7 +381,7 @@ func (c *Client) updateControlVariate(global, state, serverC []float64, tau int,
 			cStar[i] = c.scaffoldC[i] - serverC[i] + (global[i]-state[i])*inv
 		}
 	}
-	deltaC := make([]float64, paramLen)
+	deltaC := ws.Get(paramLen).Data()
 	for i := range deltaC {
 		deltaC[i] = cStar[i] - c.scaffoldC[i]
 	}

@@ -135,6 +135,15 @@ type Config struct {
 	// magnitude parameter-delta entries per upload (top-k gradient
 	// compression). 0 disables compression.
 	CompressTopK float64
+	// ChunkSize, when positive, streams each client update into the
+	// server's accumulator in frames of at most this many float64
+	// elements instead of as one state-length vector. The arithmetic is
+	// bit-identical either way; what changes is peak memory: the server
+	// holds O(state + clients*ChunkSize) instead of O(clients*state) with
+	// many updates in flight. 0 keeps whole-update delivery. Over the
+	// simnet transports the server's value is authoritative — it rides
+	// each round's GlobalMsg, so parties follow the server's setting.
+	ChunkSize int
 	// DType selects the local-training compute backend: tensor.Float64
 	// (the default) or tensor.Float32, which halves kernel memory traffic
 	// and doubles SIMD width. Aggregation, the exchanged state vectors and
@@ -235,6 +244,9 @@ func (c Config) Normalize() (Config, error) {
 	case SampleRandom, SampleStratified:
 	default:
 		return c, fmt.Errorf("fl: unknown sampling strategy %q", c.Sampling)
+	}
+	if c.ChunkSize < 0 {
+		return c, fmt.Errorf("fl: negative chunk size %d", c.ChunkSize)
 	}
 	switch c.DType {
 	case tensor.Float64, tensor.Float32:

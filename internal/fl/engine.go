@@ -20,12 +20,95 @@ type Transport interface {
 	PartyMeta(id int) UpdateMeta
 	// TrainRound trains the sampled parties from the given global state
 	// (and SCAFFOLD control variate; nil otherwise) and delivers each
-	// update through deliver in sampled order. Parties may train — and
-	// their updates may arrive — in any order; the transport reorders so
-	// the fold is deterministic for a given sample. deliver does not
-	// retain the update's slices.
-	TrainRound(round int, sampled []int, global, control []float64, deliver func(Update) error) error
+	// update through the sink in sampled order — whole via Deliver, or
+	// chunk-at-a-time via AddChunk/FinishUpdate, with Drop removing a
+	// party whose stream went bad. Parties may train — and their updates
+	// may arrive — in any order; the transport reorders so the fold is
+	// deterministic for a given sample. The sink does not retain any
+	// delivered slices.
+	TrainRound(round int, sampled []int, global, control []float64, sink *RoundSink) error
 }
+
+// RoundSink is the engine's receiving end of one round: the transport
+// pushes updates into it and the sink folds them into the server's
+// streaming accumulator while keeping the round's loss/byte accounting.
+// It is not safe for concurrent use — the transport must serialize calls,
+// because the delivery order defines the aggregation's floating-point
+// fold order.
+type RoundSink struct {
+	e         *Engine
+	sampled   []int
+	metas     []UpdateMeta
+	loss      float64
+	bytes     int64
+	delivered int
+	dropped   []int // party IDs dropped from the round
+}
+
+// Meta returns the expected aggregation meta of update idx, so transports
+// can reject a mismatched stream on its first frame instead of staging a
+// whole doomed update.
+func (k *RoundSink) Meta(idx int) UpdateMeta { return k.metas[idx] }
+
+// next returns the index of the update the sink expects to progress next.
+func (k *RoundSink) next() int { return k.delivered + len(k.dropped) }
+
+// account records a completed update's metrics.
+func (k *RoundSink) account(u Update) {
+	k.loss += u.TrainLoss
+	k.bytes += k.e.commBytesForUpdate(u)
+	k.delivered++
+}
+
+// Deliver folds one whole update into the round.
+func (k *RoundSink) Deliver(u Update) error {
+	if err := k.e.server.AddUpdate(u); err != nil {
+		return err
+	}
+	k.account(u)
+	return nil
+}
+
+// AddChunk stages one chunk of update idx's flattened stream (see
+// Server.AddUpdateChunk). The chunk is copied; the caller may recycle its
+// buffer immediately.
+func (k *RoundSink) AddChunk(idx, offset int, chunk []float64) error {
+	return k.e.server.AddUpdateChunk(idx, offset, chunk)
+}
+
+// FinishUpdate completes update idx from its staged chunks; u carries the
+// trailer metadata only (Delta/DeltaC nil).
+func (k *RoundSink) FinishUpdate(idx int, u Update) error {
+	if idx != k.next() {
+		return fmt.Errorf("fl: finish for update %d, expected %d", idx, k.next())
+	}
+	if err := k.e.server.FinishUpdate(u); err != nil {
+		return err
+	}
+	k.account(u)
+	return nil
+}
+
+// Drop removes update idx — and its party — from the round; the
+// surviving updates are renormalized at FinishRound. cause is the
+// transport's reason: only the party ID reaches RoundMetrics.Dropped, so
+// transports that care about the why (operator logs) must surface cause
+// themselves.
+func (k *RoundSink) Drop(idx int, cause error) error {
+	if idx != k.next() {
+		return fmt.Errorf("fl: drop for update %d, expected %d", idx, k.next())
+	}
+	if err := k.e.server.DropUpdate(); err != nil {
+		return err
+	}
+	k.dropped = append(k.dropped, k.sampled[idx])
+	return nil
+}
+
+// StreamLen reports the expected chunk-stream length per update (delta
+// plus SCAFFOLD's control delta), for transports that validate frame
+// totals before staging.
+func (k *RoundSink) StreamLen() int { return k.e.server.StreamLen() }
 
 // byteMeter is implemented by transports that measure real communication
 // bytes (simnet's counting conns); the engine then reports measured rather
@@ -130,19 +213,8 @@ func (e *Engine) RunRound(tr Transport, round int) (RoundMetrics, error) {
 	if err := e.server.BeginRound(metas); err != nil {
 		return RoundMetrics{}, err
 	}
-	var loss float64
-	var analyticBytes int64
-	delivered := 0
-	deliver := func(u Update) error {
-		if err := e.server.AddUpdate(u); err != nil {
-			return err
-		}
-		loss += u.TrainLoss
-		analyticBytes += e.commBytesForUpdate(u)
-		delivered++
-		return nil
-	}
-	if err := tr.TrainRound(round, sampled, global, serverC, deliver); err != nil {
+	sink := &RoundSink{e: e, sampled: sampled, metas: metas}
+	if err := tr.TrainRound(round, sampled, global, serverC, sink); err != nil {
 		e.server.AbortRound()
 		return RoundMetrics{}, err
 	}
@@ -150,17 +222,18 @@ func (e *Engine) RunRound(tr Transport, round int) (RoundMetrics, error) {
 		e.server.AbortRound()
 		return RoundMetrics{}, err
 	}
-	bytes := analyticBytes
+	bytes := sink.bytes
 	if bm, ok := tr.(byteMeter); ok {
 		bytes = bm.RoundBytes()
 	}
 	return RoundMetrics{
 		Round:        round,
 		TestAccuracy: -1,
-		TrainLoss:    loss / float64(delivered),
+		TrainLoss:    sink.loss / float64(sink.delivered),
 		CommBytes:    bytes,
 		Duration:     time.Since(start),
 		Sampled:      sampled,
+		Dropped:      sink.dropped,
 	}, nil
 }
 

@@ -112,7 +112,7 @@ func (c *Client) localTrainMoon(global []float64, cfg Config, opt *optim.SGD, ws
 
 	state := ws.Get(c.model.StateCount()).Data()
 	c.model.GetState(state)
-	delta := make([]float64, len(state))
+	delta := ws.Get(len(state)).Data()
 	for i := range delta {
 		delta[i] = global[i] - state[i]
 	}

@@ -28,6 +28,9 @@ type stratifier struct {
 }
 
 // newStratifier clusters the parties' label distributions into k groups.
+// Distributions of unequal length — a party with no data reports an empty
+// one, and a remote party may report a malformed one — are zero-padded to
+// a common dimension so the k-means never indexes out of range.
 func newStratifier(dists [][]float64, k int, r *rng.RNG) *stratifier {
 	n := len(dists)
 	if k < 1 {
@@ -36,7 +39,19 @@ func newStratifier(dists [][]float64, k int, r *rng.RNG) *stratifier {
 	if k > n {
 		k = n
 	}
-	dim := len(dists[0])
+	dim := 0
+	for _, d := range dists {
+		if len(d) > dim {
+			dim = len(d)
+		}
+	}
+	padded := make([][]float64, n)
+	for i, d := range dists {
+		p := make([]float64, dim)
+		copy(p, d)
+		padded[i] = p
+	}
+	dists = padded
 	// k-means++ style init: spread the initial centers.
 	centers := make([][]float64, 0, k)
 	first := r.Intn(n)

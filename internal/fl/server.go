@@ -18,6 +18,15 @@ type UpdateMeta struct {
 	Tau int
 }
 
+// validTau reports whether a (dataset size, step count) pair is an
+// acceptable update meta: positive steps, or the empty-party case of zero
+// samples and zero steps (which aggregates with weight zero). The one
+// predicate is shared by the batched, streaming and chunked validation
+// paths so they can never diverge.
+func validTau(n, tau int) bool {
+	return tau > 0 || (tau == 0 && n == 0)
+}
+
 // PredictTau returns the number of local SGD steps a party with n samples
 // performs under cfg: LocalEpochs passes of ceil(n/BatchSize) mini-batches.
 // It mirrors the batching loop in Client.LocalTrain exactly; the streaming
@@ -30,8 +39,10 @@ func PredictTau(cfg Config, n int) int {
 // of the four algorithms (Algorithm 1 lines 9-10, Algorithm 2 lines 9-10)
 // plus the FedDyn/MOON extensions, as a streaming accumulator: the round
 // opens with BeginRound, each update folds in with AddUpdate as it
-// arrives, and FinishRound applies the accumulated pseudo-gradient. The
-// batched Aggregate remains as a convenience wrapper.
+// arrives — or chunk-at-a-time through AddUpdateChunk/FinishUpdate, with
+// DropUpdate removing a party whose stream went bad — and FinishRound
+// applies the accumulated pseudo-gradient. The batched Aggregate remains
+// as a convenience wrapper.
 type Server struct {
 	cfg      Config
 	state    []float64 // global model state (params then buffers)
@@ -57,6 +68,19 @@ type Server struct {
 	tauEff  float64 // FedNova's effective step count, fixed at BeginRound
 	added   int
 	inRound bool
+
+	// Chunked-delivery state. cur stages the in-progress update's chunk
+	// stream (the state-length delta followed, for SCAFFOLD, by the
+	// parameter-length control delta); curOff is the next expected stream
+	// offset. Staging exactly one update keeps peak memory at
+	// O(state) regardless of how many clients are in flight, and lets a
+	// malformed stream be abandoned with DropUpdate before anything
+	// touches the accumulator. dropMask marks metas dropped mid-round so
+	// FinishRound can renormalize the surviving weights.
+	cur      []float64
+	curOff   int
+	dropMask []bool
+	dropped  int
 }
 
 // NewServer creates a server with the given initial global state.
@@ -83,16 +107,53 @@ func (s *Server) State() []float64 { return s.state }
 // Control returns SCAFFOLD's server control variate (nil otherwise).
 func (s *Server) Control() []float64 { return s.control }
 
+// StreamLen returns the element count of one update's chunk stream: the
+// full state-length delta plus, for SCAFFOLD, the parameter-length control
+// delta. Chunk offsets passed to AddUpdateChunk index into this stream.
+func (s *Server) StreamLen() int {
+	n := len(s.state)
+	if s.cfg.Algorithm == Scaffold {
+		n += s.paramLen
+	}
+	return n
+}
+
+// cursor returns the index of the in-progress meta: every earlier meta was
+// either folded or dropped.
+func (s *Server) cursor() int { return s.added + s.dropped }
+
 // weightFor returns the aggregation weight of an update with local size n,
 // given the round's totals. It reproduces the paper's weighted rule
 // (n_i/n) and the unweighted ablation (1/K) with the exact arithmetic of
 // the batched reference, so streaming and batched aggregation are
-// bit-identical.
+// bit-identical. A round whose every sampled party reported an empty
+// dataset falls back to the unweighted rule: 0/0 would otherwise poison
+// the accumulator with NaN (all such deltas are zero, so the value only
+// needs to be finite).
 func (s *Server) weightFor(n int) float64 {
-	if s.cfg.Unweighted {
+	if s.cfg.Unweighted || s.totalN == 0 {
 		return 1 / float64(len(s.metas))
 	}
 	return float64(n) / float64(s.totalN)
+}
+
+// updateWeight returns the fold weight of the update matching meta m under
+// the configured algorithm. An empty party (zero samples, zero steps) gets
+// weight zero: its delta is identically zero, and FedNova's tau division
+// would otherwise produce 0*tauEff/0 = NaN.
+func (s *Server) updateWeight(m UpdateMeta) float64 {
+	switch s.cfg.Algorithm {
+	case FedNova:
+		if m.Tau == 0 {
+			return 0
+		}
+		return s.weightFor(m.N) * s.tauEff / float64(m.Tau)
+	case FedDyn:
+		// FedDyn averages participating models unweighted (Acar et al.).
+		return 1 / float64(len(s.metas))
+	default:
+		return s.weightFor(m.N)
+	}
 }
 
 // BeginRound opens a streaming aggregation round. metas lists the sampled
@@ -108,7 +169,7 @@ func (s *Server) BeginRound(metas []UpdateMeta) error {
 	}
 	totalN := 0
 	for _, m := range metas {
-		if m.Tau <= 0 {
+		if !validTau(m.N, m.Tau) {
 			return fmt.Errorf("fl: update with non-positive tau %d", m.Tau)
 		}
 		totalN += m.N
@@ -117,6 +178,15 @@ func (s *Server) BeginRound(metas []UpdateMeta) error {
 	s.totalN = totalN
 	s.added = 0
 	s.tauEff = 0
+	s.curOff = 0
+	s.dropped = 0
+	if cap(s.dropMask) < len(metas) {
+		s.dropMask = make([]bool, len(metas))
+	}
+	s.dropMask = s.dropMask[:len(metas)]
+	for i := range s.dropMask {
+		s.dropMask[i] = false
+	}
 	if s.agg == nil {
 		s.agg = make([]float64, len(s.state))
 	}
@@ -132,72 +202,179 @@ func (s *Server) BeginRound(metas []UpdateMeta) error {
 	return nil
 }
 
-// AddUpdate folds one arriving update into the open round. The update must
-// match the next unconsumed meta (same N and Tau): the round's weights were
-// fixed from the metas at BeginRound, so a mismatch would silently skew the
-// aggregation. The update's Delta is not retained — callers may recycle it
-// as soon as AddUpdate returns.
-func (s *Server) AddUpdate(u Update) error {
-	if !s.inRound {
-		return fmt.Errorf("fl: AddUpdate outside a round")
+// validateTrailer checks an update's aggregation metadata against the next
+// unconsumed meta: the round's weights were fixed from the metas at
+// BeginRound, so a mismatch would silently skew the aggregation.
+func (s *Server) validateTrailer(u Update) (UpdateMeta, error) {
+	if !validTau(u.N, u.Tau) {
+		return UpdateMeta{}, fmt.Errorf("fl: update with non-positive tau %d", u.Tau)
 	}
-	if s.added >= len(s.metas) {
-		return fmt.Errorf("fl: more updates than sampled parties (%d)", len(s.metas))
-	}
-	if len(u.Delta) != len(s.state) {
-		return fmt.Errorf("fl: update length %d, state %d", len(u.Delta), len(s.state))
-	}
-	if u.Tau <= 0 {
-		return fmt.Errorf("fl: update with non-positive tau %d", u.Tau)
-	}
-	meta := s.metas[s.added]
+	meta := s.metas[s.cursor()]
 	if u.N != meta.N || u.Tau != meta.Tau {
-		return fmt.Errorf("fl: update (n=%d tau=%d) does not match expected meta (n=%d tau=%d)",
+		return UpdateMeta{}, fmt.Errorf("fl: update (n=%d tau=%d) does not match expected meta (n=%d tau=%d)",
 			u.N, u.Tau, meta.N, meta.Tau)
 	}
+	return meta, nil
+}
 
-	var w float64
-	switch s.cfg.Algorithm {
-	case FedNova:
-		w = s.weightFor(u.N) * s.tauEff / float64(u.Tau)
-	case FedDyn:
-		// FedDyn averages participating models unweighted (Acar et al.).
-		w = 1 / float64(len(s.metas))
-	default:
-		w = s.weightFor(u.N)
-	}
-	for i, d := range u.Delta {
+// foldUpdate accumulates one complete update (delta, and SCAFFOLD's deltaC)
+// with the weight fixed for meta m. This is the single fold used by both
+// the whole-update and the chunked path, which is what makes the two
+// bit-identical: chunking changes only where the delta was staged, never
+// the order or the operands of these accumulations.
+func (s *Server) foldUpdate(m UpdateMeta, delta, deltaC []float64) {
+	w := s.updateWeight(m)
+	for i, d := range delta {
 		s.agg[i] += w * d
 	}
-
 	if s.cfg.Algorithm == FedDyn {
 		// h <- h + (alpha/N) * sum_i Delta_i (params only).
 		for i := 0; i < s.paramLen; i++ {
-			s.dynH[i] += s.cfg.Alpha * u.Delta[i] / float64(s.numParties)
+			s.dynH[i] += s.cfg.Alpha * delta[i] / float64(s.numParties)
 		}
 	}
 	if s.cfg.Algorithm == Scaffold {
-		if u.DeltaC == nil {
-			return fmt.Errorf("fl: SCAFFOLD update missing DeltaC")
-		}
-		for i, d := range u.DeltaC {
+		for i, d := range deltaC {
 			s.control[i] += d / float64(s.numParties)
 		}
 	}
 	s.added++
+}
+
+// AddUpdate folds one arriving update into the open round. The update must
+// match the next unconsumed meta (same N and Tau). The update's Delta is
+// not retained — callers may recycle it as soon as AddUpdate returns.
+func (s *Server) AddUpdate(u Update) error {
+	if !s.inRound {
+		return fmt.Errorf("fl: AddUpdate outside a round")
+	}
+	if s.cursor() >= len(s.metas) {
+		return fmt.Errorf("fl: more updates than sampled parties (%d)", len(s.metas))
+	}
+	if s.curOff != 0 {
+		return fmt.Errorf("fl: AddUpdate during an open chunk stream (%d elements staged)", s.curOff)
+	}
+	if len(u.Delta) != len(s.state) {
+		return fmt.Errorf("fl: update length %d, state %d", len(u.Delta), len(s.state))
+	}
+	if s.cfg.Algorithm == Scaffold && u.DeltaC == nil {
+		return fmt.Errorf("fl: SCAFFOLD update missing DeltaC")
+	}
+	meta, err := s.validateTrailer(u)
+	if err != nil {
+		return err
+	}
+	s.foldUpdate(meta, u.Delta, u.DeltaC)
+	return nil
+}
+
+// AddUpdateChunk stages one chunk of the current update's flattened
+// stream — the state-length delta followed, for SCAFFOLD, by the
+// parameter-length control delta (see StreamLen). idx is the update's
+// index in the round's dispatch order and must be the next unconsumed
+// one; offsets must arrive in order, without gaps or overlaps. The chunk
+// is copied into the server's staging buffer and may be recycled as soon
+// as the call returns. Nothing reaches the round accumulator until
+// FinishUpdate, so a malformed stream can be abandoned with DropUpdate
+// without corrupting the round.
+func (s *Server) AddUpdateChunk(idx, offset int, chunk []float64) error {
+	if !s.inRound {
+		return fmt.Errorf("fl: AddUpdateChunk outside a round")
+	}
+	cur := s.cursor()
+	if cur >= len(s.metas) {
+		return fmt.Errorf("fl: more updates than sampled parties (%d)", len(s.metas))
+	}
+	if idx != cur {
+		return fmt.Errorf("fl: chunk for update %d, expected %d", idx, cur)
+	}
+	if len(chunk) == 0 {
+		return fmt.Errorf("fl: empty update chunk")
+	}
+	if offset != s.curOff {
+		return fmt.Errorf("fl: chunk at offset %d, expected %d (out-of-order, overlapping or gapped frame)", offset, s.curOff)
+	}
+	total := s.StreamLen()
+	if offset+len(chunk) > total {
+		return fmt.Errorf("fl: chunk [%d,%d) exceeds stream length %d", offset, offset+len(chunk), total)
+	}
+	if s.cur == nil {
+		s.cur = make([]float64, total)
+	}
+	copy(s.cur[offset:], chunk)
+	s.curOff = offset + len(chunk)
+	return nil
+}
+
+// FinishUpdate completes the current chunked update: u carries only the
+// trailer metadata (N, Tau, TrainLoss — Delta and DeltaC must be nil; the
+// vectors are the staged chunk stream). The staged delta folds into the
+// round exactly as AddUpdate would fold it, so chunked and whole-update
+// delivery are bit-identical.
+func (s *Server) FinishUpdate(u Update) error {
+	if !s.inRound {
+		return fmt.Errorf("fl: FinishUpdate outside a round")
+	}
+	if s.cursor() >= len(s.metas) {
+		return fmt.Errorf("fl: more updates than sampled parties (%d)", len(s.metas))
+	}
+	if u.Delta != nil || u.DeltaC != nil {
+		return fmt.Errorf("fl: FinishUpdate trailer must not carry delta vectors")
+	}
+	if total := s.StreamLen(); s.curOff != total {
+		return fmt.Errorf("fl: chunk stream incomplete: %d of %d elements staged", s.curOff, total)
+	}
+	meta, err := s.validateTrailer(u)
+	if err != nil {
+		return err
+	}
+	delta := s.cur[:len(s.state)]
+	var deltaC []float64
+	if s.cfg.Algorithm == Scaffold {
+		deltaC = s.cur[len(s.state):s.StreamLen()]
+	}
+	s.curOff = 0
+	s.foldUpdate(meta, delta, deltaC)
+	return nil
+}
+
+// DropUpdate abandons the current (in-progress or next expected) update
+// and removes its party from the round: any staged chunks are discarded,
+// and FinishRound renormalizes the surviving parties' weights. Use it when
+// a client's stream arrives malformed or its transport dies mid-round —
+// the round completes from the survivors instead of aborting.
+func (s *Server) DropUpdate() error {
+	if !s.inRound {
+		return fmt.Errorf("fl: DropUpdate outside a round")
+	}
+	cur := s.cursor()
+	if cur >= len(s.metas) {
+		return fmt.Errorf("fl: no update left to drop")
+	}
+	s.curOff = 0
+	s.dropMask[cur] = true
+	s.dropped++
 	return nil
 }
 
 // FinishRound closes the round and applies the accumulated pseudo-gradient
-// to the global state through the configured server optimizer.
+// to the global state through the configured server optimizer. If any
+// updates were dropped mid-round, the accumulator is first renormalized to
+// the surviving parties' weights.
 func (s *Server) FinishRound() error {
 	if !s.inRound {
 		return fmt.Errorf("fl: FinishRound outside a round")
 	}
-	if s.added != len(s.metas) {
-		return fmt.Errorf("fl: round incomplete: %d of %d updates", s.added, len(s.metas))
+	if s.added+s.dropped != len(s.metas) {
+		return fmt.Errorf("fl: round incomplete: %d of %d updates", s.added+s.dropped, len(s.metas))
+	}
+	if s.added == 0 {
+		return fmt.Errorf("fl: every update in the round was dropped")
 	}
 	s.inRound = false
+	if s.dropped > 0 {
+		s.rescaleForDrops()
+	}
 	s.applyUpdate(s.agg)
 	if s.cfg.Algorithm == FedDyn {
 		// w <- mean(w_i) - h/alpha.
@@ -206,6 +383,58 @@ func (s *Server) FinishRound() error {
 		}
 	}
 	return nil
+}
+
+// rescaleForDrops renormalizes the round accumulator after mid-round
+// drops. Every folded update used the weights fixed at BeginRound, which
+// still counted the dropped parties; for all six algorithms the exact
+// correction is one uniform scalar, because the per-update weights all
+// share the same normalizer (total sample count, or the participant
+// count, times FedNova's effective step count):
+//
+//	weighted:   n_j/totalN      -> n_j/survN       ratio totalN/survN
+//	unweighted: 1/K             -> 1/K'            ratio K/K'
+//	FedNova:    w_j*tauEff/tau_j -> w'_j*tauEff'/tau_j
+//	            ratio (totalN/survN) * (tauEff'/tauEff)
+//
+// SCAFFOLD's control variate and FedDyn's h normalize by the federation
+// size N (not the round), so drops leave them untouched.
+func (s *Server) rescaleForDrops() {
+	survN, survK := 0, 0
+	for j, m := range s.metas {
+		if s.dropMask[j] {
+			continue
+		}
+		survN += m.N
+		survK++
+	}
+	var r float64
+	if s.cfg.Unweighted || s.cfg.Algorithm == FedDyn || s.totalN == 0 || survN == 0 {
+		r = float64(len(s.metas)) / float64(survK)
+	} else {
+		r = float64(s.totalN) / float64(survN)
+	}
+	if s.cfg.Algorithm == FedNova {
+		var tauEffNew float64
+		for j, m := range s.metas {
+			if s.dropMask[j] {
+				continue
+			}
+			var w float64
+			if s.cfg.Unweighted || survN == 0 {
+				w = 1 / float64(survK)
+			} else {
+				w = float64(m.N) / float64(survN)
+			}
+			tauEffNew += w * float64(m.Tau)
+		}
+		if s.tauEff != 0 {
+			r *= tauEffNew / s.tauEff
+		}
+	}
+	for i := range s.agg {
+		s.agg[i] *= r
+	}
 }
 
 // AbortRound abandons an open round (e.g. a transport failure mid-round).
@@ -234,7 +463,7 @@ func (s *Server) Aggregate(updates []Update) error {
 		if len(u.Delta) != len(s.state) {
 			return fmt.Errorf("fl: update length %d, state %d", len(u.Delta), len(s.state))
 		}
-		if u.Tau <= 0 {
+		if !validTau(u.N, u.Tau) {
 			return fmt.Errorf("fl: update with non-positive tau %d", u.Tau)
 		}
 		metas[j] = UpdateMeta{N: u.N, Tau: u.Tau}

@@ -15,10 +15,14 @@ import (
 type RoundMetrics struct {
 	Round        int
 	TestAccuracy float64 // NaN-free: -1 when the round was not evaluated
-	TrainLoss    float64 // mean of the sampled parties' final-epoch losses
+	TrainLoss    float64 // mean of the surviving parties' final-epoch losses
 	CommBytes    int64   // total bytes moved (server->parties + parties->server)
 	Duration     time.Duration
 	Sampled      []int // IDs of the sampled parties
+	// Dropped lists sampled parties whose update was abandoned mid-round
+	// (malformed chunk stream or transport failure); the aggregation was
+	// renormalized to the survivors. Nil on clean rounds.
+	Dropped []int
 }
 
 // Result summarizes a federated run.
@@ -120,7 +124,7 @@ func (s *Simulation) PartyMeta(id int) UpdateMeta {
 // workers, so clients x kernel goroutines never exceeds this run's core
 // share. The budgets are per-model — no process-global state — which is
 // what lets two Simulations share a process safely.
-func (s *Simulation) TrainRound(round int, sampled []int, global, control []float64, deliver func(Update) error) error {
+func (s *Simulation) TrainRound(round int, sampled []int, global, control []float64, sink *RoundSink) error {
 	conc := s.Cfg.Parallelism
 	if conc > len(sampled) {
 		conc = len(sampled)
@@ -130,6 +134,9 @@ func (s *Simulation) TrainRound(round int, sampled []int, global, control []floa
 	// several runs in one process (experiment grid cells) stay within
 	// their slices.
 	budget := tensor.Compute{Workers: s.Cfg.Parallelism}.Split(conc)
+	if s.Cfg.ChunkSize > 0 {
+		return s.trainRoundChunked(sampled, global, control, sink, budget)
+	}
 	slots := make([]chan Update, len(sampled))
 	for j := range slots {
 		slots[j] = make(chan Update, 1)
@@ -145,9 +152,52 @@ func (s *Simulation) TrainRound(round int, sampled []int, global, control []floa
 		}(j, id)
 	}
 	// Fold the prefix as it completes; slots are buffered so stragglers
-	// never block even if deliver fails early.
+	// never block even if the fold fails early.
 	for j := range slots {
-		if err := deliver(<-slots[j]); err != nil {
+		if err := sink.Deliver(<-slots[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trainRoundChunked is TrainRound with chunked delivery: parties train
+// concurrently exactly as in the whole-update path, but each delivers its
+// delta as a stream of views into its pooled workspace instead of a fresh
+// state-length copy, and the sink folds the stream in sampled order. The
+// arithmetic — and therefore the result — is bit-identical to whole-update
+// delivery; what changes is that no per-update delta allocation escapes
+// the round.
+func (s *Simulation) trainRoundChunked(sampled []int, global, control []float64, sink *RoundSink, budget tensor.Compute) error {
+	slots := make([]chan *PendingUpdate, len(sampled))
+	for j := range slots {
+		slots[j] = make(chan *PendingUpdate, 1)
+	}
+	sem := make(chan struct{}, s.Cfg.Parallelism)
+	for j, id := range sampled {
+		go func(j, id int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cl := s.Clients[id]
+			cl.SetComputeBudget(budget)
+			slots[j] <- cl.TrainStream(global, control, s.Cfg)
+		}(j, id)
+	}
+	for j := range slots {
+		p := <-slots[j]
+		err := p.Chunks(s.Cfg.ChunkSize, func(offset int, chunk []float64) error {
+			return sink.AddChunk(j, offset, chunk)
+		})
+		if err == nil {
+			err = sink.FinishUpdate(j, p.Trailer())
+		}
+		p.Release()
+		if err != nil {
+			// Release stragglers so their pooled deltas are not stranded;
+			// the buffered slots mean the training goroutines never block.
+			for k := j + 1; k < len(slots); k++ {
+				go func(k int) { (<-slots[k]).Release() }(k)
+			}
 			return err
 		}
 	}

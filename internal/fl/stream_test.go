@@ -37,13 +37,31 @@ func synthUpdates(r *rng.RNG, k, stateLen, paramLen int, scaffold bool) []Update
 	return ups
 }
 
+// feedChunked pushes u into s as a chunk stream of the given size: the
+// delta followed by SCAFFOLD's control delta as one flattened stream,
+// chunk boundaries anywhere (including across the delta/control seam).
+func feedChunked(s *Server, idx int, u Update, chunk int) error {
+	stream := append(append([]float64{}, u.Delta...), u.DeltaC...)
+	for off := 0; off < len(stream); off += chunk {
+		end := off + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if err := s.AddUpdateChunk(idx, off, stream[off:end]); err != nil {
+			return err
+		}
+	}
+	return s.FinishUpdate(Update{N: u.N, Tau: u.Tau, TrainLoss: u.TrainLoss, Kept: u.Kept})
+}
+
 // TestStreamingMatchesBatchedAggregation drives many rounds of synthetic
-// updates through two servers built from the same initial state — one
+// updates through three servers built from the same initial state — one
 // folding each update as it arrives (BeginRound/AddUpdate/FinishRound),
-// one using the retained batched reference — and demands bit-identical
-// state trajectories ("curves") for every algorithm, both weighting modes
-// and every server optimizer. Any drift here would make streaming and
-// batched runs scientifically incomparable.
+// one folding chunk-at-a-time (AddUpdateChunk/FinishUpdate) with varying
+// chunk sizes, and one using the retained batched reference — and demands
+// bit-identical state trajectories ("curves") for every algorithm, both
+// weighting modes and every server optimizer. Any drift here would make
+// streaming, chunked and batched runs scientifically incomparable.
 func TestStreamingMatchesBatchedAggregation(t *testing.T) {
 	const (
 		paramLen = 37
@@ -51,6 +69,7 @@ func TestStreamingMatchesBatchedAggregation(t *testing.T) {
 		rounds   = 6
 		parties  = 5
 	)
+	chunkSizes := []int{1, 7, 16, stateLen, stateLen + paramLen, 1 << 20}
 	initial := make([]float64, stateLen)
 	ir := rng.New(99)
 	for i := range initial {
@@ -68,6 +87,7 @@ func TestStreamingMatchesBatchedAggregation(t *testing.T) {
 					t.Fatal(err)
 				}
 				streaming := NewServer(cfg, initial, paramLen, parties)
+				chunked := NewServer(cfg, initial, paramLen, parties)
 				batched := NewServer(cfg, initial, paramLen, parties)
 				r := rng.New(7)
 				for round := 0; round < rounds; round++ {
@@ -87,6 +107,18 @@ func TestStreamingMatchesBatchedAggregation(t *testing.T) {
 					if err := streaming.FinishRound(); err != nil {
 						t.Fatalf("%s/%v/%s round %d: %v", alg, unweighted, opt, round, err)
 					}
+					if err := chunked.BeginRound(metas); err != nil {
+						t.Fatalf("%s/%v/%s round %d (chunked): %v", alg, unweighted, opt, round, err)
+					}
+					for j, u := range ups {
+						size := chunkSizes[(round+j)%len(chunkSizes)]
+						if err := feedChunked(chunked, j, u, size); err != nil {
+							t.Fatalf("%s/%v/%s round %d chunk %d: %v", alg, unweighted, opt, round, size, err)
+						}
+					}
+					if err := chunked.FinishRound(); err != nil {
+						t.Fatalf("%s/%v/%s round %d (chunked): %v", alg, unweighted, opt, round, err)
+					}
 					if err := batched.aggregateBatched(ups); err != nil {
 						t.Fatalf("%s/%v/%s round %d (batched): %v", alg, unweighted, opt, round, err)
 					}
@@ -95,12 +127,20 @@ func TestStreamingMatchesBatchedAggregation(t *testing.T) {
 							t.Fatalf("%s unweighted=%v opt=%s round %d: state[%d] streaming %v vs batched %v",
 								alg, unweighted, opt, round, i, streaming.State()[i], batched.State()[i])
 						}
+						if chunked.State()[i] != batched.State()[i] {
+							t.Fatalf("%s unweighted=%v opt=%s round %d: state[%d] chunked %v vs batched %v",
+								alg, unweighted, opt, round, i, chunked.State()[i], batched.State()[i])
+						}
 					}
 					if alg == Scaffold {
 						for i := range streaming.Control() {
 							if streaming.Control()[i] != batched.Control()[i] {
 								t.Fatalf("%s round %d: control[%d] streaming %v vs batched %v",
 									alg, round, i, streaming.Control()[i], batched.Control()[i])
+							}
+							if chunked.Control()[i] != batched.Control()[i] {
+								t.Fatalf("%s round %d: control[%d] chunked %v vs batched %v",
+									alg, round, i, chunked.Control()[i], batched.Control()[i])
 							}
 						}
 					}

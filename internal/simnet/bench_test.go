@@ -1,0 +1,181 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// serveFakeParty speaks the party protocol procedurally: it reads the
+// global broadcast, drops it, and replies with a constant-valued update —
+// streamed as chunk frames of the server-requested size, or as one whole
+// UpdateMsg when the server asked for monolithic framing. It never holds
+// model state, so the process's live heap during a round is protocol
+// buffering: exactly what BenchmarkRoundPeakMemory wants to observe.
+func serveFakeParty(conn Conn, id, n, stateLen int, cfg fl.Config) error {
+	hello, err := Marshal(HelloMsg{ID: id, N: n, LabelDist: []float64{0.5, 0.5}})
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(hello); err != nil {
+		return err
+	}
+	tau := fl.PredictTau(cfg, n)
+	var frame []byte
+	var vals []float64
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return nil // server closed us after shutdown
+		}
+		if len(raw) == 0 || raw[0] == msgShutdown {
+			return nil
+		}
+		if raw[0] != msgGlobal || len(raw) < 13 {
+			return fmt.Errorf("fake party %d: unexpected message", id)
+		}
+		round := int(binary.LittleEndian.Uint32(raw[1:]))
+		chunk := int(binary.LittleEndian.Uint32(raw[9:]))
+		raw = nil // release the state-length downlink before replying
+		// Stagger replies a little, as real local training would, so the
+		// downlink copies are dead by the time the upload burst peaks.
+		time.Sleep(time.Duration(200+50*id) * time.Microsecond)
+		if chunk > 0 {
+			if cap(vals) < chunk {
+				vals = make([]float64, chunk)
+			}
+			for off := 0; off < stateLen; off += chunk {
+				end := off + chunk
+				if end > stateLen {
+					end = stateLen
+				}
+				v := vals[:end-off]
+				for i := range v {
+					v[i] = 1e-3
+				}
+				frame, err = AppendMarshal(frame[:0], UpdateChunkMsg{
+					Round: round, Offset: off, Total: stateLen,
+					N: n, Tau: tau, TrainLoss: 0.5,
+					Last: end == stateLen, Chunk: v,
+				})
+				if err != nil {
+					return err
+				}
+				if err := conn.Send(frame); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Monolithic framing: the party must materialize and ship its
+		// whole flattened delta — the O(clients x state) behaviour the
+		// chunked path eliminates.
+		delta := make([]float64, stateLen)
+		for i := range delta {
+			delta[i] = 1e-3
+		}
+		reply, err := Marshal(UpdateMsg{Round: round, N: n, Tau: tau, TrainLoss: 0.5, Delta: delta})
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(reply); err != nil {
+			return err
+		}
+	}
+}
+
+// BenchmarkRoundPeakMemory measures peak live heap through whole rounds
+// of the wire protocol as the number of in-flight parties grows, with
+// monolithic versus chunked update framing. A sampler goroutine forces
+// GCs and tracks the high-water HeapAlloc, reported as peak-live-B.
+// Monolithic framing buffers O(parties x state); chunked framing holds
+// the O(state) accumulator plus a bounded frame window per connection, so
+// its peak stays nearly flat as parties scale at fixed chunk size.
+func BenchmarkRoundPeakMemory(b *testing.B) {
+	spec := nn.ModelSpec{Kind: nn.KindMLP, InputDim: 20000, Classes: 2}
+	stateLen := nn.Build(spec, rng.New(1)).StateCount()
+	for _, parties := range []int{4, 16, 48} {
+		for _, chunk := range []int{0, 4096} {
+			mode := "whole"
+			if chunk > 0 {
+				mode = fmt.Sprintf("chunk=%d", chunk)
+			}
+			b.Run(fmt.Sprintf("parties=%d/%s", parties, mode), func(b *testing.B) {
+				cfg, err := fl.Config{
+					Algorithm: fl.FedAvg, Rounds: 2, LocalEpochs: 1,
+					BatchSize: 32, Seed: 7, Parallelism: 1, ChunkSize: chunk,
+				}.Normalize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				base := ms.HeapAlloc
+				var peak atomic.Uint64
+				stop := make(chan struct{})
+				var samplerDone sync.WaitGroup
+				samplerDone.Add(1)
+				go func() {
+					defer samplerDone.Done()
+					var ms runtime.MemStats
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						runtime.GC()
+						runtime.ReadMemStats(&ms)
+						for {
+							old := peak.Load()
+							if ms.HeapAlloc <= old || peak.CompareAndSwap(old, ms.HeapAlloc) {
+								break
+							}
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					conns := make([]*CountingConn, parties)
+					var wg sync.WaitGroup
+					for p := 0; p < parties; p++ {
+						serverSide, partySide := Pipe()
+						conns[p] = NewCountingConn(serverSide)
+						wg.Add(1)
+						go func(p int, conn Conn) {
+							defer wg.Done()
+							if err := serveFakeParty(conn, p, 64, stateLen, cfg); err != nil {
+								b.Error(err)
+							}
+						}(p, partySide)
+					}
+					fed := &Federation{Cfg: cfg, Spec: spec, conns: conns}
+					if _, err := fed.serve(parties); err != nil {
+						b.Fatal(err)
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				close(stop)
+				samplerDone.Wait()
+				p := peak.Load()
+				if p > base {
+					p -= base
+				} else {
+					p = 0
+				}
+				b.ReportMetric(float64(p), "peak-live-B")
+			})
+		}
+	}
+}

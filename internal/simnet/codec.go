@@ -15,11 +15,16 @@ import (
 
 // Message type tags.
 const (
-	msgGlobal   byte = 1
-	msgUpdate   byte = 2
-	msgShutdown byte = 3
-	msgHello    byte = 4
+	msgGlobal      byte = 1
+	msgUpdate      byte = 2
+	msgShutdown    byte = 3
+	msgHello       byte = 4
+	msgUpdateChunk byte = 5
 )
+
+// maxTokenLen bounds the handshake token on the wire so a hostile hello
+// cannot demand an arbitrary allocation.
+const maxTokenLen = 4096
 
 // GlobalMsg is the server-to-party payload at the start of a round: the
 // global model state and, for SCAFFOLD, the server control variate.
@@ -32,14 +37,21 @@ type GlobalMsg struct {
 	// sets it when parties share its process, so K concurrently-training
 	// parties split the machine instead of oversubscribing it.
 	Budget int
+	// Chunk is the update streaming chunk size in float64 elements the
+	// server wants replies framed with; 0 asks for one whole UpdateMsg.
+	// The server's value is authoritative — parties follow it, so both
+	// sides of a deployment never need matching flags.
+	Chunk int
 }
 
 // HelloMsg is the party-to-server handshake sent once at connect: the
-// party's identity and what the server needs for weighting (dataset size)
-// and stratified sampling (label distribution).
+// party's identity, an optional shared-secret token, and what the server
+// needs for weighting (dataset size) and stratified sampling (label
+// distribution).
 type HelloMsg struct {
 	ID        int
 	N         int
+	Token     string
 	LabelDist []float64
 }
 
@@ -51,6 +63,25 @@ type UpdateMsg struct {
 	TrainLoss float64
 	Delta     []float64
 	DeltaC    []float64 // nil unless SCAFFOLD
+}
+
+// UpdateChunkMsg carries one frame of a party's chunked round reply: a
+// consecutive slice of the flattened update stream (the state-length
+// delta followed, for SCAFFOLD, by the parameter-length control delta).
+// Offset indexes the combined stream, Total is its full length, and Last
+// marks the final frame. N/Tau/TrainLoss repeat the update's trailer
+// metadata on every frame (16 bytes — negligible against the payload) so
+// the server validates a stream against its expected meta on the first
+// frame, refusing a mismatched update before any of it is staged.
+type UpdateChunkMsg struct {
+	Round     int
+	Offset    int
+	Total     int
+	N         int
+	Tau       int
+	Last      bool
+	TrainLoss float64
+	Chunk     []float64
 }
 
 // ShutdownMsg tells a party the run is over.
@@ -68,6 +99,11 @@ func appendFloats(b []byte, v []float64) []byte {
 	return b
 }
 
+func appendString(b []byte, s string) []byte {
+	b = appendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
 func readUint32(b []byte) (uint32, []byte, error) {
 	if len(b) < 4 {
 		return 0, nil, fmt.Errorf("simnet: truncated uint32")
@@ -76,6 +112,13 @@ func readUint32(b []byte) (uint32, []byte, error) {
 }
 
 func readFloats(b []byte) ([]float64, []byte, error) {
+	return readFloatsInto(nil, b)
+}
+
+// readFloatsInto decodes a length-prefixed float vector, reusing buf's
+// backing array when it has the capacity (the pooled-chunk fast path) and
+// allocating otherwise.
+func readFloatsInto(buf []float64, b []byte) ([]float64, []byte, error) {
 	n, b, err := readUint32(b)
 	if err != nil {
 		return nil, nil, err
@@ -86,32 +129,62 @@ func readFloats(b []byte) ([]float64, []byte, error) {
 	if len(b) < int(n)*8 {
 		return nil, nil, fmt.Errorf("simnet: truncated float vector (%d of %d bytes)", len(b), n*8)
 	}
-	out := make([]float64, n)
+	out := buf
+	if cap(out) < int(n) {
+		out = make([]float64, n)
+	}
+	out = out[:n]
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
 	}
 	return out, b[int(n)*8:], nil
 }
 
-// Marshal encodes a message. Supported types: GlobalMsg, UpdateMsg,
-// ShutdownMsg.
+func readString(b []byte) (string, []byte, error) {
+	n, b, err := readUint32(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > maxTokenLen {
+		return "", nil, fmt.Errorf("simnet: string of %d bytes exceeds limit", n)
+	}
+	if len(b) < int(n) {
+		return "", nil, fmt.Errorf("simnet: truncated string (%d of %d bytes)", len(b), n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// Marshal encodes a message. Supported types: GlobalMsg, HelloMsg,
+// UpdateMsg, UpdateChunkMsg, ShutdownMsg.
 func Marshal(msg any) ([]byte, error) {
+	return AppendMarshal(nil, msg)
+}
+
+// AppendMarshal encodes msg appended to dst (which may be nil) and
+// returns the extended slice — the allocation-free path for per-chunk
+// framing, where the caller recycles one buffer across frames.
+func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 	switch m := msg.(type) {
 	case GlobalMsg:
-		b := []byte{msgGlobal}
+		b := append(dst, msgGlobal)
 		b = appendUint32(b, uint32(m.Round))
 		b = appendUint32(b, uint32(m.Budget))
+		b = appendUint32(b, uint32(m.Chunk))
 		b = appendFloats(b, m.State)
 		b = appendFloats(b, m.Control)
 		return b, nil
 	case HelloMsg:
-		b := []byte{msgHello}
+		if len(m.Token) > maxTokenLen {
+			return nil, fmt.Errorf("simnet: token of %d bytes exceeds limit", len(m.Token))
+		}
+		b := append(dst, msgHello)
 		b = appendUint32(b, uint32(m.ID))
 		b = appendUint32(b, uint32(m.N))
+		b = appendString(b, m.Token)
 		b = appendFloats(b, m.LabelDist)
 		return b, nil
 	case UpdateMsg:
-		b := []byte{msgUpdate}
+		b := append(dst, msgUpdate)
 		b = appendUint32(b, uint32(m.Round))
 		b = appendUint32(b, uint32(m.N))
 		b = appendUint32(b, uint32(m.Tau))
@@ -119,8 +192,23 @@ func Marshal(msg any) ([]byte, error) {
 		b = appendFloats(b, m.Delta)
 		b = appendFloats(b, m.DeltaC)
 		return b, nil
+	case UpdateChunkMsg:
+		b := append(dst, msgUpdateChunk)
+		b = appendUint32(b, uint32(m.Round))
+		b = appendUint32(b, uint32(m.Offset))
+		b = appendUint32(b, uint32(m.Total))
+		b = appendUint32(b, uint32(m.N))
+		b = appendUint32(b, uint32(m.Tau))
+		last := byte(0)
+		if m.Last {
+			last = 1
+		}
+		b = append(b, last)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.TrainLoss))
+		b = appendFloats(b, m.Chunk)
+		return b, nil
 	case ShutdownMsg:
-		return []byte{msgShutdown}, nil
+		return append(dst, msgShutdown), nil
 	default:
 		return nil, fmt.Errorf("simnet: cannot marshal %T", msg)
 	}
@@ -145,6 +233,11 @@ func Unmarshal(b []byte) (any, error) {
 			return nil, err
 		}
 		m.Budget = int(bg)
+		ck, b, err := readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		m.Chunk = int(ck)
 		if m.State, b, err = readFloats(b); err != nil {
 			return nil, err
 		}
@@ -164,6 +257,9 @@ func Unmarshal(b []byte) (any, error) {
 			return nil, err
 		}
 		m.N = int(n)
+		if m.Token, b, err = readString(b); err != nil {
+			return nil, err
+		}
 		if m.LabelDist, _, err = readFloats(b); err != nil {
 			return nil, err
 		}
@@ -197,9 +293,59 @@ func Unmarshal(b []byte) (any, error) {
 			return nil, err
 		}
 		return m, nil
+	case msgUpdateChunk:
+		m, err := unmarshalChunk(b, nil)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
 	case msgShutdown:
 		return ShutdownMsg{}, nil
 	default:
 		return nil, fmt.Errorf("simnet: unknown message tag %d", tag)
 	}
+}
+
+// UnmarshalChunkInto decodes an UpdateChunkMsg, reusing buf's backing
+// array for the payload when it has the capacity. It rejects any other
+// message type, so the server's per-conn chunk receivers never allocate
+// for well-behaved peers.
+func UnmarshalChunkInto(b []byte, buf []float64) (UpdateChunkMsg, error) {
+	if len(b) == 0 {
+		return UpdateChunkMsg{}, fmt.Errorf("simnet: empty message")
+	}
+	if b[0] != msgUpdateChunk {
+		return UpdateChunkMsg{}, fmt.Errorf("simnet: expected update chunk, got message tag %d", b[0])
+	}
+	return unmarshalChunk(b[1:], buf)
+}
+
+// unmarshalChunk decodes the body (everything after the tag byte) of an
+// UpdateChunkMsg, decoding the payload into buf when it fits.
+func unmarshalChunk(b []byte, buf []float64) (UpdateChunkMsg, error) {
+	var m UpdateChunkMsg
+	fields := [5]*int{&m.Round, &m.Offset, &m.Total, &m.N, &m.Tau}
+	for _, f := range fields {
+		v, rest, err := readUint32(b)
+		if err != nil {
+			return m, err
+		}
+		*f = int(v)
+		b = rest
+	}
+	if len(b) < 1 {
+		return m, fmt.Errorf("simnet: truncated last marker")
+	}
+	m.Last = b[0] != 0
+	b = b[1:]
+	if len(b) < 8 {
+		return m, fmt.Errorf("simnet: truncated loss")
+	}
+	m.TrainLoss = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	var err error
+	if m.Chunk, _, err = readFloatsInto(buf, b); err != nil {
+		return m, err
+	}
+	return m, nil
 }

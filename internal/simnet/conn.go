@@ -6,7 +6,22 @@ import (
 	"io"
 	"net"
 	"sync/atomic"
+	"time"
 )
+
+// readDeadliner is implemented by conns whose Recv can be bounded in time
+// (TCP); in-memory pipes are trusted in-process peers and don't need it.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// recvLimiter is implemented by conns whose Recv can be bounded in size.
+// The protocol sets the limit per phase (hello, chunked round, monolithic
+// round) so a hostile length prefix is rejected before anything is
+// allocated or read, not after.
+type recvLimiter interface {
+	SetRecvLimit(n uint32)
+}
 
 // Conn is a reliable, message-oriented duplex link between the server and
 // one party.
@@ -44,6 +59,18 @@ func (c *chanConn) Send(b []byte) error {
 }
 
 func (c *chanConn) Recv() ([]byte, error) {
+	// Drain pending messages before honoring close, so anything sent
+	// before Close (a ShutdownMsg, say) is always deliverable — like TCP,
+	// where data written before the FIN is still readable. Without this a
+	// receiver entering Recv after Close races the two select cases.
+	select {
+	case b, ok := <-c.recv:
+		if !ok {
+			return nil, io.EOF
+		}
+		return b, nil
+	default:
+	}
 	select {
 	case b, ok := <-c.recv:
 		if !ok {
@@ -51,6 +78,15 @@ func (c *chanConn) Recv() ([]byte, error) {
 		}
 		return b, nil
 	case <-c.closed:
+		// Both cases may have been ready (select picks randomly): drain
+		// once more so a message sent before Close is never lost.
+		select {
+		case b, ok := <-c.recv:
+			if ok {
+				return b, nil
+			}
+		default:
+		}
 		return nil, io.EOF
 	}
 }
@@ -67,10 +103,31 @@ func (c *chanConn) Close() error {
 // tcpConn frames messages over a TCP stream with a 4-byte length prefix.
 type tcpConn struct {
 	c net.Conn
+	// max bounds accepted frame sizes (see SetRecvLimit); atomic so the
+	// round loop can tighten it while a receiver goroutine reads.
+	max atomic.Uint32
 }
 
 // NewTCPConn wraps a net.Conn in length-prefixed message framing.
-func NewTCPConn(c net.Conn) Conn { return &tcpConn{c: c} }
+func NewTCPConn(c net.Conn) Conn {
+	t := &tcpConn{c: c}
+	t.max.Store(maxMsg)
+	return t
+}
+
+// maxMsg is the absolute frame-size ceiling; SetRecvLimit can only lower
+// it.
+const maxMsg = 1 << 30
+
+// SetRecvLimit bounds the next Recvs to frames of at most n bytes
+// (implements recvLimiter); 0 or anything above the ceiling restores the
+// ceiling.
+func (t *tcpConn) SetRecvLimit(n uint32) {
+	if n == 0 || n > maxMsg {
+		n = maxMsg
+	}
+	t.max.Store(n)
+}
 
 func (t *tcpConn) Send(b []byte) error {
 	var hdr [4]byte
@@ -88,9 +145,8 @@ func (t *tcpConn) Recv() ([]byte, error) {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	const maxMsg = 1 << 30
-	if n > maxMsg {
-		return nil, fmt.Errorf("simnet: message of %d bytes exceeds limit", n)
+	if max := t.max.Load(); n > max {
+		return nil, fmt.Errorf("simnet: message of %d bytes exceeds limit %d", n, max)
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(t.c, b); err != nil {
@@ -100,6 +156,9 @@ func (t *tcpConn) Recv() ([]byte, error) {
 }
 
 func (t *tcpConn) Close() error { return t.c.Close() }
+
+// SetReadDeadline bounds the next Recv (implements readDeadliner).
+func (t *tcpConn) SetReadDeadline(d time.Time) error { return t.c.SetReadDeadline(d) }
 
 // CountingConn wraps a Conn and tallies bytes in each direction.
 type CountingConn struct {
@@ -132,6 +191,23 @@ func (c *CountingConn) Recv() ([]byte, error) {
 
 // Close closes the inner conn.
 func (c *CountingConn) Close() error { return c.Inner.Close() }
+
+// SetReadDeadline forwards to the inner conn when it supports deadlines
+// and is a no-op otherwise (in-memory pipes).
+func (c *CountingConn) SetReadDeadline(t time.Time) error {
+	if d, ok := c.Inner.(readDeadliner); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// SetRecvLimit forwards to the inner conn when it supports receive-size
+// limits and is a no-op otherwise (in-memory pipes).
+func (c *CountingConn) SetRecvLimit(n uint32) {
+	if l, ok := c.Inner.(recvLimiter); ok {
+		l.SetRecvLimit(n)
+	}
+}
 
 // Sent returns the total payload bytes sent.
 func (c *CountingConn) Sent() int64 { return c.sentBytes.Load() }

@@ -1,9 +1,12 @@
 package simnet
 
 import (
+	"crypto/subtle"
 	"fmt"
+	"math"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/niid-bench/niidbench/internal/data"
 	"github.com/niid-bench/niidbench/internal/fl"
@@ -11,6 +14,16 @@ import (
 	"github.com/niid-bench/niidbench/internal/rng"
 	"github.com/niid-bench/niidbench/internal/tensor"
 )
+
+// chunkWindow bounds how many decoded-but-unfolded chunk frames the
+// server holds per connection: each sampled party's receiver goroutine
+// parks once this many frames await the fold, which stops reading the
+// conn and lets the transport's own flow control (channel capacity for
+// pipes, the kernel's socket buffers for TCP) push back on the sender.
+// Server-side transient buffering in a chunked round is therefore
+// O(sampled x chunkWindow x chunk) on top of the O(state) accumulator —
+// never a full state vector per in-flight client.
+const chunkWindow = 4
 
 // Federation runs the federated protocol over explicit connections: the
 // server goroutine owns aggregation, each party goroutine owns its local
@@ -23,6 +36,18 @@ type Federation struct {
 	Spec  nn.ModelSpec
 	Test  *data.Dataset
 	conns []*CountingConn // server side, in arrival order
+	// Token, when non-empty, is the shared secret every hello must
+	// present; a mismatch costs the offending connection only.
+	Token string
+	// RoundTimeout, when positive, bounds how long the server waits for
+	// each reply frame within a round (the clock restarts on every
+	// received frame, so the first gap must cover the party's local
+	// training). A party that stalls past it is treated like a dead conn:
+	// evicted in chunked mode, fatal in monolithic mode. Zero waits
+	// forever — the right default when honest parties may train for
+	// arbitrarily long. Only effective on conns with deadline support
+	// (TCP); in-memory pipes are trusted in-process peers.
+	RoundTimeout time.Duration
 	// local marks in-process parties (RunLocal): the server then sends
 	// per-round kernel compute budgets so K concurrently-training parties
 	// split the machine instead of oversubscribing it. Over TCP parties
@@ -33,28 +58,38 @@ type Federation struct {
 	byParty []*CountingConn // conn per party ID
 	metas   []fl.UpdateMeta // aggregation metadata per party ID
 	dists   [][]float64     // label distribution per party ID
+	// dead marks parties evicted after a dropped update (malformed
+	// stream, mid-stream transport failure, or a failed broadcast in
+	// chunked mode). An evicted party's conn is closed — terminating its
+	// receiver goroutine — and later rounds drop it upfront instead of
+	// broadcasting to it, so one crashed party degrades round capacity
+	// rather than aborting the federation.
+	dead []bool
 
 	prevBytes int64 // byte watermark for per-round accounting
 }
 
 // ServeParty runs one party's message loop on conn until shutdown. It is
 // exported so parties can be run in separate processes over TCP. The party
-// introduces itself with a HelloMsg (identity, dataset size, label
-// distribution) so the server can weight its updates and sample
-// stratified without ever seeing the raw data.
-func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64) error {
+// introduces itself with a HelloMsg (identity, optional shared-secret
+// token, dataset size, label distribution) so the server can authenticate
+// it, weight its updates and sample stratified without ever seeing the raw
+// data. Round replies follow the framing the server asked for in its
+// GlobalMsg: one whole UpdateMsg, or a stream of UpdateChunkMsg frames.
+func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64, token string) error {
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return err
 	}
 	client := fl.NewClient(id, local, cfg.ResolveSpec(spec), rng.New(seed))
-	hello, err := Marshal(HelloMsg{ID: id, N: local.Len(), LabelDist: local.LabelDistribution()})
+	hello, err := Marshal(HelloMsg{ID: id, N: local.Len(), Token: token, LabelDist: local.LabelDistribution()})
 	if err != nil {
 		return err
 	}
 	if err := conn.Send(hello); err != nil {
 		return fmt.Errorf("simnet: party %d hello: %w", id, err)
 	}
+	var frame []byte // reused chunk-frame encode buffer
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
@@ -69,6 +104,12 @@ func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg f
 			return nil
 		case GlobalMsg:
 			client.SetComputeBudget(tensor.Compute{Workers: m.Budget})
+			if m.Chunk > 0 {
+				if err := partyTrainChunked(conn, client, m, cfg, &frame); err != nil {
+					return fmt.Errorf("simnet: party %d: %w", id, err)
+				}
+				continue
+			}
 			up := client.LocalTrain(m.State, m.Control, cfg)
 			reply, err := Marshal(UpdateMsg{
 				Round: m.Round, N: up.N, Tau: up.Tau,
@@ -84,6 +125,31 @@ func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg f
 			return fmt.Errorf("simnet: party %d unexpected message %T", id, msg)
 		}
 	}
+}
+
+// partyTrainChunked trains one round and streams the update as
+// UpdateChunkMsg frames of the server-requested size. Each frame
+// serializes a view into the client's pooled workspace through one reused
+// encode buffer, so the party never materializes a second state-length
+// vector for the reply.
+func partyTrainChunked(conn Conn, client *fl.Client, m GlobalMsg, cfg fl.Config, frame *[]byte) error {
+	p := client.TrainStream(m.State, m.Control, cfg)
+	defer p.Release()
+	u := p.Trailer()
+	total := p.StreamLen()
+	return p.Chunks(m.Chunk, func(offset int, chunk []float64) error {
+		b, err := AppendMarshal((*frame)[:0], UpdateChunkMsg{
+			Round: m.Round, Offset: offset, Total: total,
+			N: u.N, Tau: u.Tau, TrainLoss: u.TrainLoss,
+			Last:  offset+len(chunk) == total,
+			Chunk: chunk,
+		})
+		if err != nil {
+			return err
+		}
+		*frame = b
+		return conn.Send(b)
+	})
 }
 
 // RunLocal runs a full federation over in-memory pipes: one goroutine per
@@ -107,7 +173,7 @@ func RunLocal(cfg fl.Config, spec nn.ModelSpec, locals []*data.Dataset, test *da
 		wg.Add(1)
 		go func(i int, ds *data.Dataset, conn Conn) {
 			defer wg.Done()
-			partyErrs[i] = ServeParty(conn, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13)
+			partyErrs[i] = ServeParty(conn, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13, "")
 		}(i, ds, partySide)
 	}
 	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns, local: true}
@@ -128,6 +194,27 @@ func RunLocal(cfg fl.Config, spec nn.ModelSpec, locals []*data.Dataset, test *da
 // it with Listen, hand Addr() to the parties, then call AcceptAndRun.
 type ServerListener struct {
 	l net.Listener
+	// Token, when non-empty, is the shared secret every connecting party
+	// must present in its hello.
+	Token string
+	// OnReject, when set, is called with the reason each invalid
+	// connection (bad hello, out-of-range or duplicate ID, token
+	// mismatch) was turned away. Rejections never tear down the
+	// federation — the server keeps waiting for the legitimate parties.
+	OnReject func(error)
+	// HelloTimeout bounds how long an accepted connection may take to
+	// present its complete hello; a connection that stalls past it is
+	// rejected like any other bad hello, so a silent (or byte-trickling)
+	// client delays admission by at most this much instead of hanging it.
+	// Zero means the 10s default. A timed-out legitimate party can simply
+	// redial. Hellos are read serially, so k silent connections can still
+	// cost up to k timeouts of admission delay (concurrent admission is a
+	// queued follow-up).
+	HelloTimeout time.Duration
+	// RoundTimeout, when positive, bounds the server's wait for each
+	// reply frame within a round; see Federation.RoundTimeout. Zero (the
+	// default) waits forever.
+	RoundTimeout time.Duration
 }
 
 // Listen binds a TCP address for the federation server. Use "127.0.0.1:0"
@@ -146,65 +233,156 @@ func (s *ServerListener) Addr() string { return s.l.Addr().String() }
 // Close releases the listener.
 func (s *ServerListener) Close() error { return s.l.Close() }
 
-// AcceptAndRun accepts numParties framed connections, then executes the
-// federated protocol to completion. Parties connect with DialParty.
+// AcceptAndRun accepts connections until numParties distinct parties have
+// presented a valid hello, then executes the federated protocol to
+// completion. A connection whose hello is malformed, out of range, a
+// duplicate, or carries the wrong token is closed on its own — surfaced
+// through OnReject — without disturbing the parties already admitted.
+// Parties connect with DialParty.
 func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.ModelSpec, test *data.Dataset) (*fl.Result, error) {
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	conns := make([]*CountingConn, numParties)
-	for i := 0; i < numParties; i++ {
+	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, Token: s.Token, RoundTimeout: s.RoundTimeout}
+	fed.initParties(numParties)
+	helloTimeout := s.HelloTimeout
+	if helloTimeout <= 0 {
+		helloTimeout = 10 * time.Second
+	}
+	for admitted := 0; admitted < numParties; {
 		c, err := s.l.Accept()
 		if err != nil {
 			return nil, err
 		}
-		conns[i] = NewCountingConn(NewTCPConn(c))
+		_ = c.SetReadDeadline(time.Now().Add(helloTimeout))
+		cc := NewCountingConn(NewTCPConn(c))
+		// Nothing about a hello justifies a big frame: reject hostile
+		// length prefixes before the token check can even run.
+		cc.SetRecvLimit(helloFrameLimit)
+		if err := fed.admit(cc, numParties); err != nil {
+			_ = cc.Close()
+			if s.OnReject != nil {
+				s.OnReject(err)
+			}
+			continue
+		}
+		_ = c.SetReadDeadline(time.Time{})
+		admitted++
 	}
-	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns}
+	for _, c := range fed.byParty {
+		fed.conns = append(fed.conns, c)
+	}
 	return fed.serve(numParties)
 }
 
 // DialParty connects a party to a TCP federation server and serves until
-// shutdown.
-func DialParty(addr string, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64) error {
+// shutdown. token must match the server's configured secret (empty when
+// the server runs open).
+func DialParty(addr string, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64, token string) error {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	return ServeParty(NewTCPConn(c), id, local, spec, cfg, seed)
+	return ServeParty(NewTCPConn(c), id, local, spec, cfg, seed, token)
 }
 
-// handshake reads one HelloMsg from every conn and indexes conns and
-// metadata by party ID. Connections may arrive in any order (TCP accept
-// order is not party order); the hello carries the identity.
-func (f *Federation) handshake(numParties int) error {
+// initParties sizes the per-party handshake tables.
+func (f *Federation) initParties(numParties int) {
 	f.byParty = make([]*CountingConn, numParties)
 	f.metas = make([]fl.UpdateMeta, numParties)
 	f.dists = make([][]float64, numParties)
+	f.dead = make([]bool, numParties)
+}
+
+// evict permanently removes a party from the federation: its conn is
+// closed (ending any receiver goroutine still reading it, and any
+// lingering party-side send) and later rounds drop it without contact.
+func (f *Federation) evict(id int) {
+	f.dead[id] = true
+	_ = f.byParty[id].Close()
+}
+
+// admit reads one hello from c and validates it against the federation:
+// ID in [0, numParties), no duplicate, matching token. On success the
+// party's conn, aggregation meta and (sanitized) label distribution are
+// registered under its ID.
+func (f *Federation) admit(c *CountingConn, numParties int) error {
+	raw, err := c.Recv()
+	if err != nil {
+		return fmt.Errorf("simnet: hello recv: %w", err)
+	}
+	decoded, err := Unmarshal(raw)
+	if err != nil {
+		return fmt.Errorf("simnet: hello decode: %w", err)
+	}
+	h, ok := decoded.(HelloMsg)
+	if !ok {
+		return fmt.Errorf("simnet: expected hello, got %T", decoded)
+	}
+	if h.ID < 0 || h.ID >= numParties {
+		return fmt.Errorf("simnet: party ID %d out of range [0,%d)", h.ID, numParties)
+	}
+	if f.byParty[h.ID] != nil {
+		return fmt.Errorf("simnet: duplicate hello from party %d", h.ID)
+	}
+	if f.Token != "" && subtle.ConstantTimeCompare([]byte(h.Token), []byte(f.Token)) != 1 {
+		return fmt.Errorf("simnet: party %d presented a bad token", h.ID)
+	}
+	if h.N < 0 {
+		return fmt.Errorf("simnet: party %d reported negative dataset size %d", h.ID, h.N)
+	}
+	f.byParty[h.ID] = c
+	f.metas[h.ID] = fl.UpdateMeta{N: h.N, Tau: fl.PredictTau(f.Cfg, h.N)}
+	f.dists[h.ID] = sanitizeDist(h.LabelDist)
+	return nil
+}
+
+// helloFrameLimit bounds a hello frame: ID + size + a maxTokenLen token +
+// a label distribution of up to ~128k classes fit comfortably in 1 MiB.
+const helloFrameLimit = 1 << 20
+
+// recvLimitFor returns the per-frame receive bound for one round: the
+// largest legitimate reply payload (one chunk, or one whole update with
+// its control delta) plus header slack.
+func recvLimitFor(chunk, stateLen, ctrlLen int) uint32 {
+	payload := uint64(stateLen+ctrlLen) * 8
+	if chunk > 0 {
+		payload = uint64(chunk) * 8
+	}
+	const slack = 64
+	if payload+slack > maxMsg {
+		return maxMsg
+	}
+	return uint32(payload + slack)
+}
+
+// sanitizeDist clamps a wire-supplied label distribution to finite,
+// non-negative mass so a single party can never poison the stratified
+// sampler's k-means with NaN or infinite coordinates. An empty dataset's
+// (all-zero or empty) distribution passes through unchanged — the
+// stratifier zero-pads dimensions.
+func sanitizeDist(d []float64) []float64 {
+	for i, v := range d {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			d[i] = 0
+		}
+	}
+	return d
+}
+
+// handshake reads one HelloMsg from every conn and indexes conns and
+// metadata by party ID — the trusted-pipe path (RunLocal), where every
+// conn is a party this process launched, so any invalid hello is a
+// programming error that fails the federation. The TCP accept path
+// validates per-connection instead (see AcceptAndRun).
+func (f *Federation) handshake(numParties int) error {
+	f.initParties(numParties)
 	for _, c := range f.conns {
-		raw, err := c.Recv()
-		if err != nil {
-			return fmt.Errorf("simnet: hello recv: %w", err)
+		if err := f.admit(c, numParties); err != nil {
+			return err
 		}
-		decoded, err := Unmarshal(raw)
-		if err != nil {
-			return fmt.Errorf("simnet: hello decode: %w", err)
-		}
-		h, ok := decoded.(HelloMsg)
-		if !ok {
-			return fmt.Errorf("simnet: expected hello, got %T", decoded)
-		}
-		if h.ID < 0 || h.ID >= numParties {
-			return fmt.Errorf("simnet: party ID %d out of range [0,%d)", h.ID, numParties)
-		}
-		if f.byParty[h.ID] != nil {
-			return fmt.Errorf("simnet: duplicate hello from party %d", h.ID)
-		}
-		f.byParty[h.ID] = c
-		f.metas[h.ID] = fl.UpdateMeta{N: h.N, Tau: fl.PredictTau(f.Cfg, h.N)}
-		f.dists[h.ID] = h.LabelDist
 	}
 	return nil
 }
@@ -216,8 +394,10 @@ func (f *Federation) PartyMeta(id int) fl.UpdateMeta { return f.metas[id] }
 // state to the sampled parties, then receives their replies concurrently —
 // tolerating arrival in any order — and folds each into the aggregation
 // the moment the next-in-sample-order update is available, so the server
-// never buffers the whole round.
-func (f *Federation) TrainRound(round int, sampled []int, global, control []float64, deliver func(fl.Update) error) error {
+// never buffers the whole round. With Cfg.ChunkSize > 0 the replies are
+// chunk streams and the fold holds at most a bounded window of frames per
+// connection on top of the accumulator.
+func (f *Federation) TrainRound(round int, sampled []int, global, control []float64, sink *fl.RoundSink) error {
 	budget := 0
 	if f.local && len(sampled) > 0 {
 		// In-process parties all train concurrently once the global model
@@ -227,14 +407,33 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 		// any process-global knob.
 		budget = tensor.Compute{Workers: f.Cfg.Parallelism}.Split(len(sampled)).Workers
 	}
-	msg, err := Marshal(GlobalMsg{Round: round, State: global, Control: control, Budget: budget})
+	msg, err := Marshal(GlobalMsg{Round: round, State: global, Control: control, Budget: budget, Chunk: f.Cfg.ChunkSize})
 	if err != nil {
 		return err
 	}
+	// Bound the replies to the largest legitimate frame for this round's
+	// framing mode, so a hostile length prefix is refused before the
+	// frame is read into memory — the memory contract holds even against
+	// admitted-but-malicious parties.
+	limit := recvLimitFor(f.Cfg.ChunkSize, len(global), len(control))
 	for _, id := range sampled {
+		if f.dead[id] {
+			continue
+		}
+		f.byParty[id].SetRecvLimit(limit)
 		if err := f.byParty[id].Send(msg); err != nil {
+			if f.Cfg.ChunkSize > 0 {
+				// Chunked rounds tolerate party loss: evict and let the
+				// fold drop it. Monolithic rounds keep the legacy
+				// fail-fast semantics.
+				f.evict(id)
+				continue
+			}
 			return fmt.Errorf("simnet: send to party %d: %w", id, err)
 		}
+	}
+	if f.Cfg.ChunkSize > 0 {
+		return f.recvChunked(round, sampled, sink)
 	}
 	type reply struct {
 		u   fl.Update
@@ -247,6 +446,9 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 	for j := range slots {
 		slots[j] = make(chan reply, 1)
 	}
+	// Eviction exists only in chunked mode (the monolithic path keeps its
+	// legacy fail-fast semantics), so no dead-party handling is needed
+	// here: f.dead is always false when this branch runs.
 	for j, id := range sampled {
 		go func(j, id int) {
 			u, err := f.recvUpdate(id, round)
@@ -261,15 +463,166 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 		if r.err != nil {
 			return r.err
 		}
-		if err := deliver(r.u); err != nil {
+		if err := sink.Deliver(r.u); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// chunkFrame is one decoded reply frame in flight between a connection's
+// receiver goroutine and the fold loop. buf is the pooled tensor backing
+// msg.Chunk; whoever discards the frame returns it to the shared pool.
+type chunkFrame struct {
+	msg UpdateChunkMsg
+	buf *tensor.Tensor
+	err error
+}
+
+// recvChunked receives the sampled parties' chunk streams concurrently —
+// each connection feeding a bounded frame window — and folds them in
+// sampled order. A party whose stream arrives malformed (or whose conn
+// dies mid-stream) is dropped from the round, not fatal to it.
+func (f *Federation) recvChunked(round int, sampled []int, sink *fl.RoundSink) error {
+	frames := make([]chan chunkFrame, len(sampled))
+	for j, id := range sampled {
+		if f.dead[id] {
+			continue // no receiver; the fold drops this slot upfront
+		}
+		frames[j] = make(chan chunkFrame, chunkWindow)
+		go func(j, id int) {
+			defer close(frames[j])
+			conn := f.byParty[id]
+			for {
+				if f.RoundTimeout > 0 {
+					_ = conn.SetReadDeadline(time.Now().Add(f.RoundTimeout))
+				}
+				raw, err := conn.Recv()
+				if err != nil {
+					frames[j] <- chunkFrame{err: fmt.Errorf("simnet: recv from party %d: %w", id, err)}
+					return
+				}
+				buf := tensor.Shared.GetRaw(tensor.Float64, f.Cfg.ChunkSize)
+				m, err := UnmarshalChunkInto(raw, buf.Data())
+				if err != nil {
+					tensor.Shared.Put(buf)
+					frames[j] <- chunkFrame{err: fmt.Errorf("simnet: bad frame from party %d: %w", id, err)}
+					return
+				}
+				frames[j] <- chunkFrame{msg: m, buf: buf}
+				if m.Last {
+					return
+				}
+			}
+		}(j, id)
+	}
+	for j, id := range sampled {
+		var err error
+		if f.dead[id] {
+			err = sink.Drop(j, fmt.Errorf("simnet: party %d was evicted in an earlier round", id))
+		} else {
+			err = f.foldChunkStream(j, id, round, frames[j], sink)
+		}
+		if err != nil {
+			// Fatal round abort: unblock every remaining receiver (their
+			// windows may be full) so no goroutine outlives the round.
+			for _, ch := range frames[j:] {
+				if ch == nil {
+					continue
+				}
+				go func(ch chan chunkFrame) {
+					for fr := range ch {
+						if fr.buf != nil {
+							tensor.Shared.Put(fr.buf)
+						}
+					}
+				}(ch)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// foldChunkStream consumes one party's frame stream, staging valid chunks
+// into the server accumulator and completing the update at the Last
+// marker. Any malformed frame — wrong round, bad total, out-of-order or
+// oversized offset, inconsistent trailer — or a mid-stream transport
+// error drops this party's update (the round re-weights around it) and
+// evicts the party: closing its conn is what guarantees its receiver
+// goroutine terminates even if the Last marker never comes, so a
+// re-sampled conn can never end up with two concurrent readers. A
+// non-nil return means the round itself cannot continue.
+func (f *Federation) foldChunkStream(j, id, round int, frames chan chunkFrame, sink *fl.RoundSink) error {
+	total := sink.StreamLen()
+	meta := sink.Meta(j)
+	drop := func(cause error) error {
+		f.evict(id)
+		if err := sink.Drop(j, cause); err != nil {
+			return err
+		}
+		// Drain (and recycle) whatever the receiver still forwards; it
+		// stops at the Last marker or — forced by the eviction's conn
+		// close at the latest — on conn error.
+		go func() {
+			for fr := range frames {
+				if fr.buf != nil {
+					tensor.Shared.Put(fr.buf)
+				}
+			}
+		}()
+		return nil
+	}
+	for fr := range frames {
+		if fr.err != nil {
+			return drop(fr.err)
+		}
+		m := fr.msg
+		var err error
+		switch {
+		case m.Round != round:
+			err = fmt.Errorf("simnet: party %d sent a frame for round %d during round %d", id, m.Round, round)
+		case m.Total != total:
+			err = fmt.Errorf("simnet: party %d declared stream length %d, expected %d", id, m.Total, total)
+		case m.N != meta.N || m.Tau != meta.Tau:
+			// Checked on every frame — this is why the trailer metadata
+			// repeats — so a mismatched update is refused on its first
+			// frame, not after its whole stream was staged.
+			err = fmt.Errorf("simnet: party %d frame meta (n=%d tau=%d) does not match expected (n=%d tau=%d)",
+				id, m.N, m.Tau, meta.N, meta.Tau)
+		case len(m.Chunk) > f.Cfg.ChunkSize:
+			// The negotiated chunk size is the memory contract: a frame
+			// above it (up to one whole state vector) would reintroduce
+			// the O(conns x state) buffering this mode exists to bound.
+			err = fmt.Errorf("simnet: party %d sent a %d-element frame, chunk size is %d", id, len(m.Chunk), f.Cfg.ChunkSize)
+		case m.Last != (m.Offset+len(m.Chunk) == total):
+			err = fmt.Errorf("simnet: party %d frame [%d,%d) of %d has inconsistent last marker", id, m.Offset, m.Offset+len(m.Chunk), total)
+		default:
+			err = sink.AddChunk(j, m.Offset, m.Chunk)
+		}
+		last := err == nil && m.Last
+		trailer := fl.Update{N: m.N, Tau: m.Tau, TrainLoss: m.TrainLoss}
+		tensor.Shared.Put(fr.buf)
+		if err != nil {
+			return drop(err)
+		}
+		if last {
+			if err := sink.FinishUpdate(j, trailer); err != nil {
+				return drop(err)
+			}
+			return nil
+		}
+	}
+	// The receiver closed the channel without a Last marker or an error
+	// frame — it cannot, but fail safe rather than hang the round open.
+	return drop(fmt.Errorf("simnet: party %d chunk stream ended early", id))
+}
+
 // recvUpdate reads and validates one round reply from a party.
 func (f *Federation) recvUpdate(id, round int) (fl.Update, error) {
+	if f.RoundTimeout > 0 {
+		_ = f.byParty[id].SetReadDeadline(time.Now().Add(f.RoundTimeout))
+	}
 	raw, err := f.byParty[id].Recv()
 	if err != nil {
 		return fl.Update{}, fmt.Errorf("simnet: recv from party %d: %w", id, err)
@@ -302,7 +655,8 @@ func (f *Federation) RoundBytes() int64 {
 }
 
 // serve runs the server side of the protocol over the federation's conns:
-// hello handshake, then the shared round engine to completion.
+// hello handshake (unless the accept loop already performed it), then the
+// shared round engine to completion.
 func (f *Federation) serve(numParties int) (*fl.Result, error) {
 	defer func() {
 		// Always attempt a clean shutdown of every party.
@@ -315,8 +669,10 @@ func (f *Federation) serve(numParties int) (*fl.Result, error) {
 			_ = c.Close()
 		}
 	}()
-	if err := f.handshake(numParties); err != nil {
-		return nil, err
+	if f.byParty == nil {
+		if err := f.handshake(numParties); err != nil {
+			return nil, err
+		}
 	}
 	// The hello handshake is setup traffic, not round traffic: reset the
 	// byte watermark so round 0's measured CommBytes covers only the

@@ -1,0 +1,44 @@
+package simnet
+
+import (
+	"testing"
+)
+
+// FuzzDecodeMsg throws arbitrary byte soup at the wire decoders: any
+// input must produce a message or an error — never a panic or an
+// out-of-bounds read — and anything that decodes must re-encode. The
+// pooled chunk decoder is fuzzed alongside with a deliberately undersized
+// buffer so the grow path is covered too.
+func FuzzDecodeMsg(f *testing.F) {
+	seed := func(msg any) {
+		b, err := Marshal(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(GlobalMsg{Round: 3, State: []float64{1, -2, 0.5}, Control: []float64{4}, Budget: 2, Chunk: 64})
+	seed(HelloMsg{ID: 1, N: 100, Token: "tok", LabelDist: []float64{0.5, 0.5}})
+	seed(UpdateMsg{Round: 1, N: 10, Tau: 3, TrainLoss: 0.25, Delta: []float64{1, 2}, DeltaC: []float64{3}})
+	seed(UpdateChunkMsg{Round: 2, Offset: 37, Total: 74, N: 10, Tau: 3, Last: true,
+		TrainLoss: 0.5, Chunk: []float64{1, 2, 3}})
+	seed(ShutdownMsg{})
+	f.Add([]byte{})
+	f.Add([]byte{msgUpdateChunk, 0, 1, 2})
+	f.Add([]byte{99, 255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		msg, err := Unmarshal(raw)
+		if err == nil {
+			if _, err := Marshal(msg); err != nil {
+				t.Fatalf("decoded %T failed to re-encode: %v", msg, err)
+			}
+		}
+		var small [2]float64
+		if m, err := UnmarshalChunkInto(raw, small[:]); err == nil {
+			if m.Chunk != nil && len(m.Chunk) <= len(small) && &m.Chunk[0] != &small[0] {
+				t.Fatal("small payload did not land in the caller's buffer")
+			}
+		}
+	})
+}

@@ -270,7 +270,7 @@ func TestTCPFederation(t *testing.T) {
 		wg.Add(1)
 		go func(i int, ds *data.Dataset) {
 			defer wg.Done()
-			if err := DialParty(addr, i, ds, spec, cfg, uint64(100+i)); err != nil {
+			if err := DialParty(addr, i, ds, spec, cfg, uint64(100+i), ""); err != nil {
 				t.Errorf("party %d: %v", i, err)
 			}
 		}(i, ds)

@@ -127,6 +127,13 @@ func (p *Pool) GetOf(dt DType, shape ...int) *Tensor {
 	return t
 }
 
+// GetRaw is GetOf without the zeroing pass, for buffers the caller fully
+// overwrites before reading — e.g. simnet's pooled chunk-frame decode
+// buffers. The contents are unspecified.
+func (p *Pool) GetRaw(dt DType, shape ...int) *Tensor {
+	return p.getNoZero(dt, shape...)
+}
+
 // getNoZero is GetOf without the clearing pass, for internal callers that
 // fully overwrite the tensor. The contents are unspecified.
 func (p *Pool) getNoZero(dt DType, shape ...int) *Tensor {

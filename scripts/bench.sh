@@ -27,17 +27,23 @@ go test -run '^$' \
 go test -run '^$' \
   -bench 'BenchmarkRoundParties' \
   -benchtime "${ROUNDBENCHTIME:-1s}" ./internal/fl/ | tee -a "$TMP"
+# Peak-memory scaling of the wire protocol: whole-update vs chunked
+# framing as in-flight parties grow (reports peak-live-B).
+go test -run '^$' \
+  -bench 'BenchmarkRoundPeakMemory' \
+  -benchtime "${ROUNDBENCHTIME:-1s}" ./internal/simnet/ | tee -a "$TMP"
 
 awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
-  ns = ""; bytes = ""; allocs = ""
+  ns = ""; bytes = ""; allocs = ""; peak = ""
   for (i = 2; i <= NF; i++) {
     if ($(i) == "ns/op") ns = $(i-1)
     if ($(i) == "B/op") bytes = $(i-1)
     if ($(i) == "allocs/op") allocs = $(i-1)
+    if ($(i) == "peak-live-B") peak = $(i-1)
   }
   if (ns == "") next
   if (!first) printf ",\n"
@@ -45,6 +51,7 @@ BEGIN { print "{"; first = 1 }
   printf "  \"%s\": {\"ns_per_op\": %s", name, ns
   if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  if (peak != "") printf ", \"peak_live_bytes\": %s", peak
   printf "}"
 }
 END { print "\n}" }
