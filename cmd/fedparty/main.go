@@ -35,7 +35,8 @@ func main() {
 		log.Fatal(err)
 	}
 	local := locals[*index]
-	fmt.Printf("fedparty %d: %d local samples, dialing %s\n", *index, local.Len(), *addr)
+	fmt.Printf("fedparty %d: %d local samples, dialing %s (wire protocol v%d)\n",
+		*index, local.Len(), *addr, simnet.ProtoVersion)
 	if err := simnet.DialParty(*addr, *index, local, spec, cfg, shared.PartySeed(*index), shared.Token); err != nil {
 		log.Fatal(err)
 	}

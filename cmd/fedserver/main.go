@@ -48,8 +48,8 @@ func main() {
 	ln.Token = shared.Token
 	ln.RoundTimeout = *roundTimeout
 	ln.OnReject = func(err error) { log.Printf("fedserver: rejected connection: %v", err) }
-	fmt.Printf("fedserver: listening on %s for %d parties (%s on %s, %s)\n",
-		ln.Addr(), shared.Parties, cfg.Algorithm, shared.Dataset, shared.Partition)
+	fmt.Printf("fedserver: listening on %s for %d parties (%s on %s, %s), wire protocol v%d\n",
+		ln.Addr(), shared.Parties, cfg.Algorithm, shared.Dataset, shared.Partition, simnet.ProtoVersion)
 	res, err := ln.AcceptAndRun(shared.Parties, cfg, spec, test)
 	if err != nil {
 		log.Fatal(err)

@@ -190,7 +190,8 @@ func cmdRun(args []string) error {
 	saveModel := fs.String("save-model", "", "write the final global model state to this file")
 	loadModel := fs.String("load-model", "", "initialize the global model from this checkpoint")
 	dtypeName := fs.String("dtype", "float64", "local-training compute precision: float64 or float32 (SIMD fast path)")
-	chunk := fs.Int("chunk", 65536, "stream updates into the aggregator in chunks of this many float64 elements (0 = whole updates); bit-identical either way")
+	chunk := fs.Int("chunk", 65536, "stream broadcasts and updates in chunks of this many float64 elements (0 = whole messages); bit-identical either way")
+	chunkWindow := fs.Int("chunk-window", 4, "decoded chunk frames the server buffers per connection before backpressure")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -237,6 +238,7 @@ func cmdRun(args []string) error {
 		CompressTopK:    *topK,
 		DType:           dtype,
 		ChunkSize:       *chunk,
+		ChunkWindow:     *chunkWindow,
 	}
 	var res *fl.Result
 	if *useTCP {

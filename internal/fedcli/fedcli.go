@@ -32,11 +32,14 @@ type Shared struct {
 	TrainN    int
 	TestN     int
 	Seed      uint64
-	// Chunk is the update streaming chunk size in float64 elements
-	// (0 = whole-update frames). The server's value is authoritative: it
-	// rides each round's GlobalMsg, so parties follow it even if their
-	// own flag differs.
+	// Chunk is the streaming chunk size in float64 elements for both the
+	// round broadcast and the update replies (0 = whole-message frames).
+	// The server's value is authoritative: it rides each round's
+	// broadcast, so parties follow it even if their own flag differs.
 	Chunk int
+	// ChunkWindow bounds the decoded-but-unfolded chunk frames the server
+	// buffers per connection (backpressure depth); 0 means the default 4.
+	ChunkWindow int
 	// Token is the optional shared handshake secret. The server rejects
 	// (only) the connections that fail to present it.
 	Token string
@@ -59,7 +62,8 @@ func (s *Shared) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.TrainN, "train", 0, "training samples (0 = family default)")
 	fs.IntVar(&s.TestN, "test", 0, "test samples (0 = family default)")
 	fs.Uint64Var(&s.Seed, "seed", 1, "shared seed; all processes must use the same value")
-	fs.IntVar(&s.Chunk, "chunk", 65536, "update streaming chunk size in float64 elements (0 = whole-update frames); the server's value wins")
+	fs.IntVar(&s.Chunk, "chunk", 65536, "streaming chunk size in float64 elements for broadcasts and update replies (0 = whole-message frames); the server's value wins")
+	fs.IntVar(&s.ChunkWindow, "chunk-window", 4, "decoded chunk frames the server buffers per connection before backpressure")
 	fs.StringVar(&s.Token, "token", "", "shared handshake secret; when the server sets one, parties must present it")
 }
 
@@ -96,6 +100,7 @@ func (s *Shared) Build() (fl.Config, nn.ModelSpec, []*data.Dataset, *data.Datase
 		Mu:          s.Mu,
 		Seed:        s.Seed,
 		ChunkSize:   s.Chunk,
+		ChunkWindow: s.ChunkWindow,
 	}
 	if _, err := cfg.Normalize(); err != nil {
 		return fl.Config{}, nn.ModelSpec{}, nil, nil, err

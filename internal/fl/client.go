@@ -164,8 +164,20 @@ func (p *PendingUpdate) StreamLen() int { return len(p.u.Delta) + len(p.u.DeltaC
 // returning from emit. Chunks never cross the delta/control boundary. A
 // non-positive size emits each vector as a single chunk.
 func (p *PendingUpdate) Chunks(size int, emit func(offset int, chunk []float64) error) error {
+	return ChunkStream(p.u.Delta, p.u.DeltaC, size, emit)
+}
+
+// ChunkStream emits the flattened two-vector stream — a first, then b —
+// as consecutive views of at most size elements, with offsets indexing
+// the combined stream. Chunks never cross the a/b seam; a non-positive
+// size emits each vector as a single chunk. It is the one definition of
+// the protocol's chunk framing, shared by the uplink
+// (PendingUpdate.Chunks: delta then control delta) and the simnet
+// downlink broadcast (state then server control), so the two directions'
+// framing can never silently diverge.
+func ChunkStream(a, b []float64, size int, emit func(offset int, chunk []float64) error) error {
 	off := 0
-	for _, vec := range [2][]float64{p.u.Delta, p.u.DeltaC} {
+	for _, vec := range [2][]float64{a, b} {
 		for start := 0; start < len(vec); {
 			end := len(vec)
 			if size > 0 && start+size < end {

@@ -135,15 +135,26 @@ type Config struct {
 	// magnitude parameter-delta entries per upload (top-k gradient
 	// compression). 0 disables compression.
 	CompressTopK float64
-	// ChunkSize, when positive, streams each client update into the
-	// server's accumulator in frames of at most this many float64
-	// elements instead of as one state-length vector. The arithmetic is
-	// bit-identical either way; what changes is peak memory: the server
-	// holds O(state + clients*ChunkSize) instead of O(clients*state) with
-	// many updates in flight. 0 keeps whole-update delivery. Over the
-	// simnet transports the server's value is authoritative — it rides
-	// each round's GlobalMsg, so parties follow the server's setting.
+	// ChunkSize, when positive, streams model state in frames of at most
+	// this many float64 elements instead of as one state-length vector —
+	// in both directions over the simnet transports: client updates into
+	// the server's accumulator, and the server's round broadcast down to
+	// the parties. The arithmetic is bit-identical either way; what
+	// changes is peak memory: the server holds O(state +
+	// clients*ChunkSize) instead of O(clients*state) with many updates in
+	// flight, and a party reassembles the broadcast into one reused
+	// buffer instead of holding a transient serialized copy. 0 keeps
+	// whole-message delivery. Over the simnet transports the server's
+	// value is authoritative — it rides each round's broadcast, so
+	// parties follow the server's setting.
 	ChunkSize int
+	// ChunkWindow bounds how many decoded-but-unfolded chunk frames the
+	// simnet server buffers per connection before backpressure stops
+	// reading that conn: higher windows smooth bursty links at
+	// O(sampled*ChunkWindow*ChunkSize) extra transient memory, window 1
+	// folds in lockstep with arrival. 0 means the default of 4; negative
+	// values are rejected. Ignored when ChunkSize is 0.
+	ChunkWindow int
 	// DType selects the local-training compute backend: tensor.Float64
 	// (the default) or tensor.Float32, which halves kernel memory traffic
 	// and doubles SIMD width. Aggregation, the exchanged state vectors and
@@ -247,6 +258,12 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.ChunkSize < 0 {
 		return c, fmt.Errorf("fl: negative chunk size %d", c.ChunkSize)
+	}
+	if c.ChunkWindow < 0 {
+		return c, fmt.Errorf("fl: negative chunk window %d", c.ChunkWindow)
+	}
+	if c.ChunkWindow == 0 {
+		c.ChunkWindow = 4
 	}
 	switch c.DType {
 	case tensor.Float64, tensor.Float32:

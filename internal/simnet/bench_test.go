@@ -39,11 +39,26 @@ func serveFakeParty(conn Conn, id, n, stateLen int, cfg fl.Config) error {
 		if len(raw) == 0 || raw[0] == msgShutdown {
 			return nil
 		}
-		if raw[0] != msgGlobal || len(raw) < 13 {
-			return fmt.Errorf("fake party %d: unexpected message", id)
+		var round, chunk int
+		switch raw[0] {
+		case msgGlobalRef:
+			// Interned pipe broadcast: only the tiny descriptor crosses the
+			// channel; the fake party never touches the shared state.
+			m, err := Unmarshal(raw)
+			if err != nil {
+				return err
+			}
+			g := m.(GlobalRefMsg)
+			round, chunk = g.Round, g.Chunk
+		case msgGlobal:
+			if len(raw) < 13 {
+				return fmt.Errorf("fake party %d: short global", id)
+			}
+			round = int(binary.LittleEndian.Uint32(raw[1:]))
+			chunk = int(binary.LittleEndian.Uint32(raw[9:]))
+		default:
+			return fmt.Errorf("fake party %d: unexpected message tag %d", id, raw[0])
 		}
-		round := int(binary.LittleEndian.Uint32(raw[1:]))
-		chunk := int(binary.LittleEndian.Uint32(raw[9:]))
 		raw = nil // release the state-length downlink before replying
 		// Stagger replies a little, as real local training would, so the
 		// downlink copies are dead by the time the upload burst peaks.
@@ -94,24 +109,36 @@ func serveFakeParty(conn Conn, id, n, stateLen int, cfg fl.Config) error {
 
 // BenchmarkRoundPeakMemory measures peak live heap through whole rounds
 // of the wire protocol as the number of in-flight parties grows, with
-// monolithic versus chunked update framing. A sampler goroutine forces
-// GCs and tracks the high-water HeapAlloc, reported as peak-live-B.
-// Monolithic framing buffers O(parties x state); chunked framing holds
-// the O(state) accumulator plus a bounded frame window per connection, so
-// its peak stays nearly flat as parties scale at fixed chunk size.
+// monolithic versus chunked update framing and a chunk-size x frame-window
+// sweep over the chunked modes. A sampler goroutine forces GCs and tracks
+// the high-water HeapAlloc, reported as peak-live-B. Monolithic framing
+// buffers O(parties x state); chunked framing holds the O(state)
+// accumulator plus a bounded frame window per connection — and the
+// downlink is interned over the in-process pipes (one shared broadcast
+// buffer) — so its peak stays nearly flat as parties scale at fixed chunk
+// size.
 func BenchmarkRoundPeakMemory(b *testing.B) {
 	spec := nn.ModelSpec{Kind: nn.KindMLP, InputDim: 20000, Classes: 2}
 	stateLen := nn.Build(spec, rng.New(1)).StateCount()
+	modes := []struct {
+		chunk, window int
+	}{
+		{0, 0},      // monolithic framing
+		{4096, 1},   // lockstep fold
+		{4096, 4},   // default window
+		{16384, 16}, // deep window x bigger frames
+	}
 	for _, parties := range []int{4, 16, 48} {
-		for _, chunk := range []int{0, 4096} {
-			mode := "whole"
-			if chunk > 0 {
-				mode = fmt.Sprintf("chunk=%d", chunk)
+		for _, mode := range modes {
+			name := "whole"
+			if mode.chunk > 0 {
+				name = fmt.Sprintf("chunk=%d/window=%d", mode.chunk, mode.window)
 			}
-			b.Run(fmt.Sprintf("parties=%d/%s", parties, mode), func(b *testing.B) {
+			b.Run(fmt.Sprintf("parties=%d/%s", parties, name), func(b *testing.B) {
 				cfg, err := fl.Config{
 					Algorithm: fl.FedAvg, Rounds: 2, LocalEpochs: 1,
-					BatchSize: 32, Seed: 7, Parallelism: 1, ChunkSize: chunk,
+					BatchSize: 32, Seed: 7, Parallelism: 1,
+					ChunkSize: mode.chunk, ChunkWindow: mode.window,
 				}.Normalize()
 				if err != nil {
 					b.Fatal(err)

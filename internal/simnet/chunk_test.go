@@ -213,8 +213,18 @@ func rawParty(t *testing.T, conn Conn, hello HelloMsg, reply func(round int, g G
 		if err != nil {
 			return
 		}
-		g, ok := msg.(GlobalMsg)
-		if !ok {
+		var g GlobalMsg
+		switch m := msg.(type) {
+		case GlobalMsg:
+			g = m
+		case GlobalRefMsg:
+			// Interned pipe broadcast: resolve the shared buffer like a
+			// real party would.
+			if g, err = takeGlobalRef(conn, m); err != nil {
+				t.Errorf("rawParty ref: %v", err)
+				return
+			}
+		default:
 			return // shutdown
 		}
 		if err := reply(g.Round, g); err != nil {
@@ -743,6 +753,10 @@ func TestSilentHelloTimesOut(t *testing.T) {
 	if sr.res.FinalAccuracy < 0.55 {
 		t.Fatalf("accuracy %v", sr.res.FinalAccuracy)
 	}
+	// Hellos are read concurrently, so admission no longer waits out the
+	// silent conn's timeout — that head-of-line freedom is the point. The
+	// rejection is still delivered before AcceptAndRun returns: the
+	// mid-hello conn is expired the moment the federation fills.
 	mu.Lock()
 	defer mu.Unlock()
 	if len(rejections) == 0 {

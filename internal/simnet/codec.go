@@ -20,7 +20,35 @@ const (
 	msgShutdown    byte = 3
 	msgHello       byte = 4
 	msgUpdateChunk byte = 5
+	msgGlobalChunk byte = 6
+	msgGlobalRef   byte = 7
 )
+
+// The hello opens with a fixed magic byte and a protocol version, so a
+// peer from a different build generation is turned away with a clean
+// reason at admission instead of producing a misaligned decode deeper in
+// the round. The magic distinguishes "not this protocol at all" (a stray
+// client, a pre-versioning build whose hello began with its ID) from
+// version skew; the version gates every message layout after the hello,
+// so any PR that changes a frame must bump ProtoVersion.
+const (
+	protoMagic byte = 0xF7
+	// ProtoVersion is the wire protocol generation this build speaks.
+	// Version 1 covers the versioned hello itself plus the chunked
+	// downlink frames (GlobalChunkMsg/GlobalRefMsg).
+	ProtoVersion byte = 1
+)
+
+// VersionError reports a hello whose protocol version does not match this
+// build. Admission surfaces it through ServerListener.OnReject so the
+// operator sees exactly which side is stale.
+type VersionError struct {
+	Got byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("simnet: peer speaks protocol version %d, this build speaks %d", e.Got, ProtoVersion)
+}
 
 // maxTokenLen bounds the handshake token on the wire so a hostile hello
 // cannot demand an arbitrary allocation.
@@ -47,12 +75,16 @@ type GlobalMsg struct {
 // HelloMsg is the party-to-server handshake sent once at connect: the
 // party's identity, an optional shared-secret token, and what the server
 // needs for weighting (dataset size) and stratified sampling (label
-// distribution).
+// distribution). On the wire it opens with the protocol magic and version
+// bytes; Marshal stamps the build's ProtoVersion when Version is zero, so
+// ordinary callers never set it (tests craft skewed hellos by setting it
+// explicitly).
 type HelloMsg struct {
 	ID        int
 	N         int
 	Token     string
 	LabelDist []float64
+	Version   byte
 }
 
 // UpdateMsg is the party-to-server payload at the end of local training.
@@ -84,8 +116,53 @@ type UpdateChunkMsg struct {
 	Chunk     []float64
 }
 
+// GlobalChunkMsg carries one frame of the server's chunked round
+// broadcast: a consecutive slice of the flattened downlink stream (the
+// state vector followed, for SCAFFOLD, by the server control variate),
+// symmetric to the uplink's UpdateChunkMsg. Offset indexes the combined
+// stream, Total is its full length and CtrlLen the control suffix, so the
+// party can split the reassembled buffer without a separate header frame.
+// Budget and Chunk repeat the GlobalMsg round metadata on every frame
+// (8 bytes — negligible against the payload) so the party validates the
+// stream's shape on its first frame.
+type GlobalChunkMsg struct {
+	Round   int
+	Offset  int
+	Total   int
+	CtrlLen int
+	Budget  int
+	Chunk   int
+	Last    bool
+	Payload []float64
+}
+
+// GlobalRefMsg is the interned form of a round broadcast used between the
+// ends of an in-process pipe: the round's state and control vectors are
+// published by reference through the pipe's shared slot (see
+// Pipe/SendGlobalRef) and only this small descriptor crosses the channel,
+// so K co-resident parties read one shared copy of the global state
+// instead of decoding K private ones. StateLen/CtrlLen let the receiver
+// cross-check the slot against the frame.
+type GlobalRefMsg struct {
+	Round    int
+	StateLen int
+	CtrlLen  int
+	Budget   int
+	Chunk    int
+}
+
 // ShutdownMsg tells a party the run is over.
 type ShutdownMsg struct{}
+
+// globalWireSize is the serialized size of a monolithic GlobalMsg with the
+// given vector lengths: tag + round/budget/chunk + two length-prefixed
+// float vectors. Interned pipe broadcasts (SendGlobalRef) account this
+// equivalent size so measured CommBytes keeps reporting the protocol's
+// logical traffic — what a real deployment would move — rather than the
+// in-process shortcut's.
+func globalWireSize(stateLen, ctrlLen int) int64 {
+	return 1 + 3*4 + (4 + 8*int64(stateLen)) + (4 + 8*int64(ctrlLen))
+}
 
 func appendUint32(b []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(b, v)
@@ -155,7 +232,7 @@ func readString(b []byte) (string, []byte, error) {
 }
 
 // Marshal encodes a message. Supported types: GlobalMsg, HelloMsg,
-// UpdateMsg, UpdateChunkMsg, ShutdownMsg.
+// UpdateMsg, UpdateChunkMsg, GlobalChunkMsg, GlobalRefMsg, ShutdownMsg.
 func Marshal(msg any) ([]byte, error) {
 	return AppendMarshal(nil, msg)
 }
@@ -177,7 +254,11 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 		if len(m.Token) > maxTokenLen {
 			return nil, fmt.Errorf("simnet: token of %d bytes exceeds limit", len(m.Token))
 		}
-		b := append(dst, msgHello)
+		v := m.Version
+		if v == 0 {
+			v = ProtoVersion
+		}
+		b := append(dst, msgHello, protoMagic, v)
 		b = appendUint32(b, uint32(m.ID))
 		b = appendUint32(b, uint32(m.N))
 		b = appendString(b, m.Token)
@@ -206,6 +287,29 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 		b = append(b, last)
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.TrainLoss))
 		b = appendFloats(b, m.Chunk)
+		return b, nil
+	case GlobalChunkMsg:
+		b := append(dst, msgGlobalChunk)
+		b = appendUint32(b, uint32(m.Round))
+		b = appendUint32(b, uint32(m.Offset))
+		b = appendUint32(b, uint32(m.Total))
+		b = appendUint32(b, uint32(m.CtrlLen))
+		b = appendUint32(b, uint32(m.Budget))
+		b = appendUint32(b, uint32(m.Chunk))
+		last := byte(0)
+		if m.Last {
+			last = 1
+		}
+		b = append(b, last)
+		b = appendFloats(b, m.Payload)
+		return b, nil
+	case GlobalRefMsg:
+		b := append(dst, msgGlobalRef)
+		b = appendUint32(b, uint32(m.Round))
+		b = appendUint32(b, uint32(m.StateLen))
+		b = appendUint32(b, uint32(m.CtrlLen))
+		b = appendUint32(b, uint32(m.Budget))
+		b = appendUint32(b, uint32(m.Chunk))
 		return b, nil
 	case ShutdownMsg:
 		return append(dst, msgShutdown), nil
@@ -247,6 +351,17 @@ func Unmarshal(b []byte) (any, error) {
 		return m, nil
 	case msgHello:
 		var m HelloMsg
+		if len(b) < 2 {
+			return nil, fmt.Errorf("simnet: truncated hello preamble")
+		}
+		if b[0] != protoMagic {
+			return nil, fmt.Errorf("simnet: hello magic 0x%02x, want 0x%02x (not a niidbench hello, or a pre-versioning peer)", b[0], protoMagic)
+		}
+		if b[1] != ProtoVersion {
+			return nil, &VersionError{Got: b[1]}
+		}
+		m.Version = b[1]
+		b = b[2:]
 		id, b, err := readUint32(b)
 		if err != nil {
 			return nil, err
@@ -299,6 +414,24 @@ func Unmarshal(b []byte) (any, error) {
 			return nil, err
 		}
 		return m, nil
+	case msgGlobalChunk:
+		m, err := unmarshalGlobalChunk(b, nil)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgGlobalRef:
+		var m GlobalRefMsg
+		fields := [5]*int{&m.Round, &m.StateLen, &m.CtrlLen, &m.Budget, &m.Chunk}
+		for _, f := range fields {
+			v, rest, err := readUint32(b)
+			if err != nil {
+				return nil, err
+			}
+			*f = int(v)
+			b = rest
+		}
+		return m, nil
 	case msgShutdown:
 		return ShutdownMsg{}, nil
 	default:
@@ -318,6 +451,46 @@ func UnmarshalChunkInto(b []byte, buf []float64) (UpdateChunkMsg, error) {
 		return UpdateChunkMsg{}, fmt.Errorf("simnet: expected update chunk, got message tag %d", b[0])
 	}
 	return unmarshalChunk(b[1:], buf)
+}
+
+// UnmarshalGlobalChunkInto decodes a GlobalChunkMsg, reusing buf's backing
+// array for the payload when it has the capacity — the party-side fast
+// path, where buf is a view of the round's assembly buffer at the expected
+// offset so an in-order frame decodes straight into place. It rejects any
+// other message type.
+func UnmarshalGlobalChunkInto(b []byte, buf []float64) (GlobalChunkMsg, error) {
+	if len(b) == 0 {
+		return GlobalChunkMsg{}, fmt.Errorf("simnet: empty message")
+	}
+	if b[0] != msgGlobalChunk {
+		return GlobalChunkMsg{}, fmt.Errorf("simnet: expected global chunk, got message tag %d", b[0])
+	}
+	return unmarshalGlobalChunk(b[1:], buf)
+}
+
+// unmarshalGlobalChunk decodes the body (everything after the tag byte) of
+// a GlobalChunkMsg, decoding the payload into buf when it fits.
+func unmarshalGlobalChunk(b []byte, buf []float64) (GlobalChunkMsg, error) {
+	var m GlobalChunkMsg
+	fields := [6]*int{&m.Round, &m.Offset, &m.Total, &m.CtrlLen, &m.Budget, &m.Chunk}
+	for _, f := range fields {
+		v, rest, err := readUint32(b)
+		if err != nil {
+			return m, err
+		}
+		*f = int(v)
+		b = rest
+	}
+	if len(b) < 1 {
+		return m, fmt.Errorf("simnet: truncated last marker")
+	}
+	m.Last = b[0] != 0
+	b = b[1:]
+	var err error
+	if m.Payload, _, err = readFloatsInto(buf, b); err != nil {
+		return m, err
+	}
+	return m, nil
 }
 
 // unmarshalChunk decodes the body (everything after the tag byte) of an

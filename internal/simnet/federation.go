@@ -15,15 +15,23 @@ import (
 	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
-// chunkWindow bounds how many decoded-but-unfolded chunk frames the
-// server holds per connection: each sampled party's receiver goroutine
-// parks once this many frames await the fold, which stops reading the
-// conn and lets the transport's own flow control (channel capacity for
-// pipes, the kernel's socket buffers for TCP) push back on the sender.
-// Server-side transient buffering in a chunked round is therefore
-// O(sampled x chunkWindow x chunk) on top of the O(state) accumulator —
-// never a full state vector per in-flight client.
-const chunkWindow = 4
+// window returns the per-connection frame window — how many
+// decoded-but-unfolded chunk frames the server holds per connection. Each
+// sampled party's receiver goroutine parks once this many frames await
+// the fold, which stops reading the conn and lets the transport's own
+// flow control (channel capacity for pipes, the kernel's socket buffers
+// for TCP) push back on the sender. Server-side transient buffering in a
+// chunked round is therefore O(sampled x window x chunk) on top of the
+// O(state) accumulator — never a full state vector per in-flight client.
+// The width comes from Config.ChunkWindow (CLI -chunk-window) so
+// deployments can trade smoothing against memory for their RTT; the
+// guard covers Federations constructed without Normalize.
+func (f *Federation) window() int {
+	if w := f.Cfg.ChunkWindow; w > 0 {
+		return w
+	}
+	return 4
+}
 
 // Federation runs the federated protocol over explicit connections: the
 // server goroutine owns aggregation, each party goroutine owns its local
@@ -89,42 +97,164 @@ func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg f
 	if err := conn.Send(hello); err != nil {
 		return fmt.Errorf("simnet: party %d hello: %w", id, err)
 	}
-	var frame []byte // reused chunk-frame encode buffer
+	// Bound every server frame before it is read: the largest legitimate
+	// downlink is one monolithic GlobalMsg for this party's model; chunk
+	// frames and shutdowns are strictly smaller. The party side of the
+	// memory contract — a hostile (or buggy) server cannot make a party
+	// allocate an arbitrary frame.
+	if rl, ok := conn.(recvLimiter); ok {
+		rl.SetRecvLimit(downlinkLimit(client.StateCount(), client.ParamCount()))
+	}
+	var frame []byte    // reused chunk-frame encode buffer
+	var dlBuf []float64 // chunked-downlink assembly buffer, reused across rounds
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
 			return fmt.Errorf("simnet: party %d recv: %w", id, err)
 		}
-		msg, err := Unmarshal(raw)
-		if err != nil {
-			return fmt.Errorf("simnet: party %d decode: %w", id, err)
-		}
-		switch m := msg.(type) {
-		case ShutdownMsg:
-			return nil
-		case GlobalMsg:
-			client.SetComputeBudget(tensor.Compute{Workers: m.Budget})
-			if m.Chunk > 0 {
-				if err := partyTrainChunked(conn, client, m, cfg, &frame); err != nil {
+		var g GlobalMsg
+		if len(raw) > 0 && raw[0] == msgGlobalChunk {
+			// Chunked downlink frames bypass the generic decoder so the
+			// round's FIRST frame also decodes straight into the
+			// persistent assembly buffer — once the buffer has grown to
+			// the model's stream length, a whole round's broadcast costs
+			// zero allocations, first frame included.
+			first, err := UnmarshalGlobalChunkInto(raw, dlBuf[:0])
+			if err != nil {
+				return fmt.Errorf("simnet: party %d decode: %w", id, err)
+			}
+			if g, err = recvGlobalChunked(conn, first, &dlBuf, client.StateCount()+client.ParamCount()); err != nil {
+				return fmt.Errorf("simnet: party %d: %w", id, err)
+			}
+		} else {
+			msg, err := Unmarshal(raw)
+			if err != nil {
+				return fmt.Errorf("simnet: party %d decode: %w", id, err)
+			}
+			switch m := msg.(type) {
+			case ShutdownMsg:
+				return nil
+			case GlobalMsg:
+				g = m
+			case GlobalRefMsg:
+				if g, err = takeGlobalRef(conn, m); err != nil {
 					return fmt.Errorf("simnet: party %d: %w", id, err)
 				}
-				continue
+			default:
+				return fmt.Errorf("simnet: party %d unexpected message %T", id, msg)
 			}
-			up := client.LocalTrain(m.State, m.Control, cfg)
-			reply, err := Marshal(UpdateMsg{
-				Round: m.Round, N: up.N, Tau: up.Tau,
-				TrainLoss: up.TrainLoss, Delta: up.Delta, DeltaC: up.DeltaC,
-			})
-			if err != nil {
-				return err
+		}
+		client.SetComputeBudget(tensor.Compute{Workers: g.Budget})
+		if g.Chunk > 0 {
+			if err := partyTrainChunked(conn, client, g, cfg, &frame); err != nil {
+				return fmt.Errorf("simnet: party %d: %w", id, err)
 			}
-			if err := conn.Send(reply); err != nil {
-				return fmt.Errorf("simnet: party %d send: %w", id, err)
-			}
-		default:
-			return fmt.Errorf("simnet: party %d unexpected message %T", id, msg)
+			continue
+		}
+		up := client.LocalTrain(g.State, g.Control, cfg)
+		reply, err := Marshal(UpdateMsg{
+			Round: g.Round, N: up.N, Tau: up.Tau,
+			TrainLoss: up.TrainLoss, Delta: up.Delta, DeltaC: up.DeltaC,
+		})
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(reply); err != nil {
+			return fmt.Errorf("simnet: party %d send: %w", id, err)
 		}
 	}
+}
+
+// downlinkLimit bounds the frames a party accepts from the server: the
+// serialized size of one monolithic GlobalMsg carrying the party's full
+// state and a parameter-length control vector, plus header slack.
+func downlinkLimit(stateLen, paramLen int) uint32 {
+	sz := globalWireSize(stateLen, paramLen) + 64
+	if sz > maxMsg {
+		return maxMsg
+	}
+	return uint32(sz)
+}
+
+// takeGlobalRef resolves an interned broadcast descriptor against the
+// pipe's shared slot and cross-checks the published vectors' shape.
+func takeGlobalRef(conn Conn, m GlobalRefMsg) (GlobalMsg, error) {
+	rr, ok := conn.(globalRefReceiver)
+	if !ok {
+		return GlobalMsg{}, fmt.Errorf("simnet: interned broadcast on a conn without a shared slot")
+	}
+	state, control, err := rr.TakeGlobalRef(m.Round)
+	if err != nil {
+		return GlobalMsg{}, err
+	}
+	if len(state) != m.StateLen || len(control) != m.CtrlLen {
+		return GlobalMsg{}, fmt.Errorf("simnet: interned global (%d,%d) does not match descriptor (%d,%d)",
+			len(state), len(control), m.StateLen, m.CtrlLen)
+	}
+	return GlobalMsg{Round: m.Round, State: state, Control: control, Budget: m.Budget, Chunk: m.Chunk}, nil
+}
+
+// recvGlobalChunked reassembles one round's chunked broadcast, starting
+// from its already-decoded first frame. Frames on one conn must arrive in
+// order without gaps or overlaps, with a consistent header and a correct
+// last marker; each subsequent frame decodes straight into the assembly
+// buffer at its expected offset, so an in-order stream costs zero copies
+// beyond the buffer itself — which persists across rounds, keeping the
+// party's downlink at one state-length allocation total. max bounds the
+// declared stream length (the party's state plus a parameter-length
+// control vector): the assembly buffer is sized from the wire-supplied
+// Total, so the bound is checked before anything is allocated — a hostile
+// header cannot demand an arbitrary allocation any more than a hostile
+// frame can.
+func recvGlobalChunked(conn Conn, first GlobalChunkMsg, buf *[]float64, max int) (GlobalMsg, error) {
+	total, ctrl := first.Total, first.CtrlLen
+	if total < 0 || ctrl < 0 || ctrl > total {
+		return GlobalMsg{}, fmt.Errorf("simnet: downlink stream of %d elements with control suffix %d", total, ctrl)
+	}
+	if total > max {
+		return GlobalMsg{}, fmt.Errorf("simnet: downlink stream of %d elements exceeds this model's bound %d", total, max)
+	}
+	if cap(*buf) < total {
+		*buf = make([]float64, total)
+	}
+	*buf = (*buf)[:total]
+	m := first
+	done := 0
+	for {
+		switch {
+		case m.Round != first.Round || m.Total != total || m.CtrlLen != ctrl ||
+			m.Budget != first.Budget || m.Chunk != first.Chunk:
+			return GlobalMsg{}, fmt.Errorf("simnet: downlink frame header changed mid-stream")
+		case m.Offset != done || done+len(m.Payload) > total:
+			return GlobalMsg{}, fmt.Errorf("simnet: downlink frame [%d,%d) of %d, expected offset %d",
+				m.Offset, m.Offset+len(m.Payload), total, done)
+		case m.Last != (done+len(m.Payload) == total):
+			return GlobalMsg{}, fmt.Errorf("simnet: downlink frame [%d,%d) of %d has inconsistent last marker",
+				m.Offset, m.Offset+len(m.Payload), total)
+		case len(m.Payload) == 0 && !m.Last:
+			// ChunkStream never emits an empty non-final frame; accepting
+			// one would let a peer spin this loop forever without
+			// progress.
+			return GlobalMsg{}, fmt.Errorf("simnet: empty non-final downlink frame at offset %d", done)
+		}
+		copy((*buf)[done:], m.Payload) // no-op when the frame decoded in place
+		done += len(m.Payload)
+		if m.Last {
+			break
+		}
+		raw, err := conn.Recv()
+		if err != nil {
+			return GlobalMsg{}, fmt.Errorf("simnet: downlink recv: %w", err)
+		}
+		if m, err = UnmarshalGlobalChunkInto(raw, (*buf)[done:done:total]); err != nil {
+			return GlobalMsg{}, err
+		}
+	}
+	g := GlobalMsg{Round: first.Round, Budget: first.Budget, Chunk: first.Chunk, State: (*buf)[:total-ctrl]}
+	if ctrl > 0 {
+		g.Control = (*buf)[total-ctrl : total]
+	}
+	return g, nil
 }
 
 // partyTrainChunked trains one round and streams the update as
@@ -198,18 +328,24 @@ type ServerListener struct {
 	// must present in its hello.
 	Token string
 	// OnReject, when set, is called with the reason each invalid
-	// connection (bad hello, out-of-range or duplicate ID, token
-	// mismatch) was turned away. Rejections never tear down the
-	// federation — the server keeps waiting for the legitimate parties.
+	// connection (bad hello, wrong protocol version or magic, out-of-range
+	// or duplicate ID, token mismatch) was turned away. Rejections never
+	// tear down the federation — the server keeps waiting for the
+	// legitimate parties. Hellos are read concurrently, so OnReject may be
+	// called from multiple goroutines at once, but never after
+	// AcceptAndRun returns (conns still mid-hello when admission completes
+	// are expired and their rejections delivered first; conns accepted
+	// after that are closed silently). Version skew surfaces as a wrapped
+	// *VersionError.
 	OnReject func(error)
 	// HelloTimeout bounds how long an accepted connection may take to
 	// present its complete hello; a connection that stalls past it is
-	// rejected like any other bad hello, so a silent (or byte-trickling)
-	// client delays admission by at most this much instead of hanging it.
-	// Zero means the 10s default. A timed-out legitimate party can simply
-	// redial. Hellos are read serially, so k silent connections can still
-	// cost up to k timeouts of admission delay (concurrent admission is a
-	// queued follow-up).
+	// rejected like any other bad hello. Zero means the 10s default. A
+	// timed-out legitimate party can simply redial. Hellos are read
+	// concurrently (registration serialized under a lock) in bounded
+	// batches of maxConcurrentHellos, so k silent or byte-trickling
+	// connections delay admission by at most ceil(k/64) timeouts — one,
+	// for any realistic k — instead of the old serial loop's k.
 	HelloTimeout time.Duration
 	// RoundTimeout, when positive, bounds the server's wait for each
 	// reply frame within a round; see Federation.RoundTimeout. Zero (the
@@ -235,10 +371,18 @@ func (s *ServerListener) Close() error { return s.l.Close() }
 
 // AcceptAndRun accepts connections until numParties distinct parties have
 // presented a valid hello, then executes the federated protocol to
-// completion. A connection whose hello is malformed, out of range, a
-// duplicate, or carries the wrong token is closed on its own — surfaced
-// through OnReject — without disturbing the parties already admitted.
-// Parties connect with DialParty.
+// completion. Hellos are read concurrently — in bounded batches of
+// maxConcurrentHellos, with registration into the federation's tables
+// serialized under a lock — so a batch of silent connections stalls
+// admission by at most one HelloTimeout in aggregate instead of one
+// each, while pre-admission buffer memory stays capped. A connection
+// whose hello is malformed, speaks the wrong protocol version, is out of
+// range, a duplicate, or carries the wrong token is closed on its own —
+// surfaced through OnReject, always before this function returns —
+// without disturbing the parties already admitted. The accept loop stops
+// when the caller closes the listener (connections arriving after the
+// federation fills are closed without a callback until then). Parties
+// connect with DialParty.
 func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.ModelSpec, test *data.Dataset) (*fl.Result, error) {
 	cfg, err := cfg.Normalize()
 	if err != nil {
@@ -250,25 +394,122 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 	if helloTimeout <= 0 {
 		helloTimeout = 10 * time.Second
 	}
-	for admitted := 0; admitted < numParties; {
-		c, err := s.l.Accept()
-		if err != nil {
-			return nil, err
-		}
-		_ = c.SetReadDeadline(time.Now().Add(helloTimeout))
-		cc := NewCountingConn(NewTCPConn(c))
-		// Nothing about a hello justifies a big frame: reject hostile
-		// length prefixes before the token check can even run.
-		cc.SetRecvLimit(helloFrameLimit)
-		if err := fed.admit(cc, numParties); err != nil {
-			_ = cc.Close()
-			if s.OnReject != nil {
-				s.OnReject(err)
+	var (
+		mu        sync.Mutex // serializes registration into fed's tables
+		admitted  int
+		done      = make(chan struct{})
+		acceptErr = make(chan error, 1)
+		// Hello reads are concurrent but bounded: each in-flight read may
+		// hold up to a helloFrameLimit buffer plus an fd and a goroutine,
+		// so an unbounded fan-out would let an attacker pin O(conns) of
+		// all three by opening sockets and trickling bytes — the serial
+		// loop's implicit one-at-a-time bound, kept, just widened. The
+		// slot is acquired BEFORE Accept: conns beyond the bound are
+		// never accepted and wait in the kernel's listen backlog (exactly
+		// where the serial loop left them), holding no fd, goroutine or
+		// buffer in this process. k bad conns now stall admission by
+		// ceil(k/maxConcurrentHellos) timeouts instead of k, and a hello
+		// deadline starts only once its conn is accepted.
+		sem = make(chan struct{}, maxConcurrentHellos)
+		// pending tracks conns whose hello is still being read, so the
+		// moment admission completes the remaining readers can be cut
+		// loose (deadline-now) and joined — OnReject never fires after
+		// AcceptAndRun returns, and no hello goroutine outlives the call.
+		handlers sync.WaitGroup
+		pendMu   sync.Mutex
+		pending  = make(map[net.Conn]struct{})
+		finished bool
+	)
+	go func() {
+		for {
+			sem <- struct{}{}
+			c, err := s.l.Accept()
+			if err != nil {
+				select {
+				case acceptErr <- err:
+				default:
+				}
+				return
 			}
-			continue
+			pendMu.Lock()
+			if finished {
+				// The federation is already running: close stray conns
+				// without a callback (OnReject's contract is that it never
+				// fires after AcceptAndRun returns).
+				pendMu.Unlock()
+				_ = c.Close()
+				<-sem
+				continue
+			}
+			pending[c] = struct{}{}
+			handlers.Add(1)
+			pendMu.Unlock()
+			go func(c net.Conn) {
+				defer handlers.Done()
+				defer func() { <-sem }()
+				_ = c.SetReadDeadline(time.Now().Add(helloTimeout))
+				cc := NewCountingConn(NewTCPConn(c))
+				// Nothing about a hello justifies a big frame: reject
+				// hostile length prefixes before the token check can run.
+				cc.SetRecvLimit(helloFrameLimit)
+				// The read happens outside the lock: a silent conn burns
+				// its own timeout without queueing anyone behind it.
+				h, err := readHello(cc)
+				// No longer reading: leave pending before registration, so
+				// the post-admission sweep can never touch an admitted
+				// party's deadline.
+				pendMu.Lock()
+				delete(pending, c)
+				pendMu.Unlock()
+				if err == nil {
+					// Clear the hello deadline BEFORE registering: the
+					// instant the last party registers, the round engine
+					// may start using this conn — including setting
+					// RoundTimeout deadlines from its receiver goroutine —
+					// and a late clear from here would erase them.
+					_ = c.SetReadDeadline(time.Time{})
+					mu.Lock()
+					if admitted >= numParties {
+						err = fmt.Errorf("simnet: federation already has %d parties", numParties)
+					} else if err = fed.register(cc, h, numParties); err == nil {
+						if admitted++; admitted == numParties {
+							close(done)
+						}
+					}
+					mu.Unlock()
+				}
+				if err != nil {
+					_ = cc.Close()
+					if s.OnReject != nil {
+						s.OnReject(err)
+					}
+				}
+			}(c)
 		}
-		_ = c.SetReadDeadline(time.Time{})
-		admitted++
+	}()
+	// stopAdmission expires every still-reading hello and joins the
+	// handler goroutines: all rejections (including "still silent when the
+	// federation filled") are delivered before this returns, in
+	// microseconds — nothing waits out a timeout.
+	stopAdmission := func() {
+		pendMu.Lock()
+		finished = true
+		for c := range pending {
+			_ = c.SetReadDeadline(time.Now())
+		}
+		pendMu.Unlock()
+		handlers.Wait()
+	}
+	select {
+	case <-done:
+		// Registrations happened-before the close of done, so reading the
+		// tables from here on is race-free; late hellos are rejected as
+		// "federation already has N parties" under the same lock and never
+		// touch the tables again.
+		stopAdmission()
+	case err := <-acceptErr:
+		stopAdmission()
+		return nil, err
 	}
 	for _, c := range fed.byParty {
 		fed.conns = append(fed.conns, c)
@@ -305,22 +546,42 @@ func (f *Federation) evict(id int) {
 }
 
 // admit reads one hello from c and validates it against the federation:
-// ID in [0, numParties), no duplicate, matching token. On success the
-// party's conn, aggregation meta and (sanitized) label distribution are
-// registered under its ID.
+// protocol version, ID in [0, numParties), no duplicate, matching token.
+// On success the party's conn, aggregation meta and (sanitized) label
+// distribution are registered under its ID. This is the serial path (the
+// pipes handshake); the TCP accept loop reads hellos concurrently and
+// calls register under its admission lock.
 func (f *Federation) admit(c *CountingConn, numParties int) error {
+	h, err := readHello(c)
+	if err != nil {
+		return err
+	}
+	return f.register(c, h, numParties)
+}
+
+// readHello reads and decodes one hello frame from c. Version skew and a
+// bad magic byte surface here, from the codec, as descriptive errors —
+// never as a misaligned decode of the fields behind the version byte.
+func readHello(c *CountingConn) (HelloMsg, error) {
 	raw, err := c.Recv()
 	if err != nil {
-		return fmt.Errorf("simnet: hello recv: %w", err)
+		return HelloMsg{}, fmt.Errorf("simnet: hello recv: %w", err)
 	}
 	decoded, err := Unmarshal(raw)
 	if err != nil {
-		return fmt.Errorf("simnet: hello decode: %w", err)
+		return HelloMsg{}, fmt.Errorf("simnet: hello decode: %w", err)
 	}
 	h, ok := decoded.(HelloMsg)
 	if !ok {
-		return fmt.Errorf("simnet: expected hello, got %T", decoded)
+		return HelloMsg{}, fmt.Errorf("simnet: expected hello, got %T", decoded)
 	}
+	return h, nil
+}
+
+// register validates a decoded hello and installs the party into the
+// federation's tables. Callers on concurrent admission paths must hold
+// the admission lock.
+func (f *Federation) register(c *CountingConn, h HelloMsg, numParties int) error {
 	if h.ID < 0 || h.ID >= numParties {
 		return fmt.Errorf("simnet: party ID %d out of range [0,%d)", h.ID, numParties)
 	}
@@ -342,6 +603,13 @@ func (f *Federation) admit(c *CountingConn, numParties int) error {
 // helloFrameLimit bounds a hello frame: ID + size + a maxTokenLen token +
 // a label distribution of up to ~128k classes fit comfortably in 1 MiB.
 const helloFrameLimit = 1 << 20
+
+// maxConcurrentHellos bounds how many accepted-but-unadmitted connections
+// exist at once — and with them the in-flight hello reads — capping
+// pre-admission fds, goroutines and buffer memory (at most 64 x
+// helloFrameLimit = 64 MiB of the latter) no matter how many connections
+// arrive; the rest queue in the kernel's listen backlog.
+const maxConcurrentHellos = 64
 
 // recvLimitFor returns the per-frame receive bound for one round: the
 // largest legitimate reply payload (one chunk, or one whole update with
@@ -394,9 +662,11 @@ func (f *Federation) PartyMeta(id int) fl.UpdateMeta { return f.metas[id] }
 // state to the sampled parties, then receives their replies concurrently —
 // tolerating arrival in any order — and folds each into the aggregation
 // the moment the next-in-sample-order update is available, so the server
-// never buffers the whole round. With Cfg.ChunkSize > 0 the replies are
-// chunk streams and the fold holds at most a bounded window of frames per
-// connection on top of the accumulator.
+// never buffers the whole round. With Cfg.ChunkSize > 0 both directions
+// are chunked: the broadcast streams GlobalChunkMsg frames (interned by
+// reference over in-process pipes, so K co-resident parties share one
+// state buffer), and the reply fold holds at most a bounded window of
+// frames per connection on top of the accumulator.
 func (f *Federation) TrainRound(round int, sampled []int, global, control []float64, sink *fl.RoundSink) error {
 	budget := 0
 	if f.local && len(sampled) > 0 {
@@ -407,33 +677,37 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 		// any process-global knob.
 		budget = tensor.Compute{Workers: f.Cfg.Parallelism}.Split(len(sampled)).Workers
 	}
-	msg, err := Marshal(GlobalMsg{Round: round, State: global, Control: control, Budget: budget, Chunk: f.Cfg.ChunkSize})
-	if err != nil {
-		return err
-	}
+	gm := GlobalMsg{Round: round, State: global, Control: control, Budget: budget, Chunk: f.Cfg.ChunkSize}
 	// Bound the replies to the largest legitimate frame for this round's
 	// framing mode, so a hostile length prefix is refused before the
 	// frame is read into memory — the memory contract holds even against
 	// admitted-but-malicious parties.
 	limit := recvLimitFor(f.Cfg.ChunkSize, len(global), len(control))
+	if f.Cfg.ChunkSize > 0 {
+		f.broadcastChunked(gm, sampled, limit)
+		return f.recvChunked(round, sampled, sink)
+	}
+	var enc []byte // lazily marshaled; only conns without interning need it
 	for _, id := range sampled {
-		if f.dead[id] {
+		c := f.byParty[id]
+		c.SetRecvLimit(limit)
+		handled, err := c.SendGlobalRef(gm)
+		if handled && err == nil {
 			continue
 		}
-		f.byParty[id].SetRecvLimit(limit)
-		if err := f.byParty[id].Send(msg); err != nil {
-			if f.Cfg.ChunkSize > 0 {
-				// Chunked rounds tolerate party loss: evict and let the
-				// fold drop it. Monolithic rounds keep the legacy
-				// fail-fast semantics.
-				f.evict(id)
-				continue
+		if !handled {
+			if enc == nil {
+				if enc, err = Marshal(gm); err != nil {
+					return err
+				}
 			}
+			err = c.Send(enc)
+		}
+		if err != nil {
+			// Monolithic rounds keep the legacy fail-fast semantics
+			// (eviction exists only in chunked mode).
 			return fmt.Errorf("simnet: send to party %d: %w", id, err)
 		}
-	}
-	if f.Cfg.ChunkSize > 0 {
-		return f.recvChunked(round, sampled, sink)
 	}
 	type reply struct {
 		u   fl.Update
@@ -470,6 +744,65 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 	return nil
 }
 
+// broadcastChunked streams the round's global vectors to every live
+// sampled party concurrently — one sender goroutine per connection, so a
+// slow consumer delays only its own stream, never the whole broadcast.
+// A party whose stream cannot be delivered is evicted (chunked rounds
+// tolerate party loss; its receiver will surface the closed conn and the
+// fold drops it). Evictions are applied only after every sender has
+// finished, so the fold's upfront dead-party reads never race a sender.
+func (f *Federation) broadcastChunked(gm GlobalMsg, sampled []int, limit uint32) {
+	var wg sync.WaitGroup
+	errs := make([]error, len(sampled))
+	for j, id := range sampled {
+		if f.dead[id] {
+			continue
+		}
+		c := f.byParty[id]
+		c.SetRecvLimit(limit)
+		wg.Add(1)
+		go func(j int, c *CountingConn) {
+			defer wg.Done()
+			errs[j] = f.sendGlobal(c, gm)
+		}(j, c)
+	}
+	wg.Wait()
+	for j, id := range sampled {
+		if errs[j] != nil && !f.dead[id] {
+			f.evict(id)
+		}
+	}
+}
+
+// sendGlobal ships one round broadcast to one party: published by
+// reference when the conn supports interning (in-process pipes — the
+// party then reads the server's buffer directly, so K parties hold one
+// copy), and otherwise streamed as GlobalChunkMsg frames of the
+// negotiated chunk size — state first, then SCAFFOLD's control, frames
+// never crossing the seam, mirroring the uplink framing. One encode
+// buffer is recycled across frames, so the sender never materializes a
+// second serialized copy of the state.
+func (f *Federation) sendGlobal(c *CountingConn, gm GlobalMsg) error {
+	if handled, err := c.SendGlobalRef(gm); handled {
+		return err
+	}
+	total := len(gm.State) + len(gm.Control)
+	var frame []byte
+	return fl.ChunkStream(gm.State, gm.Control, f.Cfg.ChunkSize, func(off int, chunk []float64) error {
+		b, err := AppendMarshal(frame[:0], GlobalChunkMsg{
+			Round: gm.Round, Offset: off, Total: total, CtrlLen: len(gm.Control),
+			Budget: gm.Budget, Chunk: gm.Chunk,
+			Last:    off+len(chunk) == total,
+			Payload: chunk,
+		})
+		if err != nil {
+			return err
+		}
+		frame = b
+		return c.Send(b)
+	})
+}
+
 // chunkFrame is one decoded reply frame in flight between a connection's
 // receiver goroutine and the fold loop. buf is the pooled tensor backing
 // msg.Chunk; whoever discards the frame returns it to the shared pool.
@@ -485,11 +818,12 @@ type chunkFrame struct {
 // dies mid-stream) is dropped from the round, not fatal to it.
 func (f *Federation) recvChunked(round int, sampled []int, sink *fl.RoundSink) error {
 	frames := make([]chan chunkFrame, len(sampled))
+	window := f.window()
 	for j, id := range sampled {
 		if f.dead[id] {
 			continue // no receiver; the fold drops this slot upfront
 		}
-		frames[j] = make(chan chunkFrame, chunkWindow)
+		frames[j] = make(chan chunkFrame, window)
 		go func(j, id int) {
 			defer close(frames[j])
 			conn := f.byParty[id]
@@ -597,6 +931,11 @@ func (f *Federation) foldChunkStream(j, id, round int, frames chan chunkFrame, s
 			err = fmt.Errorf("simnet: party %d sent a %d-element frame, chunk size is %d", id, len(m.Chunk), f.Cfg.ChunkSize)
 		case m.Last != (m.Offset+len(m.Chunk) == total):
 			err = fmt.Errorf("simnet: party %d frame [%d,%d) of %d has inconsistent last marker", id, m.Offset, m.Offset+len(m.Chunk), total)
+		case len(m.Chunk) == 0 && !m.Last:
+			// An honest stream never frames zero elements mid-stream;
+			// accepting one would let a party occupy its round slot
+			// forever without progressing its offset.
+			err = fmt.Errorf("simnet: party %d sent an empty non-final frame at offset %d", id, m.Offset)
 		default:
 			err = sink.AddChunk(j, m.Offset, m.Chunk)
 		}

@@ -22,9 +22,22 @@ func FuzzDecodeMsg(f *testing.F) {
 	seed(UpdateMsg{Round: 1, N: 10, Tau: 3, TrainLoss: 0.25, Delta: []float64{1, 2}, DeltaC: []float64{3}})
 	seed(UpdateChunkMsg{Round: 2, Offset: 37, Total: 74, N: 10, Tau: 3, Last: true,
 		TrainLoss: 0.5, Chunk: []float64{1, 2, 3}})
+	seed(GlobalChunkMsg{Round: 2, Offset: 5, Total: 12, CtrlLen: 4, Budget: 1,
+		Chunk: 5, Last: true, Payload: []float64{1, -2}})
+	seed(GlobalRefMsg{Round: 3, StateLen: 8, CtrlLen: 4, Budget: 1, Chunk: 64})
 	seed(ShutdownMsg{})
+	// Hello version-preamble soup: a stale version (decodes to a
+	// VersionError, never a misaligned field read), a wrong magic, and
+	// preambles truncated at every byte.
+	seed(HelloMsg{ID: 1, N: 100, Version: 99})
+	f.Add([]byte{msgHello})
+	f.Add([]byte{msgHello, protoMagic})
+	f.Add([]byte{msgHello, protoMagic, ProtoVersion})
+	f.Add([]byte{msgHello, 0x00, ProtoVersion, 1, 2, 3, 4})
 	f.Add([]byte{})
 	f.Add([]byte{msgUpdateChunk, 0, 1, 2})
+	f.Add([]byte{msgGlobalChunk, 0, 1, 2})
+	f.Add([]byte{msgGlobalRef, 9})
 	f.Add([]byte{99, 255, 255, 255, 255})
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
@@ -38,6 +51,11 @@ func FuzzDecodeMsg(f *testing.F) {
 		if m, err := UnmarshalChunkInto(raw, small[:]); err == nil {
 			if m.Chunk != nil && len(m.Chunk) <= len(small) && &m.Chunk[0] != &small[0] {
 				t.Fatal("small payload did not land in the caller's buffer")
+			}
+		}
+		if m, err := UnmarshalGlobalChunkInto(raw, small[:]); err == nil {
+			if m.Payload != nil && len(m.Payload) <= len(small) && &m.Payload[0] != &small[0] {
+				t.Fatal("small downlink payload did not land in the caller's buffer")
 			}
 		}
 	})

@@ -1,0 +1,573 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/partition"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+func TestCodecVersionedHello(t *testing.T) {
+	b, err := Marshal(HelloMsg{ID: 2, N: 10, Token: "t", LabelDist: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[1] != protoMagic || b[2] != ProtoVersion {
+		t.Fatalf("hello preamble % x, want magic 0x%02x version %d", b[:3], protoMagic, ProtoVersion)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := out.(HelloMsg)
+	if h.Version != ProtoVersion || h.ID != 2 || h.N != 10 || h.Token != "t" {
+		t.Fatalf("round trip: %+v", h)
+	}
+
+	// A wrong magic byte must be a descriptive error — a pre-versioning
+	// hello began with the party ID, whose low byte is a small integer,
+	// so it can never alias the magic.
+	bad := append([]byte{}, b...)
+	bad[1] = 0x03
+	if _, err := Unmarshal(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic decoded as: %v", err)
+	}
+
+	// A stale version must surface as a typed VersionError carrying the
+	// peer's version, not as a misaligned decode of the fields behind it.
+	stale, err := Marshal(HelloMsg{ID: 2, N: 10, Version: ProtoVersion + 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Unmarshal(stale)
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != ProtoVersion+9 {
+		t.Fatalf("stale version decoded as: %v", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprint(ProtoVersion+9)) || !strings.Contains(err.Error(), fmt.Sprint(ProtoVersion)) {
+		t.Fatalf("version error should name both versions: %v", err)
+	}
+
+	// Every truncation — including mid-preamble — errors cleanly.
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("hello truncation at %d/%d decoded successfully", cut, len(b))
+		}
+	}
+}
+
+func TestCodecRoundTripGlobalChunk(t *testing.T) {
+	in := GlobalChunkMsg{Round: 5, Offset: 37, Total: 100, CtrlLen: 20,
+		Budget: 3, Chunk: 37, Last: true, Payload: []float64{1.5, -2, 3}}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(GlobalChunkMsg)
+	if got.Round != 5 || got.Offset != 37 || got.Total != 100 || got.CtrlLen != 20 ||
+		got.Budget != 3 || got.Chunk != 37 || !got.Last ||
+		len(got.Payload) != 3 || got.Payload[1] != -2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(b))
+		}
+	}
+	// The pooled/in-place decode path must land in the caller's buffer.
+	buf := make([]float64, 8)
+	got2, err := UnmarshalGlobalChunkInto(b, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got2.Payload[0] != &buf[0] {
+		t.Fatal("UnmarshalGlobalChunkInto did not reuse the caller's buffer")
+	}
+	if got2.Payload[2] != 3 {
+		t.Fatalf("pooled decode: %+v", got2)
+	}
+	if _, err := UnmarshalGlobalChunkInto([]byte{msgGlobal, 0}, buf); err == nil {
+		t.Fatal("UnmarshalGlobalChunkInto should reject non-chunk messages")
+	}
+}
+
+func TestCodecRoundTripGlobalRef(t *testing.T) {
+	in := GlobalRefMsg{Round: 7, StateLen: 1000, CtrlLen: 40, Budget: 2, Chunk: 64}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(GlobalRefMsg); got != in {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(b))
+		}
+	}
+}
+
+// TestVersionSkewRejectedAtAdmission connects peers speaking a stale
+// protocol version, the wrong magic, and a hello truncated inside the
+// version preamble. Each must be turned away with a clean, descriptive
+// OnReject reason — never a misaligned decode or a hang — while the
+// federation keeps waiting and completes once the real parties arrive.
+func TestVersionSkewRejectedAtAdmission(t *testing.T) {
+	cfg, locals, test := smallFederation(t)
+	cfg.Rounds = 2
+	spec, _ := data.Model("adult")
+
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var mu sync.Mutex
+	var rejections []error
+	ln.OnReject = func(err error) {
+		mu.Lock()
+		rejections = append(rejections, err)
+		mu.Unlock()
+	}
+	addr := ln.Addr()
+	type serveResult struct {
+		res *fl.Result
+		err error
+	}
+	resCh := make(chan serveResult, 1)
+	go func() {
+		res, err := ln.AcceptAndRun(len(locals), cfg, spec, test)
+		resCh <- serveResult{res, err}
+	}()
+
+	dialRaw := func(payload []byte) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Errorf("skewed dial: %v", err)
+			return
+		}
+		conn := NewTCPConn(c)
+		_ = conn.Send(payload)
+		// The server must close us; wait for it so the rejection is
+		// registered before the test asserts.
+		_, _ = conn.Recv()
+		_ = conn.Close()
+	}
+	stale, err := Marshal(HelloMsg{ID: 0, N: 10, LabelDist: []float64{1}, Version: ProtoVersion + 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Marshal(HelloMsg{ID: 0, N: 10, LabelDist: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badMagic := append([]byte{}, good...)
+	badMagic[1] = 0x00
+	truncated := good[:2] // tag + magic, version byte missing
+
+	dialRaw(stale)
+	dialRaw(badMagic)
+	dialRaw(truncated)
+
+	var wg sync.WaitGroup
+	for i, ds := range locals {
+		wg.Add(1)
+		go func(i int, ds *data.Dataset) {
+			defer wg.Done()
+			if err := DialParty(addr, i, ds, spec, cfg, uint64(700+i), ""); err != nil {
+				t.Errorf("party %d: %v", i, err)
+			}
+		}(i, ds)
+	}
+	sr := <-resCh
+	wg.Wait()
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	if sr.res.FinalAccuracy < 0.55 {
+		t.Fatalf("federation accuracy %v", sr.res.FinalAccuracy)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(rejections) < 3 {
+		t.Fatalf("expected 3 rejections (stale, magic, truncated), got %v", rejections)
+	}
+	var sawVersion, sawMagic, sawTruncated bool
+	for _, rej := range rejections {
+		var ve *VersionError
+		if errors.As(rej, &ve) {
+			if ve.Got != ProtoVersion+41 {
+				t.Fatalf("version rejection carries peer version %d, want %d", ve.Got, ProtoVersion+41)
+			}
+			sawVersion = true
+		}
+		if strings.Contains(rej.Error(), "magic") {
+			sawMagic = true
+		}
+		if strings.Contains(rej.Error(), "preamble") {
+			sawTruncated = true
+		}
+	}
+	if !sawVersion || !sawMagic || !sawTruncated {
+		t.Fatalf("rejection reasons not descriptive (version=%v magic=%v truncated=%v): %v",
+			sawVersion, sawMagic, sawTruncated, rejections)
+	}
+}
+
+// TestConcurrentAdmissionBoundedStall is the regression test for the
+// head-of-line admission fix: k silent connections (plus a couple sending
+// garbage) arrive ahead of the legitimate parties, and the federation
+// must still admit and complete within a small multiple of ONE
+// HelloTimeout. The pre-fix serial hello reads cost k timeouts before the
+// first legitimate hello was even read.
+func TestConcurrentAdmissionBoundedStall(t *testing.T) {
+	train, test, err := data.Load("adult", data.Config{TrainN: 400, TestN: 150, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, 3, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := data.Model("adult")
+	cfg := fl.Config{Algorithm: fl.FedAvg, Rounds: 1, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, ChunkSize: 128}
+
+	const helloTimeout = 750 * time.Millisecond
+	const silent = 4
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ln.HelloTimeout = helloTimeout
+	var mu sync.Mutex
+	rejected := 0
+	ln.OnReject = func(error) {
+		mu.Lock()
+		rejected++
+		mu.Unlock()
+	}
+	addr := ln.Addr()
+
+	start := time.Now()
+	type serveResult struct {
+		res *fl.Result
+		err error
+	}
+	resCh := make(chan serveResult, 1)
+	go func() {
+		res, err := ln.AcceptAndRun(len(locals), cfg, spec, test)
+		resCh <- serveResult{res, err}
+	}()
+
+	// The lurkers connect first and say nothing: each must burn its own
+	// timeout without queueing anyone behind it.
+	var lurkers []net.Conn
+	defer func() {
+		for _, c := range lurkers {
+			_ = c.Close()
+		}
+	}()
+	for i := 0; i < silent; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lurkers = append(lurkers, c)
+	}
+	var rogueWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		rogueWG.Add(1)
+		go func() {
+			defer rogueWG.Done()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("garbage dial: %v", err)
+				return
+			}
+			conn := NewTCPConn(c)
+			_ = conn.Send([]byte{0xde, 0xad, 0xbe, 0xef})
+			_, _ = conn.Recv() // wait for the server to close us
+			_ = conn.Close()
+		}()
+	}
+	// Let the accept loop pick the lurkers up first, so the legitimate
+	// parties genuinely arrive behind them.
+	time.Sleep(50 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	for i, ds := range locals {
+		wg.Add(1)
+		go func(i int, ds *data.Dataset) {
+			defer wg.Done()
+			if err := DialParty(addr, i, ds, spec, cfg, uint64(600+i), ""); err != nil {
+				t.Errorf("party %d: %v", i, err)
+			}
+		}(i, ds)
+	}
+	sr := <-resCh
+	elapsed := time.Since(start)
+	wg.Wait()
+	rogueWG.Wait()
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	if sr.res.FinalAccuracy < 0.55 {
+		t.Fatalf("accuracy %v", sr.res.FinalAccuracy)
+	}
+	// Serial hello reads would stall admission for silent*helloTimeout =
+	// 3s before the first legitimate hello; concurrent reads bound the
+	// aggregate stall by one timeout. 3x budgets generously for training
+	// and race-detector slowdowns while staying far below the serial cost.
+	if limit := 3 * helloTimeout; elapsed >= limit {
+		t.Fatalf("federation took %v with %d silent conns; want < %v (serial reads would cost ~%v of stall alone)",
+			elapsed, silent, limit, silent*helloTimeout)
+	}
+	// Every lurker and both garbage conns were accepted before the
+	// legitimate parties (loopback accepts are FIFO), so each is either
+	// already rejected or expired-and-rejected when admission completes —
+	// all delivered before AcceptAndRun returned.
+	mu.Lock()
+	defer mu.Unlock()
+	if rejected < silent+2 {
+		t.Fatalf("only %d of %d bad conns rejected", rejected, silent+2)
+	}
+}
+
+// runChunkedTCP runs a chunked federation over loopback TCP with send
+// jitter on every party, forcing heavy cross-party frame interleaving in
+// both directions, and returns the server's result.
+func runChunkedTCP(t *testing.T, cfg fl.Config, locals []*data.Dataset, test *data.Dataset) *fl.Result {
+	t.Helper()
+	spec, _ := data.Model("adult")
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr()
+	type serveResult struct {
+		res *fl.Result
+		err error
+	}
+	resCh := make(chan serveResult, 1)
+	go func() {
+		res, err := ln.AcceptAndRun(len(locals), cfg, spec, test)
+		resCh <- serveResult{res, err}
+	}()
+	var wg sync.WaitGroup
+	for i, ds := range locals {
+		wg.Add(1)
+		go func(i int, ds *data.Dataset) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("party %d dial: %v", i, err)
+				return
+			}
+			defer c.Close()
+			conn := &jitterConn{Conn: NewTCPConn(c), r: rng.New(uint64(2000 + i))}
+			// Same party seeds as RunLocal, so the trained updates are
+			// bitwise identical and only the transport differs.
+			if err := ServeParty(conn, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13, ""); err != nil {
+				t.Errorf("party %d: %v", i, err)
+			}
+		}(i, ds)
+	}
+	sr := <-resCh
+	wg.Wait()
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	return sr.res
+}
+
+// TestChunkedDownlinkParityAcrossChunkSizes pins the chunked broadcast
+// bitwise against the monolithic downlink: the same SCAFFOLD federation
+// (two-vector downlink — state plus server control, so frames meet the
+// state/control seam) runs once with whole-message framing over
+// in-process pipes and then chunked over jittered TCP at three chunk
+// sizes — a tiny odd size, a size that splits the state mid-vector with a
+// short seam frame, and one bigger than the whole stream (single-frame
+// degenerate case). Every final state must match the reference bit for
+// bit.
+func TestChunkedDownlinkParityAcrossChunkSizes(t *testing.T) {
+	cfg, locals, test := smallFederation(t)
+	cfg.Algorithm = fl.Scaffold
+	cfg.Rounds = 2
+	spec, _ := data.Model("adult")
+
+	ref, err := RunLocal(cfg, spec, locals, test) // ChunkSize 0: monolithic
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateLen := len(ref.FinalState)
+	for _, chunk := range []int{37, stateLen/2 + 1, 1 << 20} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			c := cfg
+			c.ChunkSize = chunk
+			got := runChunkedTCP(t, c, locals, test)
+			if len(got.FinalState) != stateLen {
+				t.Fatalf("state length %d vs %d", len(got.FinalState), stateLen)
+			}
+			for i := range ref.FinalState {
+				if got.FinalState[i] != ref.FinalState[i] {
+					t.Fatalf("state[%d]: chunked %v vs monolithic %v", i, got.FinalState[i], ref.FinalState[i])
+				}
+			}
+			for r := range ref.Curve {
+				if got.Curve[r].TrainLoss != ref.Curve[r].TrainLoss {
+					t.Fatalf("round %d: loss chunked %v vs monolithic %v", r, got.Curve[r].TrainLoss, ref.Curve[r].TrainLoss)
+				}
+			}
+		})
+	}
+}
+
+// TestDownlinkTotalBounded pins the party side of the memory contract:
+// the assembly buffer is sized from the wire-supplied Total, so a header
+// declaring an absurd stream length must be rejected before anything is
+// allocated — the model's own state+param length is the bound.
+func TestDownlinkTotalBounded(t *testing.T) {
+	conn, _ := Pipe()
+	var buf []float64
+	_, err := recvGlobalChunked(conn, GlobalChunkMsg{Total: 1 << 30, Chunk: 8}, &buf, 100)
+	if err == nil {
+		t.Fatal("oversized downlink Total declaration was accepted")
+	}
+	if cap(buf) != 0 {
+		t.Fatalf("assembly buffer allocated %d elements for a rejected declaration", cap(buf))
+	}
+	// A declaration at the bound still assembles normally.
+	g, err := recvGlobalChunked(conn, GlobalChunkMsg{Total: 3, Chunk: 8, Last: true,
+		Payload: []float64{1, 2, 3}}, &buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.State) != 3 || g.State[2] != 3 {
+		t.Fatalf("in-bound stream: %+v", g)
+	}
+}
+
+// TestDownlinkEmptyFrameRejected pins the no-spin rule on the party
+// side: an empty frame that is not the stream's last makes no progress
+// and must be rejected, not looped on.
+func TestDownlinkEmptyFrameRejected(t *testing.T) {
+	conn, _ := Pipe()
+	var buf []float64
+	_, err := recvGlobalChunked(conn, GlobalChunkMsg{Total: 4, Chunk: 2}, &buf, 10)
+	if err == nil || !strings.Contains(err.Error(), "empty non-final") {
+		t.Fatalf("empty non-final downlink frame: %v", err)
+	}
+}
+
+// TestEmptyUplinkFrameDropsParty is the server-side twin: a party whose
+// stream stalls on empty non-final frames must be dropped from the round
+// (and evicted), not allowed to occupy its fold slot forever.
+func TestEmptyUplinkFrameDropsParty(t *testing.T) {
+	train, test, err := data.Load("adult", data.Config{TrainN: 400, TestN: 150, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, 2, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := data.Model("adult")
+	cfg, err := fl.Config{Algorithm: fl.FedAvg, Rounds: 2, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, ChunkSize: 64}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const parties = 3
+	const rogue = 2
+	conns := make([]*CountingConn, parties)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		serverSide, partySide := Pipe()
+		conns[i] = NewCountingConn(serverSide)
+		wg.Add(1)
+		go func(i int, conn Conn) {
+			defer wg.Done()
+			if err := ServeParty(conn, i, locals[i], spec, cfg, cfg.Seed+uint64(i), ""); err != nil {
+				t.Errorf("party %d: %v", i, err)
+			}
+		}(i, partySide)
+	}
+	serverSide, rogueSide := Pipe()
+	conns[rogue] = NewCountingConn(serverSide)
+	rogueN := 50
+	rogueTau := fl.PredictTau(cfg, rogueN)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rawParty(t, rogueSide, HelloMsg{ID: rogue, N: rogueN, LabelDist: []float64{0.5, 0.5}},
+			func(round int, g GlobalMsg) error {
+				b, err := Marshal(UpdateChunkMsg{Round: round, Offset: 0, Total: len(g.State),
+					N: rogueN, Tau: rogueTau, Last: false, Chunk: nil})
+				if err != nil {
+					return err
+				}
+				return rogueSide.Send(b)
+			})
+	}()
+	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns, local: true}
+	res, err := fed.serve(parties)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("federation should survive an empty-frame stall: %v", err)
+	}
+	for _, m := range res.Curve {
+		found := false
+		for _, id := range m.Dropped {
+			found = found || id == rogue
+		}
+		if !found {
+			t.Fatalf("round %d did not drop the empty-frame party (dropped=%v)", m.Round, m.Dropped)
+		}
+	}
+}
+
+// TestChunkWindowFederation runs the same chunked federation under a
+// lockstep window (1), the default, and a window far wider than the
+// stream has frames. The window only shapes buffering, so all three must
+// produce bitwise-identical states.
+func TestChunkWindowFederation(t *testing.T) {
+	cfg, locals, test := smallFederation(t)
+	cfg.Rounds = 2
+	cfg.ChunkSize = 64
+	spec, _ := data.Model("adult")
+	ref, err := RunLocal(cfg, spec, locals, test) // default window (4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 1 << 10} {
+		cfg.ChunkWindow = w
+		got, err := RunLocal(cfg, spec, locals, test)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		for i := range ref.FinalState {
+			if got.FinalState[i] != ref.FinalState[i] {
+				t.Fatalf("window %d: state[%d] %v vs %v", w, i, got.FinalState[i], ref.FinalState[i])
+			}
+		}
+	}
+}

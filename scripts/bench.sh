@@ -27,8 +27,9 @@ go test -run '^$' \
 go test -run '^$' \
   -bench 'BenchmarkRoundParties' \
   -benchtime "${ROUNDBENCHTIME:-1s}" ./internal/fl/ | tee -a "$TMP"
-# Peak-memory scaling of the wire protocol: whole-update vs chunked
-# framing as in-flight parties grow (reports peak-live-B).
+# Peak-memory scaling of the wire protocol: whole-message vs chunked
+# framing as in-flight parties grow, swept over chunk-size x frame-window
+# (reports peak-live-B, including the downlink broadcast's share).
 go test -run '^$' \
   -bench 'BenchmarkRoundPeakMemory' \
   -benchtime "${ROUNDBENCHTIME:-1s}" ./internal/simnet/ | tee -a "$TMP"
