@@ -37,7 +37,7 @@ func main() {
 	local := locals[*index]
 	fmt.Printf("fedparty %d: %d local samples, dialing %s (wire protocol v%d)\n",
 		*index, local.Len(), *addr, simnet.ProtoVersion)
-	if err := simnet.DialParty(*addr, *index, local, spec, cfg, shared.PartySeed(*index), shared.Token); err != nil {
+	if err := simnet.DialPartyOpts(*addr, *index, local, spec, cfg, shared.PartySeed(*index), shared.PartyOptions()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("fedparty %d: federation complete\n", *index)

@@ -32,6 +32,7 @@ func main() {
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	saveModel := fs.String("save-model", "", "write the final model state to this file")
 	roundTimeout := fs.Duration("round-timeout", 0, "max wait per reply frame within a round (0 = wait forever); stalled parties are evicted in chunked mode")
+	rejoinGrace := fs.Duration("rejoin-grace", 0, "how long a round's broadcast waits for a just-departed party to rejoin before dropping it (0 = never wait)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +48,9 @@ func main() {
 	defer ln.Close()
 	ln.Token = shared.Token
 	ln.RoundTimeout = *roundTimeout
+	ln.RejoinGrace = *rejoinGrace
 	ln.OnReject = func(err error) { log.Printf("fedserver: rejected connection: %v", err) }
+	ln.OnEvict = func(ev *simnet.EvictionError) { log.Printf("fedserver: %v", ev) }
 	fmt.Printf("fedserver: listening on %s for %d parties (%s on %s, %s), wire protocol v%d\n",
 		ln.Addr(), shared.Parties, cfg.Algorithm, shared.Dataset, shared.Partition, simnet.ProtoVersion)
 	res, err := ln.AcceptAndRun(shared.Parties, cfg, spec, test)

@@ -7,12 +7,14 @@ package fedcli
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"github.com/niid-bench/niidbench/internal/data"
 	"github.com/niid-bench/niidbench/internal/fl"
 	"github.com/niid-bench/niidbench/internal/nn"
 	"github.com/niid-bench/niidbench/internal/partition"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/simnet"
 )
 
 // Shared carries every flag the server and the parties must agree on.
@@ -43,6 +45,24 @@ type Shared struct {
 	// Token is the optional shared handshake secret. The server rejects
 	// (only) the connections that fail to present it.
 	Token string
+	// MinParties is the server's round quorum: a round attempt with fewer
+	// live parties is skipped and retried instead of run thin (0 = 1, any
+	// live party suffices).
+	MinParties int
+	// Rejoin makes a party survive transport loss by redialing with
+	// backoff and re-helloing under its old ID (chunked mode; the server
+	// answers with a resync).
+	Rejoin bool
+	// HelloTimeout bounds how long a party waits for the server's first
+	// frame after its hello (0 = forever) — the party-side mirror of the
+	// server's hello timeout.
+	HelloTimeout time.Duration
+	// FaultSeed, DropProb, Latency and Jitter describe the deterministic
+	// fault plan injected on the party side (see simnet.FaultPlan); all
+	// zero means no faults.
+	FaultSeed       uint64
+	DropProb        float64
+	Latency, Jitter time.Duration
 }
 
 // Register wires the shared flags into fs.
@@ -65,6 +85,34 @@ func (s *Shared) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.Chunk, "chunk", 65536, "streaming chunk size in float64 elements for broadcasts and update replies (0 = whole-message frames); the server's value wins")
 	fs.IntVar(&s.ChunkWindow, "chunk-window", 4, "decoded chunk frames the server buffers per connection before backpressure")
 	fs.StringVar(&s.Token, "token", "", "shared handshake secret; when the server sets one, parties must present it")
+	fs.IntVar(&s.MinParties, "min-parties", 0, "server round quorum: rounds with fewer live parties are skipped and retried (0 = any)")
+	fs.BoolVar(&s.Rejoin, "rejoin", false, "party: redial with backoff after transport loss and rejoin under the old ID")
+	fs.DurationVar(&s.HelloTimeout, "hello-timeout", 0, "party: max wait for the server's first frame after the hello (0 = forever)")
+	fs.Uint64Var(&s.FaultSeed, "fault-seed", 0, "party: seed for the deterministic fault plan (with -drop-prob/-latency)")
+	fs.Float64Var(&s.DropProb, "drop-prob", 0, "party: per-frame probability of killing the connection (fault injection)")
+	fs.DurationVar(&s.Latency, "latency", 0, "party: injected delay per sent frame (fault injection)")
+	fs.DurationVar(&s.Jitter, "jitter", 0, "party: extra uniform delay per sent frame on top of -latency")
+}
+
+// FaultPlan assembles the party-side fault plan from the chaos flags; nil
+// when no fault axis is set.
+func (s *Shared) FaultPlan() *simnet.FaultPlan {
+	p := simnet.FaultPlan{Seed: s.FaultSeed, DropProb: s.DropProb, Latency: s.Latency, Jitter: s.Jitter}
+	if p.Empty() {
+		return nil
+	}
+	return &p
+}
+
+// PartyOptions assembles the dialing options for one party from the
+// shared flags.
+func (s *Shared) PartyOptions() simnet.PartyOptions {
+	return simnet.PartyOptions{
+		Token:        s.Token,
+		HelloTimeout: s.HelloTimeout,
+		Rejoin:       s.Rejoin,
+		Faults:       s.FaultPlan(),
+	}
 }
 
 // Build regenerates the dataset, partition, model spec and training config
@@ -101,6 +149,7 @@ func (s *Shared) Build() (fl.Config, nn.ModelSpec, []*data.Dataset, *data.Datase
 		Seed:        s.Seed,
 		ChunkSize:   s.Chunk,
 		ChunkWindow: s.ChunkWindow,
+		MinParties:  s.MinParties,
 	}
 	if _, err := cfg.Normalize(); err != nil {
 		return fl.Config{}, nn.ModelSpec{}, nil, nil, err

@@ -92,6 +92,23 @@ func NewClient(id int, local *data.Dataset, spec nn.ModelSpec, r *rng.RNG) *Clie
 // ParamCount returns the learnable parameter count of the party's model.
 func (c *Client) ParamCount() int { return c.model.ParamCount() }
 
+// ScaffoldControl returns the party's persistent SCAFFOLD control variate
+// c_i (nil before the first SCAFFOLD round). Not a copy; callers must not
+// mutate it.
+func (c *Client) ScaffoldControl() []float64 { return c.scaffoldC }
+
+// SetScaffoldControl installs a control variate — the rejoin resync path,
+// where the server replays the c_i it tracked from this party's past
+// control-delta uploads so even a party that lost its local state resumes
+// exactly where it left off. A nil argument is a no-op (nothing to
+// restore).
+func (c *Client) SetScaffoldControl(v []float64) {
+	if v == nil {
+		return
+	}
+	c.scaffoldC = append(c.scaffoldC[:0], v...)
+}
+
 // StateCount returns the full state length of the party's model.
 func (c *Client) StateCount() int { return c.model.StateCount() }
 

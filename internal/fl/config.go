@@ -13,6 +13,7 @@ package fl
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"github.com/niid-bench/niidbench/internal/nn"
 	"github.com/niid-bench/niidbench/internal/tensor"
@@ -155,6 +156,20 @@ type Config struct {
 	// folds in lockstep with arrival. 0 means the default of 4; negative
 	// values are rejected. Ignored when ChunkSize is 0.
 	ChunkWindow int
+	// MinParties is the round quorum under elastic membership: a round
+	// attempt whose live party set (alive + rejoined, excluding suspects
+	// and evicted parties) is smaller than this is skipped and retried
+	// with a typed *QuorumError instead of running degenerate or aborting
+	// the federation. Default 1 — any live party keeps rounds closing.
+	// Only meaningful on transports with churn (the simnet federation);
+	// the in-process simulation's membership is fixed.
+	MinParties int
+	// QuorumRetries bounds how many times one round may be skipped for
+	// lack of quorum before the federation gives up and returns the
+	// *QuorumError (default 120). QuorumRetryWait is the pause between
+	// attempts (default 250ms), giving dropped parties time to rejoin.
+	QuorumRetries   int
+	QuorumRetryWait time.Duration
 	// DType selects the local-training compute backend: tensor.Float64
 	// (the default) or tensor.Float32, which halves kernel memory traffic
 	// and doubles SIMD width. Aggregation, the exchanged state vectors and
@@ -264,6 +279,24 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.ChunkWindow == 0 {
 		c.ChunkWindow = 4
+	}
+	if c.MinParties < 0 {
+		return c, fmt.Errorf("fl: negative quorum %d", c.MinParties)
+	}
+	if c.MinParties == 0 {
+		c.MinParties = 1
+	}
+	if c.QuorumRetries < 0 {
+		return c, fmt.Errorf("fl: negative quorum retry budget %d", c.QuorumRetries)
+	}
+	if c.QuorumRetries == 0 {
+		c.QuorumRetries = 120
+	}
+	if c.QuorumRetryWait < 0 {
+		return c, fmt.Errorf("fl: negative quorum retry wait %v", c.QuorumRetryWait)
+	}
+	if c.QuorumRetryWait == 0 {
+		c.QuorumRetryWait = 250 * time.Millisecond
 	}
 	switch c.DType {
 	case tensor.Float64, tensor.Float32:

@@ -1,12 +1,46 @@
 package fl
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/niid-bench/niidbench/internal/rng"
 	"github.com/niid-bench/niidbench/internal/tensor"
 )
+
+// Membership is optionally implemented by transports whose party set
+// changes while the federation runs (the simnet federation, where parties
+// drop, flap and rejoin). SyncMembership is called at the top of every
+// round attempt, from the round loop goroutine: the transport applies any
+// pending departures and rejoins there — never mid-round — and returns
+// the live mask, one entry per party. Parties whose entry is false are
+// excluded from sampling, so dead parties stop consuming round capacity.
+// A nil receiver behavior (transport does not implement Membership) means
+// every party is always live.
+type Membership interface {
+	SyncMembership(round int) (live []bool)
+}
+
+// QuorumError reports a round attempt that could not run because the live
+// party set had shrunk below Config.MinParties. The engine skips and
+// retries such a round (up to Config.QuorumRetries attempts, waiting
+// Config.QuorumRetryWait between them) instead of aborting the
+// federation; the error aborts the run — and is returned, errors.As-able
+// — only when the retry budget is exhausted.
+type QuorumError struct {
+	// Round is the round that could not start.
+	Round int
+	// Live and Min are the live party count and the configured quorum.
+	Live, Min int
+	// Attempts is how many times this round was skipped so far.
+	Attempts int
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("fl: round %d below quorum: %d live parties, need %d (attempt %d)",
+		e.Round, e.Live, e.Min, e.Attempts)
+}
 
 // Transport produces a round's worth of local training for the Engine.
 // Two implementations exist: the in-process simulation (function calls,
@@ -150,24 +184,36 @@ func NewEngine(cfg Config, server *Server, eval *Evaluator, numParties int, samp
 	return e, nil
 }
 
-// sampleParties selects the round's participants (Algorithm 1 line 4).
-func (e *Engine) sampleParties() []int {
-	n := e.numParties
+// sampleParties selects the round's participants (Algorithm 1 line 4)
+// from the live party set. live is the transport's liveness mask (nil
+// means every party is live); dead parties are excluded before the draw,
+// so they stop consuming round capacity, and the sample fraction applies
+// to the live population. With every party live the RNG consumption is
+// identical to the fixed-membership sampler, so fault-free runs stay
+// bitwise reproducible.
+func (e *Engine) sampleParties(live []bool) []int {
+	ids := make([]int, 0, e.numParties)
+	for i := 0; i < e.numParties; i++ {
+		if live == nil || live[i] {
+			ids = append(ids, i)
+		}
+	}
+	n := len(ids)
 	k := int(e.cfg.SampleFraction*float64(n) + 0.5)
 	if k < 1 {
 		k = 1
 	}
 	if k >= n {
-		ids := make([]int, n)
-		for i := range ids {
-			ids[i] = i
-		}
 		return ids
 	}
 	if e.strat != nil {
-		return e.strat.sample(e.r)
+		return e.strat.sample(e.r, live)
 	}
-	return e.r.SampleWithoutReplacement(n, k)
+	picks := e.r.SampleWithoutReplacement(n, k)
+	for j, p := range picks {
+		picks[j] = ids[p]
+	}
+	return picks
 }
 
 // commBytesForUpdate computes one party's round communication volume
@@ -195,7 +241,22 @@ func (e *Engine) commBytesForUpdate(u Update) int64 {
 // — the server never holds more than the streaming accumulator.
 func (e *Engine) RunRound(tr Transport, round int) (RoundMetrics, error) {
 	start := time.Now()
-	sampled := e.sampleParties()
+	var live []bool
+	if mb, ok := tr.(Membership); ok {
+		live = mb.SyncMembership(round)
+	}
+	if live != nil {
+		alive := 0
+		for _, ok := range live {
+			if ok {
+				alive++
+			}
+		}
+		if min := e.cfg.MinParties; alive < min {
+			return RoundMetrics{Round: round}, &QuorumError{Round: round, Live: alive, Min: min}
+		}
+	}
+	sampled := e.sampleParties(live)
 	// Snapshot what the parties train against: the streaming fold mutates
 	// SCAFFOLD's control variate while later parties are still training,
 	// so they must read the round-start copy, exactly as the batched
@@ -220,6 +281,17 @@ func (e *Engine) RunRound(tr Transport, round int) (RoundMetrics, error) {
 	}
 	if err := e.server.FinishRound(); err != nil {
 		e.server.AbortRound()
+		if errors.Is(err, ErrAllDropped) {
+			// Total mid-round loss left no residue in the server (see
+			// ErrAllDropped): surface it as a below-quorum attempt so the
+			// Run loop's skip-and-retry gives departed parties a chance to
+			// rejoin instead of aborting the federation.
+			min := e.cfg.MinParties
+			if min < 1 {
+				min = 1
+			}
+			return RoundMetrics{Round: round}, &QuorumError{Round: round, Live: 0, Min: min}
+		}
 		return RoundMetrics{}, err
 	}
 	bytes := sink.bytes
@@ -249,9 +321,29 @@ func (e *Engine) Run(tr Transport) (*Result, error) {
 	var compute time.Duration
 	for t := 0; t < e.cfg.Rounds; t++ {
 		m, err := e.RunRound(tr, t)
+		// A round below quorum is skipped and retried — parties may be
+		// mid-rejoin — not fatal; only an exhausted retry budget aborts.
+		var quorum *QuorumError
+		for {
+			var qe *QuorumError
+			if !errors.As(err, &qe) {
+				break
+			}
+			if quorum != nil {
+				qe.Attempts = quorum.Attempts
+			}
+			qe.Attempts++
+			quorum = qe
+			if qe.Attempts > e.cfg.QuorumRetries {
+				return nil, qe
+			}
+			time.Sleep(e.cfg.QuorumRetryWait)
+			m, err = e.RunRound(tr, t)
+		}
 		if err != nil {
 			return nil, err
 		}
+		m.Quorum = quorum
 		compute += m.Duration
 		if (t+1)%e.cfg.EvalEvery == 0 || t == e.cfg.Rounds-1 {
 			m.TestAccuracy = e.eval.Accuracy(e.server.State())

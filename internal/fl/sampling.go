@@ -132,11 +132,28 @@ func newStratifier(dists [][]float64, k int, r *rng.RNG) *stratifier {
 	return st
 }
 
-// sample draws one party per cluster.
-func (st *stratifier) sample(r *rng.RNG) []int {
+// sample draws one party per cluster from the cluster's live members.
+// live is the engine's liveness mask (nil = all live); a cluster whose
+// members are all dead contributes nothing this round. With every party
+// live the RNG consumption is identical to the fixed-membership draw.
+func (st *stratifier) sample(r *rng.RNG, live []bool) []int {
 	out := make([]int, 0, len(st.clusters))
+	var scratch []int
 	for _, cluster := range st.clusters {
-		out = append(out, cluster[r.Intn(len(cluster))])
+		members := cluster
+		if live != nil {
+			scratch = scratch[:0]
+			for _, id := range cluster {
+				if live[id] {
+					scratch = append(scratch, id)
+				}
+			}
+			members = scratch
+		}
+		if len(members) == 0 {
+			continue
+		}
+		out = append(out, members[r.Intn(len(members))])
 	}
 	return out
 }

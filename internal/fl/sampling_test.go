@@ -72,7 +72,7 @@ func TestStratifierIdenticalDistributions(t *testing.T) {
 	if total != 3 {
 		t.Fatalf("lost parties: %v", st.clusters)
 	}
-	s := st.sample(r)
+	s := st.sample(r, nil)
 	if len(s) == 0 || len(s) > 2 {
 		t.Fatalf("sample size %d", len(s))
 	}

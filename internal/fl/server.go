@@ -1,9 +1,17 @@
 package fl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrAllDropped reports a round in which every sampled update was dropped
+// mid-stream. Nothing was folded — the drops happened before any
+// FinishUpdate — so the global state, SCAFFOLD control and FedDyn h are
+// exactly as they were at BeginRound and the round is safely retryable;
+// the engine treats it like a below-quorum attempt instead of aborting.
+var ErrAllDropped = errors.New("fl: every update in the round was dropped")
 
 // UpdateMeta is what the server knows about an expected update before it
 // arrives: the party's local dataset size (the aggregation weight) and its
@@ -369,7 +377,11 @@ func (s *Server) FinishRound() error {
 		return fmt.Errorf("fl: round incomplete: %d of %d updates", s.added+s.dropped, len(s.metas))
 	}
 	if s.added == 0 {
-		return fmt.Errorf("fl: every update in the round was dropped")
+		// Unlike other FinishRound failures the round leaves no residue
+		// (no update folded, so control/h are untouched); close it so the
+		// caller may retry with a fresh BeginRound.
+		s.inRound = false
+		return ErrAllDropped
 	}
 	s.inRound = false
 	if s.dropped > 0 {

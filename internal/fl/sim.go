@@ -23,6 +23,11 @@ type RoundMetrics struct {
 	// (malformed chunk stream or transport failure); the aggregation was
 	// renormalized to the survivors. Nil on clean rounds.
 	Dropped []int
+	// Quorum records that this round was skipped and retried because the
+	// live party set had shrunk below Config.MinParties; Attempts counts
+	// the skipped attempts before the round finally ran. Nil when the
+	// round ran at its first attempt.
+	Quorum *QuorumError
 }
 
 // Result summarizes a federated run.
@@ -106,7 +111,7 @@ func NewSimulation(cfg Config, spec nn.ModelSpec, locals []*data.Dataset, test *
 }
 
 // sampleParties selects a round's participants (exposed for tests).
-func (s *Simulation) sampleParties() []int { return s.engine.sampleParties() }
+func (s *Simulation) sampleParties() []int { return s.engine.sampleParties(nil) }
 
 // PartyMeta implements Transport.
 func (s *Simulation) PartyMeta(id int) UpdateMeta {

@@ -1,0 +1,576 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/fl"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/partition"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+// recordConn captures everything sent through it, so a fault stream's
+// observable behavior (which sends survive, what bytes they carry) can be
+// compared across instances.
+type recordConn struct {
+	frames [][]byte
+}
+
+func (c *recordConn) Send(b []byte) error {
+	c.frames = append(c.frames, append([]byte{}, b...))
+	return nil
+}
+func (c *recordConn) Recv() ([]byte, error) { return nil, fmt.Errorf("recordConn: no recv") }
+func (c *recordConn) Close() error          { return nil }
+
+// faultTrace pushes n frames through a fresh fault stream for one party
+// and records each send's fate: delivered bytes (nil when the send was
+// swallowed) and whether the injected kill fired.
+func faultTrace(plan FaultPlan, party, n int) []string {
+	inner := &recordConn{}
+	conn := plan.ForParty(party).Wrap(inner)
+	frame := []byte{msgUpdateChunk, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	var trace []string
+	for i := 0; i < n; i++ {
+		before := len(inner.frames)
+		err := conn.Send(frame)
+		got := "swallowed"
+		if len(inner.frames) > before {
+			got = fmt.Sprintf("%x", inner.frames[len(inner.frames)-1])
+		}
+		trace = append(trace, fmt.Sprintf("%v/%s", err != nil, got))
+	}
+	return trace
+}
+
+func TestFaultPlanDeterministicPerParty(t *testing.T) {
+	plan := FaultPlan{Seed: 42, DropProb: 0.2, CorruptProb: 0.2, TruncateProb: 0.2}
+	a := faultTrace(plan, 3, 64)
+	b := faultTrace(plan, 3, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same (plan, party) diverged at send %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Distinct parties draw independent streams: over 64 sends at these
+	// rates, identical schedules would mean the streams are not
+	// party-keyed at all.
+	c := faultTrace(plan, 4, 64)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("parties 3 and 4 produced identical fault schedules")
+	}
+}
+
+func TestFaultPlanGraceAndEmpty(t *testing.T) {
+	// Grace exempts the first sends entirely — bytes through untouched —
+	// even under certain faults.
+	plan := FaultPlan{Seed: 1, DropProb: 1, Grace: 2}
+	inner := &recordConn{}
+	conn := plan.ForParty(0).Wrap(inner)
+	for i := 0; i < 2; i++ {
+		if err := conn.Send([]byte{9, 8, 7}); err != nil {
+			t.Fatalf("graced send %d failed: %v", i, err)
+		}
+	}
+	if len(inner.frames) != 2 || inner.frames[0][0] != 9 {
+		t.Fatalf("graced sends altered: %v", inner.frames)
+	}
+	if err := conn.Send([]byte{9, 8, 7}); err == nil {
+		t.Fatal("post-grace send survived DropProb=1")
+	}
+	// The empty plan wraps to the identity — same Conn value back.
+	empty := FaultPlan{Seed: 7, Grace: 3}
+	if !empty.Empty() {
+		t.Fatal("plan with only Seed+Grace should be empty")
+	}
+	base := &recordConn{}
+	if got := empty.ForParty(1).Wrap(base); got != Conn(base) {
+		t.Fatal("empty plan did not return the conn unchanged")
+	}
+}
+
+func TestEvictionErrorAsIs(t *testing.T) {
+	cause := errors.New("wire torn")
+	wrapped := fmt.Errorf("round 3: %w", &EvictionError{Party: 5, Permanent: false, Cause: cause})
+	var ev *EvictionError
+	if !errors.As(wrapped, &ev) || ev.Party != 5 {
+		t.Fatalf("errors.As failed on %v", wrapped)
+	}
+	if !errors.Is(wrapped, cause) {
+		t.Fatal("EvictionError does not unwrap to its cause")
+	}
+	if !strings.Contains(ev.Error(), "may rejoin") {
+		t.Fatalf("suspect error text: %q", ev.Error())
+	}
+	perm := &EvictionError{Party: 1, Permanent: true, Cause: cause}
+	if !strings.Contains(perm.Error(), "protocol violation") {
+		t.Fatalf("permanent error text: %q", perm.Error())
+	}
+}
+
+func TestCodecRoundTripResync(t *testing.T) {
+	in := ResyncMsg{Round: 11, ExpectTau: 6, Control: []float64{0.5, -2.25, 0}}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(ResyncMsg)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if got.Round != 11 || got.ExpectTau != 6 || len(got.Control) != 3 || got.Control[1] != -2.25 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// A resync for a non-SCAFFOLD party carries no control vector.
+	b2, err := Marshal(ResyncMsg{Round: 2, ExpectTau: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Unmarshal(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := got2.(ResyncMsg); m.Round != 2 || len(m.Control) != 0 {
+		t.Fatalf("empty-control round trip: %+v", m)
+	}
+	// Every truncation must error — never decode, never panic.
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("resync truncation at %d/%d decoded", cut, len(b))
+		}
+	}
+}
+
+func TestCodecRoundTripRejoinHello(t *testing.T) {
+	in := HelloMsg{ID: 7, N: 321, Token: "secret", Rejoin: true, LabelDist: []float64{0.25, 0.75}}
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(HelloMsg)
+	if got.ID != 7 || got.N != 321 || got.Token != "secret" || !got.Rejoin || len(got.LabelDist) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// The flag itself must round-trip in both states.
+	in.Rejoin = false
+	b2, _ := Marshal(in)
+	if out2, err := Unmarshal(b2); err != nil || out2.(HelloMsg).Rejoin {
+		t.Fatalf("Rejoin=false round trip: %v %+v", err, out2)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("rejoin hello truncation at %d/%d decoded", cut, len(b))
+		}
+	}
+}
+
+// rstConn lets a party complete one round reply and then hard-kills the
+// connection with an RST (SO_LINGER 0) — the deterministic stand-in for a
+// party process dying between rounds. The kill waits a beat after the
+// reply's Last frame so the server's (wide-window) receiver has drained
+// the reply before the RST discards anything still buffered; the RST
+// itself makes the server's next write toward the party fail fast instead
+// of vanishing into a half-closed socket's buffer.
+type rstConn struct {
+	Conn
+	tcp    *net.TCPConn
+	killed bool
+}
+
+func (k *rstConn) Send(b []byte) error {
+	if k.killed {
+		return fmt.Errorf("rstConn: connection was killed")
+	}
+	if err := k.Conn.Send(b); err != nil {
+		return err
+	}
+	if len(b) > 0 && b[0] == msgUpdateChunk {
+		if m, err := Unmarshal(b); err == nil {
+			if um, ok := m.(UpdateChunkMsg); ok && um.Last {
+				k.killed = true
+				time.Sleep(50 * time.Millisecond) // let the server drain the reply
+				_ = k.tcp.SetLinger(0)
+				_ = k.tcp.Close()
+			}
+		}
+	}
+	return nil
+}
+
+// dropoutParty runs one party that completes round 0, kills its own
+// connection with an RST, then immediately redials as a rejoin and serves
+// the rest of the federation on the same in-process session.
+func dropoutParty(t *testing.T, addr string, id int, ds *data.Dataset, spec nn.ModelSpec, cfg fl.Config) {
+	t.Helper()
+	s, err := newPartySession(id, ds, spec, cfg, cfg.Seed+uint64(id)*7919+13)
+	if err != nil {
+		t.Errorf("dropout party %d: %v", id, err)
+		return
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("dropout party %d dial: %v", id, err)
+		return
+	}
+	kc := &rstConn{Conn: NewTCPConn(c), tcp: c.(*net.TCPConn)}
+	if err := s.run(kc, "", false, 0); err == nil {
+		t.Errorf("dropout party %d finished cleanly before its kill fired", id)
+		return
+	}
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("dropout party %d redial: %v", id, err)
+		return
+	}
+	defer c2.Close()
+	if err := s.run(NewTCPConn(c2), "", true, 0); err != nil {
+		t.Errorf("rejoined party %d: %v", id, err)
+	}
+}
+
+// laggardConn delays the first frame of this party's first reply, holding
+// the server's round-0 fold open long enough for the dropout party's kill
+// and rejoin hello to land before the server reaches round 1.
+type laggardConn struct {
+	Conn
+	once sync.Once
+}
+
+func (l *laggardConn) Send(b []byte) error {
+	if len(b) > 0 && b[0] == msgUpdateChunk {
+		l.once.Do(func() { time.Sleep(400 * time.Millisecond) })
+	}
+	return l.Conn.Send(b)
+}
+
+// runRejoinTCP runs a chunked TCP federation where party `dropIdx` dies
+// after round 0 and rejoins; the other parties serve normally.
+func runRejoinTCP(t *testing.T, cfg fl.Config, locals []*data.Dataset, test *data.Dataset, dropIdx int) *fl.Result {
+	t.Helper()
+	spec, _ := data.Model("adult")
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// The heal window is what lets the round re-deliver its broadcast to
+	// the rejoined conn instead of dropping the party.
+	ln.RejoinGrace = 5 * time.Second
+	addr := ln.Addr()
+	type serveResult struct {
+		res *fl.Result
+		err error
+	}
+	resCh := make(chan serveResult, 1)
+	go func() {
+		res, err := ln.AcceptAndRun(len(locals), cfg, spec, test)
+		resCh <- serveResult{res, err}
+	}()
+	var wg sync.WaitGroup
+	for i, ds := range locals {
+		wg.Add(1)
+		go func(i int, ds *data.Dataset) {
+			defer wg.Done()
+			if i == dropIdx {
+				dropoutParty(t, addr, i, ds, spec, cfg)
+				return
+			}
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("party %d dial: %v", i, err)
+				return
+			}
+			defer c.Close()
+			conn := Conn(NewTCPConn(c))
+			if i == 0 {
+				// Hold round 0's fold open so the dropout's rejoin hello is
+				// queued before the server starts round 1.
+				conn = &laggardConn{Conn: conn}
+			}
+			if err := ServeParty(conn, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13, ""); err != nil {
+				t.Errorf("party %d: %v", i, err)
+			}
+		}(i, ds)
+	}
+	sr := <-resCh
+	wg.Wait()
+	if sr.err != nil {
+		t.Fatal(sr.err)
+	}
+	return sr.res
+}
+
+// TestRejoinBitwiseAllAlgorithms is the elastic-membership acceptance
+// test: for every algorithm, a federation where one party dies between
+// rounds and rejoins must complete every round with no dropped updates
+// and finish bitwise identical to the never-dropped reference — the
+// departure was fully healed (resync restored the SCAFFOLD control
+// variate, the heal window re-delivered the broadcast), so the math never
+// noticed. The kill lands after round 0, where the server-tracked control
+// sum equals the party's own c_i exactly.
+func TestRejoinBitwiseAllAlgorithms(t *testing.T) {
+	train, test, err := data.Load("adult", data.Config{TrainN: 300, TestN: 120, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, 3, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range fl.ExtendedAlgorithms() {
+		t.Run(string(algo), func(t *testing.T) {
+			cfg := fl.Config{
+				Algorithm: algo, Rounds: 3, LocalEpochs: 1, BatchSize: 32,
+				LR: 0.05, Mu: 0.01, Seed: 5, ChunkSize: 256,
+				// Wide receive window: the dropout's round-0 reply must be
+				// fully drained off the wire before its RST fires.
+				ChunkWindow: 64,
+				// Quorum at full strength: if the heal window somehow
+				// misses, the round must wait for the rejoin rather than
+				// thin the aggregation.
+				MinParties: 3, QuorumRetries: 300, QuorumRetryWait: 10 * time.Millisecond,
+			}
+			ref := runChunkedTCP(t, cfg, locals, test)
+			got := runRejoinTCP(t, cfg, locals, test, 1)
+			if len(got.Curve) != cfg.Rounds {
+				t.Fatalf("completed %d/%d rounds", len(got.Curve), cfg.Rounds)
+			}
+			for _, m := range got.Curve {
+				if len(m.Dropped) != 0 {
+					t.Fatalf("round %d dropped %v despite rejoin", m.Round, m.Dropped)
+				}
+				if len(m.Sampled) != 3 {
+					t.Fatalf("round %d sampled %v, want all 3 parties", m.Round, m.Sampled)
+				}
+			}
+			if len(got.FinalState) != len(ref.FinalState) {
+				t.Fatalf("state lengths differ: %d vs %d", len(got.FinalState), len(ref.FinalState))
+			}
+			for i := range ref.FinalState {
+				if got.FinalState[i] != ref.FinalState[i] {
+					t.Fatalf("final state diverged at [%d]: %v vs %v", i, got.FinalState[i], ref.FinalState[i])
+				}
+			}
+			if got.FinalAccuracy != ref.FinalAccuracy {
+				t.Fatalf("accuracy diverged: %v vs %v", got.FinalAccuracy, ref.FinalAccuracy)
+			}
+		})
+	}
+}
+
+// TestEmptyFaultPlanBitwise pins the fault machinery's zero cost: dialing
+// through an explicitly empty FaultPlan (and the rejoin-capable dial
+// path) must produce bitwise the run a plain ServeParty produces.
+func TestEmptyFaultPlanBitwise(t *testing.T) {
+	cfg, locals, test := smallFederation(t)
+	cfg.ChunkSize = 256
+	spec, _ := data.Model("adult")
+	ref := runChunkedTCP(t, cfg, locals, test)
+
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr()
+	resCh := make(chan *fl.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := ln.AcceptAndRun(len(locals), cfg, spec, test)
+		resCh <- res
+		errCh <- err
+	}()
+	var wg sync.WaitGroup
+	for i, ds := range locals {
+		wg.Add(1)
+		go func(i int, ds *data.Dataset) {
+			defer wg.Done()
+			err := DialPartyOpts(addr, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13, PartyOptions{
+				Rejoin: true, Faults: &FaultPlan{},
+			})
+			if err != nil {
+				t.Errorf("party %d: %v", i, err)
+			}
+		}(i, ds)
+	}
+	res, err := <-resCh, <-errCh
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.FinalState {
+		if res.FinalState[i] != ref.FinalState[i] {
+			t.Fatalf("empty fault plan diverged at [%d]", i)
+		}
+	}
+}
+
+// TestChaosSoakDropRejoin is the -race soak: a 48-party federation (12 in
+// -short) over loopback TCP where every party dials through a fault plan
+// that kills connections mid-round, every party rejoins with fast
+// backoff, and the quorum machinery keeps rounds running. The federation
+// must complete its full schedule — never abort — no matter how the
+// drops land, and the chaos must actually have happened (evictions > 0).
+func TestChaosSoakDropRejoin(t *testing.T) {
+	parties, rounds := 48, 3
+	if testing.Short() {
+		parties = 12
+	}
+	train, test, err := data.Load("adult", data.Config{TrainN: parties * 12, TestN: 100, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, parties, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{
+		Algorithm: fl.Scaffold, Rounds: rounds, LocalEpochs: 1, BatchSize: 16,
+		LR: 0.05, Seed: 7, ChunkSize: 512,
+		MinParties: parties / 2, QuorumRetries: 400, QuorumRetryWait: 10 * time.Millisecond,
+	}
+	spec, _ := data.Model("adult")
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ln.RoundTimeout = 20 * time.Second
+	ln.RejoinGrace = 300 * time.Millisecond
+	var evictions int32
+	ln.OnEvict = func(*EvictionError) { atomic.AddInt32(&evictions, 1) }
+	addr := ln.Addr()
+	plan := FaultPlan{Seed: 99, DropProb: 0.01, Grace: 1}
+	resCh := make(chan *fl.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := ln.AcceptAndRun(parties, cfg, spec, test)
+		resCh <- res
+		errCh <- err
+	}()
+	var wg sync.WaitGroup
+	for i, ds := range locals {
+		wg.Add(1)
+		go func(i int, ds *data.Dataset) {
+			defer wg.Done()
+			// Party errors are part of the chaos (final redials against a
+			// finished server fail); the server-side result is the oracle.
+			_ = DialPartyOpts(addr, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13, PartyOptions{
+				Rejoin:           true,
+				RejoinBackoff:    5 * time.Millisecond,
+				RejoinBackoffMax: 50 * time.Millisecond,
+				RejoinAttempts:   40,
+				Faults:           &plan,
+			})
+		}(i, ds)
+	}
+	res, err := <-resCh, <-errCh
+	_ = ln.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("soak aborted (evictions %d): %v", atomic.LoadInt32(&evictions), err)
+	}
+	if len(res.Curve) != rounds {
+		t.Fatalf("completed %d/%d rounds", len(res.Curve), rounds)
+	}
+	if atomic.LoadInt32(&evictions) == 0 {
+		t.Fatal("soak injected no faults — chaos did not happen")
+	}
+}
+
+// TestEvictionLeavesNoGoroutines runs a chaotic federation with drops and
+// rejoins, then verifies every receiver, sender, handler and party
+// goroutine has terminated — an evicted party's receiver must die with
+// its conn, not linger blocked on a read.
+func TestEvictionLeavesNoGoroutines(t *testing.T) {
+	settle := func(target int) int {
+		var n int
+		for i := 0; i < 100; i++ {
+			n = runtime.NumGoroutine()
+			if n <= target {
+				return n
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return n
+	}
+	before := settle(0) // current count once the rest of the suite quiesces
+	train, test, err := data.Load("adult", data.Config{TrainN: 120, TestN: 60, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, 6, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{
+		Algorithm: fl.FedAvg, Rounds: 3, LocalEpochs: 1, BatchSize: 16,
+		LR: 0.05, Seed: 9, ChunkSize: 256,
+		MinParties: 3, QuorumRetries: 100, QuorumRetryWait: 10 * time.Millisecond,
+	}
+	spec, _ := data.Model("adult")
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.RoundTimeout = 10 * time.Second
+	ln.RejoinGrace = 200 * time.Millisecond
+	addr := ln.Addr()
+	plan := FaultPlan{Seed: 5, DropProb: 0.05, Grace: 1}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ln.AcceptAndRun(len(locals), cfg, spec, test)
+		errCh <- err
+	}()
+	var wg sync.WaitGroup
+	for i, ds := range locals {
+		wg.Add(1)
+		go func(i int, ds *data.Dataset) {
+			defer wg.Done()
+			_ = DialPartyOpts(addr, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13, PartyOptions{
+				Rejoin:           true,
+				RejoinBackoff:    5 * time.Millisecond,
+				RejoinBackoffMax: 50 * time.Millisecond,
+				RejoinAttempts:   20,
+				Faults:           &plan,
+			})
+		}(i, ds)
+	}
+	serveErr := <-errCh
+	_ = ln.Close()
+	wg.Wait()
+	var qe *fl.QuorumError
+	if serveErr != nil && !errors.As(serveErr, &qe) {
+		t.Fatal(serveErr)
+	}
+	// Everything launched for the run must be gone; allow a little slack
+	// for runtime housekeeping goroutines.
+	if after := settle(before + 2); after > before+2 {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+	}
+}

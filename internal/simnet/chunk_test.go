@@ -308,17 +308,7 @@ func TestMalformedChunkStreamDropsParty(t *testing.T) {
 	if len(res.Curve) != cfg.Rounds {
 		t.Fatalf("rounds: %d", len(res.Curve))
 	}
-	for _, m := range res.Curve {
-		found := false
-		for _, id := range m.Dropped {
-			if id == rogue {
-				found = true
-			}
-		}
-		if !found {
-			t.Fatalf("round %d did not drop the rogue party (dropped=%v)", m.Round, m.Dropped)
-		}
-	}
+	assertEvictedAt(t, res.Curve, rogue, 0)
 	for i, v := range res.FinalState {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			t.Fatalf("state[%d] = %v after dropped rounds", i, v)
@@ -326,6 +316,28 @@ func TestMalformedChunkStreamDropsParty(t *testing.T) {
 	}
 	if res.FinalAccuracy < 0.55 {
 		t.Fatalf("survivor-only federation should still learn: accuracy %v", res.FinalAccuracy)
+	}
+}
+
+// assertEvictedAt asserts the membership contract around a mid-round
+// violation: the offender is dropped in the round that caught it, and —
+// sampling being liveness-aware — excluded from every later round's
+// sample instead of being re-dropped round after round.
+func assertEvictedAt(t *testing.T, curve []fl.RoundMetrics, id, evictRound int) {
+	t.Helper()
+	found := false
+	for _, d := range curve[evictRound].Dropped {
+		found = found || d == id
+	}
+	if !found {
+		t.Fatalf("round %d did not drop party %d (dropped=%v)", evictRound, id, curve[evictRound].Dropped)
+	}
+	for _, m := range curve[evictRound+1:] {
+		for _, s := range m.Sampled {
+			if s == id {
+				t.Fatalf("round %d sampled party %d after its eviction", m.Round, id)
+			}
+		}
 	}
 }
 
@@ -509,15 +521,7 @@ func TestOversizedChunkFrameDropsParty(t *testing.T) {
 	if err != nil {
 		t.Fatalf("federation should survive an oversized frame: %v", err)
 	}
-	for _, m := range res.Curve {
-		found := false
-		for _, id := range m.Dropped {
-			found = found || id == rogue
-		}
-		if !found {
-			t.Fatalf("round %d did not drop the oversized-frame party (dropped=%v)", m.Round, m.Dropped)
-		}
-	}
+	assertEvictedAt(t, res.Curve, rogue, 0)
 }
 
 // TestRoundTimeoutEvictsSilentParty admits a party that hellos correctly
@@ -585,15 +589,7 @@ func TestRoundTimeoutEvictsSilentParty(t *testing.T) {
 	if sr.err != nil {
 		t.Fatalf("federation should survive a mute party: %v", sr.err)
 	}
-	for _, m := range sr.res.Curve {
-		found := false
-		for _, id := range m.Dropped {
-			found = found || id == 3
-		}
-		if !found {
-			t.Fatalf("round %d did not drop the mute party (dropped=%v)", m.Round, m.Dropped)
-		}
-	}
+	assertEvictedAt(t, sr.res.Curve, 3, 0)
 	if sr.res.FinalAccuracy < 0.55 {
 		t.Fatalf("accuracy %v", sr.res.FinalAccuracy)
 	}
@@ -682,17 +678,7 @@ func TestDeadPartyEvictedNotFatal(t *testing.T) {
 			t.Fatal("round 0 should not drop the still-alive party")
 		}
 	}
-	for _, m := range res.Curve[1:] {
-		found := false
-		for _, id := range m.Dropped {
-			if id == mortal {
-				found = true
-			}
-		}
-		if !found {
-			t.Fatalf("round %d did not drop the dead party (dropped=%v)", m.Round, m.Dropped)
-		}
-	}
+	assertEvictedAt(t, res.Curve, mortal, 1)
 }
 
 // TestSilentHelloTimesOut connects a client that never sends its hello:

@@ -22,6 +22,7 @@ const (
 	msgUpdateChunk byte = 5
 	msgGlobalChunk byte = 6
 	msgGlobalRef   byte = 7
+	msgResync      byte = 8
 )
 
 // The hello opens with a fixed magic byte and a protocol version, so a
@@ -35,8 +36,9 @@ const (
 	protoMagic byte = 0xF7
 	// ProtoVersion is the wire protocol generation this build speaks.
 	// Version 1 covers the versioned hello itself plus the chunked
-	// downlink frames (GlobalChunkMsg/GlobalRefMsg).
-	ProtoVersion byte = 1
+	// downlink frames (GlobalChunkMsg/GlobalRefMsg); version 2 adds the
+	// hello's rejoin flag and the ResyncMsg rejoin handshake.
+	ProtoVersion byte = 2
 )
 
 // VersionError reports a hello whose protocol version does not match this
@@ -85,6 +87,29 @@ type HelloMsg struct {
 	Token     string
 	LabelDist []float64
 	Version   byte
+	// Rejoin marks a re-hello from a party that was admitted earlier and
+	// lost its connection: the server re-admits it under its old ID (unless
+	// it was evicted for a protocol violation) and replies with a ResyncMsg
+	// before the next round broadcast.
+	Rejoin bool
+}
+
+// ResyncMsg is the server-to-party reply to a rejoin hello: everything a
+// reconnecting party needs to continue as if it never left. Round is the
+// last completed round; ExpectTau is the per-round local step count the
+// server will validate the party's updates against (FedNova bookkeeping);
+// Control is the party's own SCAFFOLD control variate c_i as tracked by
+// the server from the party's past control-delta uploads (nil for other
+// algorithms), so even a party that lost its local state — a restarted
+// process — resumes with the exact c_i it had. MOON's previous-round
+// local model is deliberately NOT replayed: the server never stores
+// per-party model states (that would be O(parties x state) memory), so a
+// rejoined party that lost it cold-starts from the next global model,
+// which is MOON's documented first-round behavior.
+type ResyncMsg struct {
+	Round     int
+	ExpectTau int
+	Control   []float64
 }
 
 // UpdateMsg is the party-to-server payload at the end of local training.
@@ -258,11 +283,21 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 		if v == 0 {
 			v = ProtoVersion
 		}
-		b := append(dst, msgHello, protoMagic, v)
+		rejoin := byte(0)
+		if m.Rejoin {
+			rejoin = 1
+		}
+		b := append(dst, msgHello, protoMagic, v, rejoin)
 		b = appendUint32(b, uint32(m.ID))
 		b = appendUint32(b, uint32(m.N))
 		b = appendString(b, m.Token)
 		b = appendFloats(b, m.LabelDist)
+		return b, nil
+	case ResyncMsg:
+		b := append(dst, msgResync)
+		b = appendUint32(b, uint32(m.Round))
+		b = appendUint32(b, uint32(m.ExpectTau))
+		b = appendFloats(b, m.Control)
 		return b, nil
 	case UpdateMsg:
 		b := append(dst, msgUpdate)
@@ -362,6 +397,11 @@ func Unmarshal(b []byte) (any, error) {
 		}
 		m.Version = b[1]
 		b = b[2:]
+		if len(b) < 1 {
+			return nil, fmt.Errorf("simnet: truncated hello rejoin flag")
+		}
+		m.Rejoin = b[0] != 0
+		b = b[1:]
 		id, b, err := readUint32(b)
 		if err != nil {
 			return nil, err
@@ -430,6 +470,22 @@ func Unmarshal(b []byte) (any, error) {
 			}
 			*f = int(v)
 			b = rest
+		}
+		return m, nil
+	case msgResync:
+		var m ResyncMsg
+		r, b, err := readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		m.Round = int(r)
+		tau, b, err := readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		m.ExpectTau = int(tau)
+		if m.Control, _, err = readFloats(b); err != nil {
+			return nil, err
 		}
 		return m, nil
 	case msgShutdown:

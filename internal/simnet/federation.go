@@ -56,25 +56,96 @@ type Federation struct {
 	// arbitrarily long. Only effective on conns with deadline support
 	// (TCP); in-memory pipes are trusted in-process peers.
 	RoundTimeout time.Duration
+	// RejoinGrace, when positive, is the broadcast heal window: a chunked
+	// round whose broadcast fails toward some party waits up to this long
+	// for that party's rejoin before proceeding without it. A death
+	// discovered at the broadcast — before the party trained or any update
+	// was folded — is the one failure that can be repaired mid-round
+	// without touching the math: the rejoined conn just gets the same
+	// broadcast again. Healing here is what makes a between-rounds conn
+	// loss bitwise-invisible to the aggregation; zero (the default) skips
+	// the wait and lets the round drop the party as usual.
+	RejoinGrace time.Duration
 	// local marks in-process parties (RunLocal): the server then sends
 	// per-round kernel compute budgets so K concurrently-training parties
 	// split the machine instead of oversubscribing it. Over TCP parties
 	// are other processes and the budget stays 0 (uncapped).
 	local bool
 
+	// OnEvict, when set, is called with every party departure — suspect
+	// (transport loss, may rejoin) or evicted (protocol violation,
+	// permanent) — from the round loop goroutine.
+	OnEvict func(*EvictionError)
+
 	// Populated by the hello handshake.
 	byParty []*CountingConn // conn per party ID
 	metas   []fl.UpdateMeta // aggregation metadata per party ID
 	dists   [][]float64     // label distribution per party ID
-	// dead marks parties evicted after a dropped update (malformed
-	// stream, mid-stream transport failure, or a failed broadcast in
-	// chunked mode). An evicted party's conn is closed — terminating its
-	// receiver goroutine — and later rounds drop it upfront instead of
-	// broadcasting to it, so one crashed party degrades round capacity
-	// rather than aborting the federation.
-	dead []bool
+	// state tracks each party through the membership machine: alive →
+	// suspect (transport loss: conn closed, receiver terminated, later
+	// rounds skip it — but a rejoin hello under the old ID restores it) or
+	// alive → evicted (protocol violation: same removal, but rejoin is
+	// refused — a peer that framed garbage once is not re-trusted). One
+	// crashed party degrades round capacity rather than aborting the
+	// federation. Written from the round loop; read concurrently by the
+	// rejoin admission path under memMu.
+	state []partyState
+	// memMu guards the membership seam crossed by the accept loop's
+	// handler goroutines: state transitions, the rejoin queue, and the
+	// conns table growth when a rejoin is installed.
+	memMu   sync.Mutex
+	rejoins []rejoinReq
+	// resyncC tracks each party's SCAFFOLD control variate c_i as the
+	// running sum of its accepted control-delta uploads (c_i starts at
+	// zero; each round's DeltaC = c_new − c_old). Nil per party until its
+	// first control upload, nil forever for non-SCAFFOLD runs. It exists
+	// solely to answer rejoins: a reconnecting party — even a restarted
+	// process that lost everything — gets its exact c_i back in the
+	// ResyncMsg. Updated transactionally: a round's staged deltas are
+	// applied only after the stream's FinishUpdate succeeds, so corrupted
+	// or dropped streams never diverge the tracked value.
+	resyncC   [][]float64
+	ctrlStage []float64 // staging for the in-flight stream's control suffix
+	ctrlLen   int       // this round's control-vector length (0 outside SCAFFOLD)
 
-	prevBytes int64 // byte watermark for per-round accounting
+	roundsDone int   // completed rounds, for the ResyncMsg round stamp
+	prevBytes  int64 // byte watermark for per-round accounting
+}
+
+// partyState is one party's position in the membership machine.
+type partyState uint8
+
+const (
+	partyAlive   partyState = iota
+	partySuspect            // transport loss; a rejoin hello restores it
+	partyEvicted            // protocol violation; rejoin refused
+)
+
+// EvictionError reports a party's removal from the federation and why.
+// Permanent distinguishes protocol violations (evicted — the party may
+// not rejoin) from transport loss (suspect — a rejoin hello under the
+// old ID will be honored). Unwrap exposes the cause, so errors.As/Is see
+// through it.
+type EvictionError struct {
+	Party     int
+	Permanent bool
+	Cause     error
+}
+
+func (e *EvictionError) Error() string {
+	kind := "suspect (transport loss, may rejoin)"
+	if e.Permanent {
+		kind = "evicted (protocol violation)"
+	}
+	return fmt.Sprintf("simnet: party %d %s: %v", e.Party, kind, e.Cause)
+}
+
+func (e *EvictionError) Unwrap() error { return e.Cause }
+
+// rejoinReq is a validated rejoin hello parked until the round boundary.
+type rejoinReq struct {
+	conn *CountingConn
+	h    HelloMsg
 }
 
 // ServeParty runs one party's message loop on conn until shutdown. It is
@@ -84,33 +155,109 @@ type Federation struct {
 // it, weight its updates and sample stratified without ever seeing the raw
 // data. Round replies follow the framing the server asked for in its
 // GlobalMsg: one whole UpdateMsg, or a stream of UpdateChunkMsg frames.
+// For rejoin-capable parties over TCP, see DialPartyOpts, which keeps the
+// session's model and buffers across reconnects.
 func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64, token string) error {
-	cfg, err := cfg.Normalize()
+	s, err := newPartySession(id, local, spec, cfg, seed)
 	if err != nil {
 		return err
 	}
-	client := fl.NewClient(id, local, cfg.ResolveSpec(spec), rng.New(seed))
-	hello, err := Marshal(HelloMsg{ID: id, N: local.Len(), Token: token, LabelDist: local.LabelDistribution()})
+	return s.run(conn, token, false, 0)
+}
+
+// partySession is one party's durable half of the protocol: the client
+// (model, optimizer state, SCAFFOLD control, MOON history) and the reused
+// wire buffers. It outlives any single connection, so a party that loses
+// its conn and rejoins resumes with everything it had — the in-process
+// mirror of what ResyncMsg restores for a party that lost the process.
+type partySession struct {
+	id     int
+	cfg    fl.Config
+	client *fl.Client
+	frame  []byte    // reused chunk-frame encode buffer
+	dlBuf  []float64 // chunked-downlink assembly buffer, reused across rounds
+	hello  HelloMsg  // identity fields; Rejoin varies per attempt
+	// progressed flips once a session receives its first round broadcast —
+	// proof the server admitted this party, which is what makes a later
+	// redial a rejoin rather than a first contact.
+	progressed bool
+}
+
+func newPartySession(id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64) (*partySession, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &partySession{
+		id:     id,
+		cfg:    cfg,
+		client: fl.NewClient(id, local, cfg.ResolveSpec(spec), rng.New(seed)),
+		hello:  HelloMsg{ID: id, N: local.Len(), LabelDist: local.LabelDistribution()},
+	}, nil
+}
+
+// run serves one connection's lifetime: hello (optionally a rejoin), then
+// the round loop until shutdown or conn loss. helloTimeout, when positive,
+// bounds how long the server may take to produce its first frame after
+// the hello — the party-side mirror of ServerListener.HelloTimeout, so a
+// party dialing a hung server fails (and can redial) instead of blocking
+// forever. Effective only on conns with deadline support.
+func (s *partySession) run(conn Conn, token string, rejoin bool, helloTimeout time.Duration) error {
+	h := s.hello
+	h.Token, h.Rejoin = token, rejoin
+	hello, err := Marshal(h)
 	if err != nil {
 		return err
 	}
 	if err := conn.Send(hello); err != nil {
-		return fmt.Errorf("simnet: party %d hello: %w", id, err)
+		return fmt.Errorf("simnet: party %d hello: %w", s.id, err)
 	}
 	// Bound every server frame before it is read: the largest legitimate
 	// downlink is one monolithic GlobalMsg for this party's model; chunk
-	// frames and shutdowns are strictly smaller. The party side of the
-	// memory contract — a hostile (or buggy) server cannot make a party
-	// allocate an arbitrary frame.
+	// frames, resyncs and shutdowns are strictly smaller. The party side
+	// of the memory contract — a hostile (or buggy) server cannot make a
+	// party allocate an arbitrary frame.
 	if rl, ok := conn.(recvLimiter); ok {
-		rl.SetRecvLimit(downlinkLimit(client.StateCount(), client.ParamCount()))
+		rl.SetRecvLimit(downlinkLimit(s.client.StateCount(), s.client.ParamCount()))
 	}
-	var frame []byte    // reused chunk-frame encode buffer
-	var dlBuf []float64 // chunked-downlink assembly buffer, reused across rounds
+	dl, hasDeadline := conn.(readDeadliner)
+	if helloTimeout > 0 && hasDeadline {
+		_ = dl.SetReadDeadline(time.Now().Add(helloTimeout))
+	}
+	if rejoin {
+		// The server's first frame on a rejoined conn is the ResyncMsg
+		// restoring whatever per-party state the server tracks (the
+		// SCAFFOLD control variate; see the ResyncMsg contract). It must
+		// come before any round traffic.
+		raw, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("simnet: party %d resync recv: %w", s.id, err)
+		}
+		msg, err := Unmarshal(raw)
+		if err != nil {
+			return fmt.Errorf("simnet: party %d resync decode: %w", s.id, err)
+		}
+		m, ok := msg.(ResyncMsg)
+		if !ok {
+			return fmt.Errorf("simnet: party %d expected resync, got %T", s.id, msg)
+		}
+		s.client.SetScaffoldControl(m.Control)
+		s.progressed = true // the server honored the rejoin
+	}
+	helloPending := true
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
-			return fmt.Errorf("simnet: party %d recv: %w", id, err)
+			return fmt.Errorf("simnet: party %d recv: %w", s.id, err)
+		}
+		if helloPending {
+			helloPending = false
+			s.progressed = true
+			if helloTimeout > 0 && hasDeadline {
+				// The server answered; round gaps are its RoundTimeout's
+				// business, not the hello deadline's.
+				_ = dl.SetReadDeadline(time.Time{})
+			}
 		}
 		var g GlobalMsg
 		if len(raw) > 0 && raw[0] == msgGlobalChunk {
@@ -119,17 +266,17 @@ func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg f
 			// persistent assembly buffer — once the buffer has grown to
 			// the model's stream length, a whole round's broadcast costs
 			// zero allocations, first frame included.
-			first, err := UnmarshalGlobalChunkInto(raw, dlBuf[:0])
+			first, err := UnmarshalGlobalChunkInto(raw, s.dlBuf[:0])
 			if err != nil {
-				return fmt.Errorf("simnet: party %d decode: %w", id, err)
+				return fmt.Errorf("simnet: party %d decode: %w", s.id, err)
 			}
-			if g, err = recvGlobalChunked(conn, first, &dlBuf, client.StateCount()+client.ParamCount()); err != nil {
-				return fmt.Errorf("simnet: party %d: %w", id, err)
+			if g, err = recvGlobalChunked(conn, first, &s.dlBuf, s.client.StateCount()+s.client.ParamCount()); err != nil {
+				return fmt.Errorf("simnet: party %d: %w", s.id, err)
 			}
 		} else {
 			msg, err := Unmarshal(raw)
 			if err != nil {
-				return fmt.Errorf("simnet: party %d decode: %w", id, err)
+				return fmt.Errorf("simnet: party %d decode: %w", s.id, err)
 			}
 			switch m := msg.(type) {
 			case ShutdownMsg:
@@ -138,20 +285,20 @@ func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg f
 				g = m
 			case GlobalRefMsg:
 				if g, err = takeGlobalRef(conn, m); err != nil {
-					return fmt.Errorf("simnet: party %d: %w", id, err)
+					return fmt.Errorf("simnet: party %d: %w", s.id, err)
 				}
 			default:
-				return fmt.Errorf("simnet: party %d unexpected message %T", id, msg)
+				return fmt.Errorf("simnet: party %d unexpected message %T", s.id, msg)
 			}
 		}
-		client.SetComputeBudget(tensor.Compute{Workers: g.Budget})
+		s.client.SetComputeBudget(tensor.Compute{Workers: g.Budget})
 		if g.Chunk > 0 {
-			if err := partyTrainChunked(conn, client, g, cfg, &frame); err != nil {
-				return fmt.Errorf("simnet: party %d: %w", id, err)
+			if err := partyTrainChunked(conn, s.client, g, s.cfg, &s.frame); err != nil {
+				return fmt.Errorf("simnet: party %d: %w", s.id, err)
 			}
 			continue
 		}
-		up := client.LocalTrain(g.State, g.Control, cfg)
+		up := s.client.LocalTrain(g.State, g.Control, s.cfg)
 		reply, err := Marshal(UpdateMsg{
 			Round: g.Round, N: up.N, Tau: up.Tau,
 			TrainLoss: up.TrainLoss, Delta: up.Delta, DeltaC: up.DeltaC,
@@ -160,7 +307,7 @@ func ServeParty(conn Conn, id int, local *data.Dataset, spec nn.ModelSpec, cfg f
 			return err
 		}
 		if err := conn.Send(reply); err != nil {
-			return fmt.Errorf("simnet: party %d send: %w", id, err)
+			return fmt.Errorf("simnet: party %d send: %w", s.id, err)
 		}
 	}
 }
@@ -351,6 +498,15 @@ type ServerListener struct {
 	// reply frame within a round; see Federation.RoundTimeout. Zero (the
 	// default) waits forever.
 	RoundTimeout time.Duration
+	// RejoinGrace, when positive, lets a round's broadcast wait this long
+	// for a just-departed party's rejoin before proceeding without it; see
+	// Federation.RejoinGrace. Zero (the default) never waits.
+	RejoinGrace time.Duration
+	// OnEvict, when set, is called with every party departure — suspect
+	// (transport loss; a rejoin hello restores it) or evicted (protocol
+	// violation; permanent) — from the round loop, before the next round
+	// samples. See Federation.OnEvict.
+	OnEvict func(*EvictionError)
 }
 
 // Listen binds a TCP address for the federation server. Use "127.0.0.1:0"
@@ -388,7 +544,8 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 	if err != nil {
 		return nil, err
 	}
-	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, Token: s.Token, RoundTimeout: s.RoundTimeout}
+	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, Token: s.Token,
+		RoundTimeout: s.RoundTimeout, RejoinGrace: s.RejoinGrace, OnEvict: s.OnEvict}
 	fed.initParties(numParties)
 	helloTimeout := s.HelloTimeout
 	if helloTimeout <= 0 {
@@ -412,13 +569,20 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 		// deadline starts only once its conn is accepted.
 		sem = make(chan struct{}, maxConcurrentHellos)
 		// pending tracks conns whose hello is still being read, so the
-		// moment admission completes the remaining readers can be cut
-		// loose (deadline-now) and joined — OnReject never fires after
+		// moment the run completes the remaining readers can be cut loose
+		// (deadline-now) and joined — OnReject never fires after
 		// AcceptAndRun returns, and no hello goroutine outlives the call.
 		handlers sync.WaitGroup
 		pendMu   sync.Mutex
 		pending  = make(map[net.Conn]struct{})
-		finished bool
+		// closed flips when AcceptAndRun is about to return: conns
+		// accepted after that are closed without a callback. Unlike the
+		// old admission-only accept loop, filling the federation does NOT
+		// stop acceptance — the listener keeps reading hellos for the
+		// whole run, because a suspect party's rejoin arrives as a fresh
+		// connection (Rejoin=true hello, queued for the next round
+		// boundary). Ordinary late hellos are still rejected.
+		closed bool
 	)
 	go func() {
 		for {
@@ -432,10 +596,10 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 				return
 			}
 			pendMu.Lock()
-			if finished {
-				// The federation is already running: close stray conns
-				// without a callback (OnReject's contract is that it never
-				// fires after AcceptAndRun returns).
+			if closed {
+				// The run is over: close stray conns without a callback
+				// (OnReject's contract is that it never fires after
+				// AcceptAndRun returns).
 				pendMu.Unlock()
 				_ = c.Close()
 				<-sem
@@ -456,12 +620,19 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 				// its own timeout without queueing anyone behind it.
 				h, err := readHello(cc)
 				// No longer reading: leave pending before registration, so
-				// the post-admission sweep can never touch an admitted
-				// party's deadline.
+				// the end-of-run sweep can never touch an admitted party's
+				// deadline.
 				pendMu.Lock()
 				delete(pending, c)
 				pendMu.Unlock()
-				if err == nil {
+				switch {
+				case err == nil && h.Rejoin:
+					// A rejoin is parked for the round loop; its hello
+					// deadline is cleared the same way an admission's is —
+					// SyncMembership owns the conn from here.
+					_ = c.SetReadDeadline(time.Time{})
+					err = fed.queueRejoin(cc, h, numParties)
+				case err == nil:
 					// Clear the hello deadline BEFORE registering: the
 					// instant the last party registers, the round engine
 					// may start using this conn — including setting
@@ -489,11 +660,11 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 	}()
 	// stopAdmission expires every still-reading hello and joins the
 	// handler goroutines: all rejections (including "still silent when the
-	// federation filled") are delivered before this returns, in
+	// run ended") are delivered before AcceptAndRun returns, in
 	// microseconds — nothing waits out a timeout.
 	stopAdmission := func() {
 		pendMu.Lock()
-		finished = true
+		closed = true
 		for c := range pending {
 			_ = c.SetReadDeadline(time.Now())
 		}
@@ -505,8 +676,8 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 		// Registrations happened-before the close of done, so reading the
 		// tables from here on is race-free; late hellos are rejected as
 		// "federation already has N parties" under the same lock and never
-		// touch the tables again.
-		stopAdmission()
+		// touch the tables again. Acceptance continues — rejoin hellos
+		// land in the queue until the run finishes.
 	case err := <-acceptErr:
 		stopAdmission()
 		return nil, err
@@ -514,19 +685,117 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 	for _, c := range fed.byParty {
 		fed.conns = append(fed.conns, c)
 	}
-	return fed.serve(numParties)
+	res, err := fed.serve(numParties)
+	stopAdmission()
+	return res, err
 }
 
 // DialParty connects a party to a TCP federation server and serves until
 // shutdown. token must match the server's configured secret (empty when
 // the server runs open).
 func DialParty(addr string, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64, token string) error {
-	c, err := net.Dial("tcp", addr)
+	return DialPartyOpts(addr, id, local, spec, cfg, seed, PartyOptions{Token: token})
+}
+
+// PartyOptions configures a dialing party beyond the positional basics.
+// The zero value reproduces DialParty: no token, no hello timeout, no
+// rejoin, no faults.
+type PartyOptions struct {
+	// Token is the shared secret presented in the hello (empty when the
+	// server runs open).
+	Token string
+	// HelloTimeout bounds how long the server may take to produce its
+	// first frame after this party's hello — the party-side mirror of
+	// ServerListener.HelloTimeout. Zero waits forever.
+	HelloTimeout time.Duration
+	// Rejoin makes the party survive transport loss: instead of returning
+	// the error, it redials with capped jittered exponential backoff and
+	// re-hellos under its old ID with the Rejoin flag, resuming with its
+	// local model and optimizer state intact (plus whatever the server's
+	// ResyncMsg restores). Only transport-level failures are retried; a
+	// clean shutdown still ends the party.
+	Rejoin bool
+	// RejoinBackoff is the first redial delay (default 50ms); each failed
+	// attempt doubles it up to RejoinBackoffMax (default 2s), with a
+	// uniform jitter of up to half the current delay drawn from the
+	// party's seed so flap storms decorrelate deterministically.
+	RejoinBackoff, RejoinBackoffMax time.Duration
+	// RejoinAttempts caps consecutive failed reconnects (default 10); any
+	// session that makes progress resets the count. Negative means
+	// unlimited.
+	RejoinAttempts int
+	// Faults, when non-nil and non-empty, wraps every connection with the
+	// party's deterministic fault stream derived from the plan — the
+	// chaos-injection hook. Faults and Rejoin compose: an injected conn
+	// kill exercises the same redial path a real network fault would.
+	Faults *FaultPlan
+}
+
+// DialPartyOpts connects a party to a TCP federation server and serves
+// until shutdown, with the session — model, optimizer state, SCAFFOLD
+// control, reused buffers — surviving reconnects when opts.Rejoin is set.
+func DialPartyOpts(addr string, id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64, opts PartyOptions) error {
+	s, err := newPartySession(id, local, spec, cfg, seed)
 	if err != nil {
 		return err
 	}
-	defer c.Close()
-	return ServeParty(NewTCPConn(c), id, local, spec, cfg, seed, token)
+	var faults *PartyFaults
+	if opts.Faults != nil && !opts.Faults.Empty() {
+		faults = opts.Faults.ForParty(id)
+	}
+	backoff := opts.RejoinBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := opts.RejoinBackoffMax
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	attempts := opts.RejoinAttempts
+	if attempts == 0 {
+		attempts = 10
+	}
+	// The backoff jitter gets its own stream so it never perturbs the
+	// client's training RNG — rejoin timing must not change the math.
+	jr := rng.New(seed + 0x9E3779B97F4A7C15)
+	delay := backoff
+	failed := 0
+	rejoining := false
+	for {
+		var sessErr error
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			sessErr = err
+		} else {
+			conn := Conn(NewTCPConn(c))
+			if faults != nil {
+				conn = faults.Wrap(conn)
+			}
+			s.progressed = false
+			sessErr = s.run(conn, opts.Token, rejoining, opts.HelloTimeout)
+			_ = c.Close()
+			if sessErr == nil {
+				return nil // clean shutdown
+			}
+			if s.progressed {
+				// The server admitted (or resynced) us this session:
+				// future hellos are rejoins, and the failure streak
+				// resets — flapping forever is fine as long as rounds
+				// keep landing.
+				rejoining, failed, delay = true, 0, backoff
+			}
+		}
+		if !opts.Rejoin {
+			return sessErr
+		}
+		if failed++; attempts > 0 && failed > attempts {
+			return fmt.Errorf("simnet: party %d gave up after %d failed reconnects: %w", id, failed-1, sessErr)
+		}
+		time.Sleep(delay + time.Duration(jr.Float64()*float64(delay/2)))
+		if delay *= 2; delay > maxBackoff {
+			delay = maxBackoff
+		}
+	}
 }
 
 // initParties sizes the per-party handshake tables.
@@ -534,15 +803,132 @@ func (f *Federation) initParties(numParties int) {
 	f.byParty = make([]*CountingConn, numParties)
 	f.metas = make([]fl.UpdateMeta, numParties)
 	f.dists = make([][]float64, numParties)
-	f.dead = make([]bool, numParties)
+	f.state = make([]partyState, numParties)
+	f.resyncC = make([][]float64, numParties)
 }
 
-// evict permanently removes a party from the federation: its conn is
-// closed (ending any receiver goroutine still reading it, and any
-// lingering party-side send) and later rounds drop it without contact.
-func (f *Federation) evict(id int) {
-	f.dead[id] = true
+// down reports whether a party is out of the federation (suspect or
+// evicted) — round-loop reads only; the rejoin path reads state under
+// memMu instead.
+func (f *Federation) down(id int) bool { return f.state[id] != partyAlive }
+
+// evict removes a party from the federation: its conn is closed (ending
+// any receiver goroutine still reading it, and any lingering party-side
+// send) and later rounds drop it without contact. permanent=true marks a
+// protocol violation — the party lands in partyEvicted and a rejoin is
+// refused; permanent=false marks transport loss — partySuspect, restored
+// by a rejoin hello. Called only from the round loop goroutine.
+func (f *Federation) evict(id int, permanent bool, cause error) {
+	f.memMu.Lock()
+	if f.state[id] == partyAlive || (permanent && f.state[id] == partySuspect) {
+		if permanent {
+			f.state[id] = partyEvicted
+		} else {
+			f.state[id] = partySuspect
+		}
+	}
+	f.memMu.Unlock()
 	_ = f.byParty[id].Close()
+	if f.OnEvict != nil {
+		f.OnEvict(&EvictionError{Party: id, Permanent: permanent, Cause: cause})
+	}
+}
+
+// queueRejoin validates a rejoin hello against the membership machine and
+// parks the new connection until the next round boundary, where
+// SyncMembership installs it. Called from admission handler goroutines;
+// the federation may be mid-round, which is exactly why nothing is
+// installed here. A queued rejoin for the same party is superseded (the
+// party redialed again — perhaps its ResyncMsg wait timed out), and a
+// rejoin while the party still looks alive is accepted too: the party
+// knows its conn died before the server's next send would notice, and the
+// swap at the round boundary closes the stale conn.
+func (f *Federation) queueRejoin(c *CountingConn, h HelloMsg, numParties int) error {
+	if h.ID < 0 || h.ID >= numParties {
+		return fmt.Errorf("simnet: rejoin from party ID %d out of range [0,%d)", h.ID, numParties)
+	}
+	if f.Token != "" && subtle.ConstantTimeCompare([]byte(h.Token), []byte(f.Token)) != 1 {
+		return fmt.Errorf("simnet: rejoining party %d presented a bad token", h.ID)
+	}
+	if h.N < 0 {
+		return fmt.Errorf("simnet: rejoining party %d reported negative dataset size %d", h.ID, h.N)
+	}
+	f.memMu.Lock()
+	defer f.memMu.Unlock()
+	if f.byParty[h.ID] == nil {
+		return fmt.Errorf("simnet: party %d has no session to rejoin", h.ID)
+	}
+	if f.state[h.ID] == partyEvicted {
+		return &EvictionError{Party: h.ID, Permanent: true,
+			Cause: fmt.Errorf("simnet: rejoin refused")}
+	}
+	for i, r := range f.rejoins {
+		if r.h.ID == h.ID {
+			_ = r.conn.Close()
+			f.rejoins[i] = rejoinReq{conn: c, h: h}
+			return nil
+		}
+	}
+	f.rejoins = append(f.rejoins, rejoinReq{conn: c, h: h})
+	return nil
+}
+
+// SyncMembership implements fl.Membership: called at the top of every
+// round attempt, from the round loop, it installs the queued rejoins —
+// ResyncMsg first, so the party's next frame is the round broadcast it
+// now has the state to handle — and returns the live mask the sampler
+// draws from. Rejoins land here and in the broadcast heal window (see
+// healBroadcast), never while a round's receivers run, so a round's
+// receiver set is immutable while the round runs.
+func (f *Federation) SyncMembership(round int) []bool {
+	f.installQueuedRejoins()
+	live := make([]bool, len(f.state))
+	for i, st := range f.state {
+		live[i] = st == partyAlive
+	}
+	return live
+}
+
+// installQueuedRejoins drains the rejoin queue into the federation:
+// ResyncMsg handshake on the fresh conn, then the party's tables are
+// swapped to it and it is alive again. Returns the IDs restored. Round
+// loop goroutine only.
+func (f *Federation) installQueuedRejoins() []int {
+	f.memMu.Lock()
+	queued := f.rejoins
+	f.rejoins = nil
+	f.memMu.Unlock()
+	var restored []int
+	for _, r := range queued {
+		id := r.h.ID
+		rm := ResyncMsg{Round: f.roundsDone, ExpectTau: fl.PredictTau(f.Cfg, r.h.N)}
+		f.memMu.Lock()
+		rm.Control = f.resyncC[id]
+		f.memMu.Unlock()
+		enc, err := Marshal(rm)
+		if err == nil {
+			err = r.conn.Send(enc)
+		}
+		if err != nil {
+			// The fresh conn died before the handshake completed; the party
+			// stays suspect and may dial again.
+			_ = r.conn.Close()
+			continue
+		}
+		old := f.byParty[id]
+		f.memMu.Lock()
+		f.byParty[id] = r.conn
+		f.metas[id] = fl.UpdateMeta{N: r.h.N, Tau: fl.PredictTau(f.Cfg, r.h.N)}
+		f.dists[id] = sanitizeDist(r.h.LabelDist)
+		f.state[id] = partyAlive
+		f.conns = append(f.conns, r.conn)
+		f.memMu.Unlock()
+		if old != nil {
+			_ = old.Close()
+		}
+		restored = append(restored, id)
+	}
+	return restored
 }
 
 // admit reads one hello from c and validates it against the federation:
@@ -594,9 +980,14 @@ func (f *Federation) register(c *CountingConn, h HelloMsg, numParties int) error
 	if h.N < 0 {
 		return fmt.Errorf("simnet: party %d reported negative dataset size %d", h.ID, h.N)
 	}
+	// memMu, not the admission lock, is what the rejoin path reads the
+	// tables under — a party flapping during admission must not race its
+	// own registration.
+	f.memMu.Lock()
 	f.byParty[h.ID] = c
 	f.metas[h.ID] = fl.UpdateMeta{N: h.N, Tau: fl.PredictTau(f.Cfg, h.N)}
 	f.dists[h.ID] = sanitizeDist(h.LabelDist)
+	f.memMu.Unlock()
 	return nil
 }
 
@@ -683,9 +1074,17 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 	// frame is read into memory — the memory contract holds even against
 	// admitted-but-malicious parties.
 	limit := recvLimitFor(f.Cfg.ChunkSize, len(global), len(control))
+	f.ctrlLen = len(control)
 	if f.Cfg.ChunkSize > 0 {
-		f.broadcastChunked(gm, sampled, limit)
-		return f.recvChunked(round, sampled, sink)
+		failed := f.broadcastChunked(gm, sampled, limit)
+		if len(failed) > 0 && f.RejoinGrace > 0 {
+			f.healBroadcast(gm, failed, limit)
+		}
+		if err := f.recvChunked(round, sampled, sink); err != nil {
+			return err
+		}
+		f.roundsDone = round + 1
+		return nil
 	}
 	var enc []byte // lazily marshaled; only conns without interning need it
 	for _, id := range sampled {
@@ -722,7 +1121,7 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 	}
 	// Eviction exists only in chunked mode (the monolithic path keeps its
 	// legacy fail-fast semantics), so no dead-party handling is needed
-	// here: f.dead is always false when this branch runs.
+	// here: every party is alive when this branch runs.
 	for j, id := range sampled {
 		go func(j, id int) {
 			u, err := f.recvUpdate(id, round)
@@ -740,7 +1139,12 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 		if err := sink.Deliver(r.u); err != nil {
 			return err
 		}
+		// Accepted monolithic update: advance the party's tracked c_i the
+		// same way the chunked fold does, keeping resync state coherent in
+		// either framing mode.
+		f.applyControlDelta(sampled[j], r.u.DeltaC)
 	}
+	f.roundsDone = round + 1
 	return nil
 }
 
@@ -751,11 +1155,12 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 // tolerate party loss; its receiver will surface the closed conn and the
 // fold drops it). Evictions are applied only after every sender has
 // finished, so the fold's upfront dead-party reads never race a sender.
-func (f *Federation) broadcastChunked(gm GlobalMsg, sampled []int, limit uint32) {
+// The IDs whose broadcast failed are returned for the heal window.
+func (f *Federation) broadcastChunked(gm GlobalMsg, sampled []int, limit uint32) []int {
 	var wg sync.WaitGroup
 	errs := make([]error, len(sampled))
 	for j, id := range sampled {
-		if f.dead[id] {
+		if f.down(id) {
 			continue
 		}
 		c := f.byParty[id]
@@ -767,9 +1172,49 @@ func (f *Federation) broadcastChunked(gm GlobalMsg, sampled []int, limit uint32)
 		}(j, c)
 	}
 	wg.Wait()
+	var failed []int
 	for j, id := range sampled {
-		if errs[j] != nil && !f.dead[id] {
-			f.evict(id)
+		if errs[j] != nil && !f.down(id) {
+			// A failed send is transport loss: the party may rejoin.
+			f.evict(id, false, errs[j])
+			failed = append(failed, id)
+		}
+	}
+	return failed
+}
+
+// healBroadcast is the RejoinGrace window: the round's broadcast failed
+// toward the given parties (now suspect, conns closed), so poll the
+// rejoin queue for up to the grace period, install any rejoins that land
+// and resend the broadcast on the fresh conns. A healed party rejoins
+// the round as if nothing happened — it never saw a complete broadcast,
+// so it trains exactly once, and the fold proceeds with the full sample:
+// the aggregation is bitwise what it would have been without the fault.
+// Parties that do not come back in time stay suspect and are dropped by
+// the fold as usual. Round loop goroutine only.
+func (f *Federation) healBroadcast(gm GlobalMsg, failed []int, limit uint32) {
+	deadline := time.Now().Add(f.RejoinGrace)
+	poll := f.RejoinGrace / 50
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	want := make(map[int]bool, len(failed))
+	for _, id := range failed {
+		want[id] = true
+	}
+	for len(want) > 0 && time.Now().Before(deadline) {
+		time.Sleep(poll)
+		for _, id := range f.installQueuedRejoins() {
+			if !want[id] {
+				continue // a different party's rejoin: installed, waits for the next round
+			}
+			c := f.byParty[id]
+			c.SetRecvLimit(limit)
+			if err := f.sendGlobal(c, gm); err != nil {
+				f.evict(id, false, err)
+				continue
+			}
+			delete(want, id)
 		}
 	}
 }
@@ -810,6 +1255,11 @@ type chunkFrame struct {
 	msg UpdateChunkMsg
 	buf *tensor.Tensor
 	err error
+	// fatal classifies err: true for a decode failure (the party framed
+	// garbage — a protocol violation, permanent eviction), false for
+	// transport loss (conn death or a RoundTimeout expiry — the party may
+	// rejoin).
+	fatal bool
 }
 
 // recvChunked receives the sampled parties' chunk streams concurrently —
@@ -820,7 +1270,7 @@ func (f *Federation) recvChunked(round int, sampled []int, sink *fl.RoundSink) e
 	frames := make([]chan chunkFrame, len(sampled))
 	window := f.window()
 	for j, id := range sampled {
-		if f.dead[id] {
+		if f.down(id) {
 			continue // no receiver; the fold drops this slot upfront
 		}
 		frames[j] = make(chan chunkFrame, window)
@@ -840,7 +1290,7 @@ func (f *Federation) recvChunked(round int, sampled []int, sink *fl.RoundSink) e
 				m, err := UnmarshalChunkInto(raw, buf.Data())
 				if err != nil {
 					tensor.Shared.Put(buf)
-					frames[j] <- chunkFrame{err: fmt.Errorf("simnet: bad frame from party %d: %w", id, err)}
+					frames[j] <- chunkFrame{err: fmt.Errorf("simnet: bad frame from party %d: %w", id, err), fatal: true}
 					return
 				}
 				frames[j] <- chunkFrame{msg: m, buf: buf}
@@ -852,8 +1302,8 @@ func (f *Federation) recvChunked(round int, sampled []int, sink *fl.RoundSink) e
 	}
 	for j, id := range sampled {
 		var err error
-		if f.dead[id] {
-			err = sink.Drop(j, fmt.Errorf("simnet: party %d was evicted in an earlier round", id))
+		if f.down(id) {
+			err = sink.Drop(j, fmt.Errorf("simnet: party %d left the federation in an earlier round", id))
 		} else {
 			err = f.foldChunkStream(j, id, round, frames[j], sink)
 		}
@@ -890,8 +1340,19 @@ func (f *Federation) recvChunked(round int, sampled []int, sink *fl.RoundSink) e
 func (f *Federation) foldChunkStream(j, id, round int, frames chan chunkFrame, sink *fl.RoundSink) error {
 	total := sink.StreamLen()
 	meta := sink.Meta(j)
-	drop := func(cause error) error {
-		f.evict(id)
+	// The stream's tail [total-ctrlLen, total) is the party's SCAFFOLD
+	// control delta: stage it while folding so resyncC can be advanced —
+	// but only once FinishUpdate accepts the whole stream, so a stream
+	// dropped at frame k never half-applies its delta.
+	stateLen := total - f.ctrlLen
+	if f.ctrlLen > 0 {
+		if cap(f.ctrlStage) < f.ctrlLen {
+			f.ctrlStage = make([]float64, f.ctrlLen)
+		}
+		f.ctrlStage = f.ctrlStage[:f.ctrlLen]
+	}
+	drop := func(cause error, permanent bool) error {
+		f.evict(id, permanent, cause)
 		if err := sink.Drop(j, cause); err != nil {
 			return err
 		}
@@ -909,7 +1370,7 @@ func (f *Federation) foldChunkStream(j, id, round int, frames chan chunkFrame, s
 	}
 	for fr := range frames {
 		if fr.err != nil {
-			return drop(fr.err)
+			return drop(fr.err, fr.fatal)
 		}
 		m := fr.msg
 		var err error
@@ -937,24 +1398,55 @@ func (f *Federation) foldChunkStream(j, id, round int, frames chan chunkFrame, s
 			// forever without progressing its offset.
 			err = fmt.Errorf("simnet: party %d sent an empty non-final frame at offset %d", id, m.Offset)
 		default:
-			err = sink.AddChunk(j, m.Offset, m.Chunk)
+			if err = sink.AddChunk(j, m.Offset, m.Chunk); err == nil && f.ctrlLen > 0 {
+				if m.Offset+len(m.Chunk) > stateLen {
+					skip := stateLen - m.Offset // chunk part still in the state region
+					if skip < 0 {
+						skip = 0
+					}
+					copy(f.ctrlStage[m.Offset+skip-stateLen:], m.Chunk[skip:])
+				}
+			}
 		}
 		last := err == nil && m.Last
 		trailer := fl.Update{N: m.N, Tau: m.Tau, TrainLoss: m.TrainLoss}
 		tensor.Shared.Put(fr.buf)
 		if err != nil {
-			return drop(err)
+			// Every branch above is the party's own framing at fault:
+			// protocol violation, permanent.
+			return drop(err, true)
 		}
 		if last {
 			if err := sink.FinishUpdate(j, trailer); err != nil {
-				return drop(err)
+				return drop(err, true)
 			}
+			f.applyControlDelta(id, f.ctrlStage[:f.ctrlLen])
 			return nil
 		}
 	}
 	// The receiver closed the channel without a Last marker or an error
 	// frame — it cannot, but fail safe rather than hang the round open.
-	return drop(fmt.Errorf("simnet: party %d chunk stream ended early", id))
+	return drop(fmt.Errorf("simnet: party %d chunk stream ended early", id), false)
+}
+
+// applyControlDelta advances the party's tracked SCAFFOLD control variate
+// by one accepted upload: c_i += DeltaC. Only called after FinishUpdate
+// accepted the stream, so the tracked c_i tracks exactly the uploads the
+// aggregation counted. memMu, because SyncMembership reads resyncC from
+// the round loop while queueRejoin's callers probe membership state.
+func (f *Federation) applyControlDelta(id int, delta []float64) {
+	if len(delta) == 0 {
+		return
+	}
+	f.memMu.Lock()
+	if f.resyncC[id] == nil {
+		f.resyncC[id] = make([]float64, len(delta))
+	}
+	c := f.resyncC[id]
+	for k, d := range delta {
+		c[k] += d
+	}
+	f.memMu.Unlock()
 }
 
 // recvUpdate reads and validates one round reply from a party.
@@ -1007,6 +1499,14 @@ func (f *Federation) serve(numParties int) (*fl.Result, error) {
 		for _, c := range f.conns {
 			_ = c.Close()
 		}
+		// Rejoins still parked when the run ends never made it into conns;
+		// close them too so no rejoining party hangs on a dead server.
+		f.memMu.Lock()
+		for _, r := range f.rejoins {
+			_ = r.conn.Close()
+		}
+		f.rejoins = nil
+		f.memMu.Unlock()
 	}()
 	if f.byParty == nil {
 		if err := f.handshake(numParties); err != nil {

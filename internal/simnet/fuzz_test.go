@@ -26,6 +26,13 @@ func FuzzDecodeMsg(f *testing.F) {
 		Chunk: 5, Last: true, Payload: []float64{1, -2}})
 	seed(GlobalRefMsg{Round: 3, StateLen: 8, CtrlLen: 4, Budget: 1, Chunk: 64})
 	seed(ShutdownMsg{})
+	// Elastic-membership frames: a rejoin hello and both resync shapes
+	// (with and without a SCAFFOLD control vector).
+	seed(HelloMsg{ID: 2, N: 50, Token: "t", Rejoin: true, LabelDist: []float64{0.25, 0.75}})
+	seed(ResyncMsg{Round: 4, ExpectTau: 7, Control: []float64{0.5, -1}})
+	seed(ResyncMsg{Round: 1, ExpectTau: 3})
+	f.Add([]byte{msgResync})
+	f.Add([]byte{msgResync, 0xFF, 0xFF, 0xFF, 0xFF})
 	// Hello version-preamble soup: a stale version (decodes to a
 	// VersionError, never a misaligned field read), a wrong magic, and
 	// preambles truncated at every byte.

@@ -534,15 +534,7 @@ func TestEmptyUplinkFrameDropsParty(t *testing.T) {
 	if err != nil {
 		t.Fatalf("federation should survive an empty-frame stall: %v", err)
 	}
-	for _, m := range res.Curve {
-		found := false
-		for _, id := range m.Dropped {
-			found = found || id == rogue
-		}
-		if !found {
-			t.Fatalf("round %d did not drop the empty-frame party (dropped=%v)", m.Round, m.Dropped)
-		}
-	}
+	assertEvictedAt(t, res.Curve, rogue, 0)
 }
 
 // TestChunkWindowFederation runs the same chunked federation under a

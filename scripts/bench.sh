@@ -33,18 +33,25 @@ go test -run '^$' \
 go test -run '^$' \
   -bench 'BenchmarkRoundPeakMemory' \
   -benchtime "${ROUNDBENCHTIME:-1s}" ./internal/simnet/ | tee -a "$TMP"
+# Round throughput under membership churn: full TCP federations with
+# fault-injected connection kills and party rejoin at increasing drop
+# probability (reports rounds/sec; drop=0 is the no-churn baseline).
+go test -run '^$' \
+  -bench 'BenchmarkRoundChurn' \
+  -benchtime "${CHURNBENCHTIME:-2x}" ./internal/simnet/ | tee -a "$TMP"
 
 awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
-  ns = ""; bytes = ""; allocs = ""; peak = ""
+  ns = ""; bytes = ""; allocs = ""; peak = ""; rps = ""
   for (i = 2; i <= NF; i++) {
     if ($(i) == "ns/op") ns = $(i-1)
     if ($(i) == "B/op") bytes = $(i-1)
     if ($(i) == "allocs/op") allocs = $(i-1)
     if ($(i) == "peak-live-B") peak = $(i-1)
+    if ($(i) == "rounds/sec") rps = $(i-1)
   }
   if (ns == "") next
   if (!first) printf ",\n"
@@ -53,6 +60,7 @@ BEGIN { print "{"; first = 1 }
   if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
   if (peak != "") printf ", \"peak_live_bytes\": %s", peak
+  if (rps != "") printf ", \"rounds_per_sec\": %s", rps
   printf "}"
 }
 END { print "\n}" }
