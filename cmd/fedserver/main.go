@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,7 +29,9 @@ import (
 func main() {
 	fs := flag.NewFlagSet("fedserver", flag.ExitOnError)
 	var shared fedcli.Shared
+	var srv fedcli.Server
 	shared.Register(fs)
+	srv.RegisterServer(fs)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	saveModel := fs.String("save-model", "", "write the final model state to this file")
 	roundTimeout := fs.Duration("round-timeout", 0, "max wait per reply frame within a round (0 = wait forever); stalled parties are evicted in chunked mode")
@@ -51,8 +54,40 @@ func main() {
 	ln.RejoinGrace = *rejoinGrace
 	ln.OnReject = func(err error) { log.Printf("fedserver: rejected connection: %v", err) }
 	ln.OnEvict = func(ev *simnet.EvictionError) { log.Printf("fedserver: %v", ev) }
-	fmt.Printf("fedserver: listening on %s for %d parties (%s on %s, %s), wire protocol v%d\n",
-		ln.Addr(), shared.Parties, cfg.Algorithm, shared.Dataset, shared.Partition, simnet.ProtoVersion)
+
+	if snapPath := srv.SnapshotPath(); snapPath != "" {
+		if err := os.MkdirAll(srv.CheckpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if snap, err := fl.LoadSnapshotFile(snapPath); err == nil {
+			// Refuse a snapshot from a different experiment before any
+			// party is admitted: resuming would silently change the math.
+			if got, want := snap.ConfigFingerprint, fl.ConfigFingerprint(cfg); got != want {
+				log.Fatal(&fl.SnapshotMismatchError{Want: want, Got: got})
+			}
+			ln.Resume = snap
+			fmt.Printf("fedserver: restored snapshot at round %d/%d from %s\n", snap.Round, cfg.Rounds, snapPath)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			// A snapshot that exists but fails its integrity checks is a
+			// hard stop: training from garbage is worse than not resuming.
+			log.Fatal(err)
+		}
+		ln.Checkpoint = func(snap *fl.FederationSnapshot) error {
+			return fl.WriteSnapshotFile(snapPath, snap)
+		}
+		ln.CheckpointEvery = srv.CheckpointEvery
+	}
+	if srv.LoadModel != "" && ln.Resume == nil {
+		state, err := fl.LoadStateFile(srv.LoadModel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln.InitialState = state
+		fmt.Printf("fedserver: seeded initial model from %s\n", srv.LoadModel)
+	}
+
+	fmt.Printf("fedserver: listening on %s for %d parties (%s on %s, %s), wire protocol v%d (admits >= v%d)\n",
+		ln.Addr(), shared.Parties, cfg.Algorithm, shared.Dataset, shared.Partition, simnet.ProtoVersion, simnet.MinProtoVersion)
 	res, err := ln.AcceptAndRun(shared.Parties, cfg, spec, test)
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@ package fedcli
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"github.com/niid-bench/niidbench/internal/data"
@@ -92,6 +93,39 @@ func (s *Shared) Register(fs *flag.FlagSet) {
 	fs.Float64Var(&s.DropProb, "drop-prob", 0, "party: per-frame probability of killing the connection (fault injection)")
 	fs.DurationVar(&s.Latency, "latency", 0, "party: injected delay per sent frame (fault injection)")
 	fs.DurationVar(&s.Jitter, "jitter", 0, "party: extra uniform delay per sent frame on top of -latency")
+}
+
+// Server carries the server-only durability flags: where (and how often)
+// the federation checkpoints itself, and optional model seeding.
+type Server struct {
+	// CheckpointDir, when non-empty, is the directory the server writes
+	// its federation snapshot into (crash-safely, at round boundaries)
+	// and restores from at startup if a snapshot is already there.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in rounds (default 1: every
+	// round boundary is durable, which is what makes a crash-restart
+	// bitwise-invisible; coarser cadences trade fsync cost for replaying
+	// more rounds after a crash).
+	CheckpointEvery int
+	// LoadModel, when non-empty, seeds round 0's global model from a bare
+	// state-vector checkpoint file (ignored when a snapshot is restored).
+	LoadModel string
+}
+
+// RegisterServer wires the server-only flags into fs.
+func (s *Server) RegisterServer(fs *flag.FlagSet) {
+	fs.StringVar(&s.CheckpointDir, "checkpoint-dir", "", "directory for durable federation snapshots; restart with the same flags to resume from the last round boundary")
+	fs.IntVar(&s.CheckpointEvery, "checkpoint-every", 1, "snapshot cadence in rounds (1 = every round, the only cadence that pins a crash-restart bitwise)")
+	fs.StringVar(&s.LoadModel, "load-model", "", "seed the initial global model from this state checkpoint file")
+}
+
+// SnapshotPath returns the snapshot file path inside CheckpointDir, or
+// "" when checkpointing is off.
+func (s *Server) SnapshotPath() string {
+	if s.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(s.CheckpointDir, fl.SnapshotFileName)
 }
 
 // FaultPlan assembles the party-side fault plan from the chaos flags; nil

@@ -2,7 +2,9 @@ package fl
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/niid-bench/niidbench/internal/data"
 	"github.com/niid-bench/niidbench/internal/nn"
@@ -100,6 +102,46 @@ func BenchmarkRoundParties(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.RunRound(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRoundCheckpoint measures the cost a durable federation pays at
+// every round boundary with -checkpoint-every 1: capturing the engine
+// snapshot (deep copies of model + optimizer state), encoding it with the
+// CRC trailer, and writing it crash-safely (temp file, fsync, atomic
+// rename). The state sizes bracket the models in this repo — the MLP is
+// tens of KB, the CNN hundreds — so the fsync floor and the O(state)
+// encode cost are both visible.
+func BenchmarkRoundCheckpoint(b *testing.B) {
+	for _, paramLen := range []int{1 << 12, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("state=%d", paramLen), func(b *testing.B) {
+			r := rng.New(11)
+			state := make([]float64, paramLen)
+			control := make([]float64, paramLen)
+			for i := range state {
+				state[i] = r.Normal()
+				control[i] = r.Normal()
+			}
+			server := NewServer(Config{Algorithm: Scaffold}, state, paramLen, 8)
+			eng := &Engine{cfg: Config{Algorithm: Scaffold, Rounds: 100}, server: server, r: rng.New(12), numParties: 8}
+			curve := make([]RoundMetrics, 20)
+			for i := range curve {
+				curve[i] = RoundMetrics{Round: i, TestAccuracy: 0.5, TrainLoss: 1.2,
+					CommBytes: int64(paramLen) * 32, Sampled: []int{0, 1, 2, 3, 4, 5, 6, 7}}
+			}
+			dir := b.TempDir()
+			path := filepath.Join(dir, SnapshotFileName)
+			snap := eng.Snapshot(20, curve, 0.5, 1<<20, time.Second)
+			b.SetBytes(int64(len(EncodeSnapshot(snap))))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := eng.Snapshot(20, curve, 0.5, 1<<20, time.Second)
+				if err := WriteSnapshotFile(path, snap); err != nil {
 					b.Fatal(err)
 				}
 			}

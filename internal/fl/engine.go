@@ -160,6 +160,20 @@ type Engine struct {
 	r          *rng.RNG
 	strat      *stratifier // non-nil under stratified partial participation
 	numParties int
+
+	// Checkpoint, when set, is called at round boundaries with a complete
+	// snapshot of the run (every CheckpointEvery rounds and after the last
+	// round; CheckpointEvery <= 0 means every round). A returned error
+	// aborts the run: a federation asked to be durable must not silently
+	// continue undurable. Transports that track per-party resync state
+	// fill FederationSnapshot.PartyControl inside the hook before
+	// persisting.
+	Checkpoint      func(*FederationSnapshot) error
+	CheckpointEvery int
+
+	// startRound/restored carry a Restore across into Run.
+	startRound int
+	restored   *FederationSnapshot
 }
 
 // NewEngine wires the transport-independent round machinery. sampler
@@ -309,9 +323,78 @@ func (e *Engine) RunRound(tr Transport, round int) (RoundMetrics, error) {
 	}, nil
 }
 
+// SetInitialState overrides the server's global state before training
+// starts (seeding a run from a bare state-vector checkpoint). The length
+// must match. Available on every transport — in-process simulation and
+// TCP federation alike — via the shared engine.
+func (e *Engine) SetInitialState(state []float64) error {
+	if len(state) != len(e.server.state) {
+		return fmt.Errorf("fl: checkpoint has %d values, model needs %d", len(state), len(e.server.state))
+	}
+	copy(e.server.state, state)
+	return nil
+}
+
+// Snapshot captures the engine's complete resumable state after `round`
+// completed rounds: server model + algorithm + optimizer state, sampler
+// RNG position, and the run-level accumulators. The returned snapshot
+// owns its memory (deep copies).
+func (e *Engine) Snapshot(round int, curve []RoundMetrics, bestAcc float64, commBytes int64, compute time.Duration) *FederationSnapshot {
+	snap := &FederationSnapshot{
+		ConfigFingerprint: ConfigFingerprint(e.cfg),
+		Round:             round,
+		Sampler:           e.r.State(),
+		Curve:             append([]RoundMetrics(nil), curve...),
+		BestAccuracy:      bestAcc,
+		TotalCommBytes:    commBytes,
+		ComputeTime:       compute,
+	}
+	e.server.snapshotInto(snap)
+	return snap
+}
+
+// Restore rewinds the engine to a previously captured snapshot: the next
+// Run resumes at snapshot.Round with the server state, sampler position
+// and metrics history of the original run, so the completed run is
+// bitwise identical to one that never stopped. A snapshot whose config
+// fingerprint differs from this engine's config is refused with a typed
+// *SnapshotMismatchError; shape mismatches (different model, federation
+// size, or algorithm state) are refused too.
+func (e *Engine) Restore(snap *FederationSnapshot) error {
+	if want := ConfigFingerprint(e.cfg); snap.ConfigFingerprint != want {
+		return &SnapshotMismatchError{Want: want, Got: snap.ConfigFingerprint}
+	}
+	if snap.Round < 0 || snap.Round > e.cfg.Rounds {
+		return fmt.Errorf("fl: snapshot at round %d outside this run's %d rounds", snap.Round, e.cfg.Rounds)
+	}
+	if err := e.server.restoreSnapshot(snap); err != nil {
+		return err
+	}
+	e.r.SetState(snap.Sampler)
+	e.startRound = snap.Round
+	e.restored = snap
+	return nil
+}
+
+// checkpointAt fires the Checkpoint hook if round t+1 is on the cadence.
+func (e *Engine) checkpointAt(t int, res *Result, compute time.Duration) error {
+	if e.Checkpoint == nil {
+		return nil
+	}
+	every := e.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	if (t+1)%every != 0 && t != e.cfg.Rounds-1 {
+		return nil
+	}
+	return e.Checkpoint(e.Snapshot(t+1, res.Curve, res.BestAccuracy, res.TotalCommBytes, compute))
+}
+
 // Run executes the configured number of rounds over the transport and
 // assembles the Result: per-round curve, evaluation cadence, communication
-// accounting and the final global state.
+// accounting and the final global state. After Restore, Run picks up at
+// the snapshot's round with the snapshot's accumulated history.
 func (e *Engine) Run(tr Transport) (*Result, error) {
 	res := &Result{
 		Config:     e.cfg,
@@ -319,7 +402,13 @@ func (e *Engine) Run(tr Transport) (*Result, error) {
 		StateCount: len(e.server.State()),
 	}
 	var compute time.Duration
-	for t := 0; t < e.cfg.Rounds; t++ {
+	if e.restored != nil {
+		res.Curve = append(res.Curve, e.restored.Curve...)
+		res.BestAccuracy = e.restored.BestAccuracy
+		res.TotalCommBytes = e.restored.TotalCommBytes
+		compute = e.restored.ComputeTime
+	}
+	for t := e.startRound; t < e.cfg.Rounds; t++ {
 		m, err := e.RunRound(tr, t)
 		// A round below quorum is skipped and retried — parties may be
 		// mid-rejoin — not fatal; only an exhausted retry budget aborts.
@@ -353,6 +442,9 @@ func (e *Engine) Run(tr Transport) (*Result, error) {
 		}
 		res.Curve = append(res.Curve, m)
 		res.TotalCommBytes += m.CommBytes
+		if err := e.checkpointAt(t, res, compute); err != nil {
+			return nil, fmt.Errorf("fl: round %d checkpoint: %w", t, err)
+		}
 	}
 	res.ComputeTime = compute
 	res.FinalState = append([]float64{}, e.server.State()...)

@@ -1,0 +1,43 @@
+package fl
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeSnapshot throws arbitrary byte soup at the snapshot decoder:
+// any input must produce a snapshot or a typed error — never a panic, an
+// out-of-bounds read, or a giant allocation from a hostile length field —
+// and anything that decodes must re-encode to bytes that decode to the
+// same snapshot (the codec is a bijection on its valid range).
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add(EncodeSnapshot(fullSnapshot()))
+	f.Add(EncodeSnapshot(&FederationSnapshot{}))
+	f.Add(EncodeSnapshot(&FederationSnapshot{
+		State:        []float64{1, 2, 3},
+		Control:      []float64{0.5},
+		PartyControl: [][]float64{nil, {1}},
+	}))
+	valid := EncodeSnapshot(fullSnapshot())
+	f.Add(valid[:len(valid)-5]) // truncated mid-payload
+	f.Add(valid[:9])            // magic + version only
+	flipped := append([]byte(nil), valid...)
+	flipped[11] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte("NIIDBFS1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		snap, err := DecodeSnapshot(raw)
+		if err != nil {
+			return
+		}
+		again, err := DecodeSnapshot(EncodeSnapshot(snap))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(snap, again) {
+			t.Fatalf("re-encode round trip diverged:\n 1: %+v\n 2: %+v", snap, again)
+		}
+	})
+}

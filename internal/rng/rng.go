@@ -45,6 +45,32 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// State is a serializable snapshot of a generator's position in its
+// stream, including the cached Box-Muller spare so Normal sequences
+// resume exactly where they left off.
+type State struct {
+	S        [4]uint64
+	HasSpare bool
+	Spare    float64
+}
+
+// State captures the generator's current position.
+func (r *RNG) State() State {
+	return State{S: r.s, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// SetState rewinds (or fast-forwards) the generator to a previously
+// captured position. The all-zero state is invalid for xoshiro and is
+// nudged the same way New nudges it, so a zero-value State is safe.
+func (r *RNG) SetState(st State) {
+	r.s = st.S
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	r.hasSpare = st.HasSpare
+	r.spare = st.Spare
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).

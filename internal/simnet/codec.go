@@ -34,22 +34,44 @@ const (
 // so any PR that changes a frame must bump ProtoVersion.
 const (
 	protoMagic byte = 0xF7
-	// ProtoVersion is the wire protocol generation this build speaks.
-	// Version 1 covers the versioned hello itself plus the chunked
-	// downlink frames (GlobalChunkMsg/GlobalRefMsg); version 2 adds the
-	// hello's rejoin flag and the ResyncMsg rejoin handshake.
-	ProtoVersion byte = 2
+	// ProtoVersion is the newest wire protocol generation this build
+	// speaks. Version 1 covers the versioned hello itself plus the
+	// chunked downlink frames (GlobalChunkMsg/GlobalRefMsg); version 2
+	// adds the hello's rejoin flag and the ResyncMsg rejoin handshake;
+	// version 3 adds the hello's min-version byte for range negotiation.
+	ProtoVersion byte = 3
+	// MinProtoVersion is the oldest generation this build still admits.
+	// A version-3+ hello carries the peer's own [min,max] range; the
+	// server admits when the ranges overlap and records the negotiated
+	// version (the lower of the two maxima), so adjacent generations
+	// interoperate during rolling upgrades instead of reject-only
+	// admission. Versions 2 and 3 share every post-hello frame layout,
+	// which is what makes admitting a v2 party sound.
+	MinProtoVersion byte = 2
 )
 
-// VersionError reports a hello whose protocol version does not match this
-// build. Admission surfaces it through ServerListener.OnReject so the
-// operator sees exactly which side is stale.
+// VersionError reports a hello whose supported protocol range has no
+// overlap with this build's. Admission surfaces it through
+// ServerListener.OnReject so the operator sees exactly which side is
+// stale. GotMin equals Got for pre-range (v2 and older) peers, which
+// speak exactly one generation.
 type VersionError struct {
-	Got byte
+	Got    byte // the peer's newest supported version
+	GotMin byte // the peer's oldest supported version
 }
 
 func (e *VersionError) Error() string {
-	return fmt.Sprintf("simnet: peer speaks protocol version %d, this build speaks %d", e.Got, ProtoVersion)
+	return fmt.Sprintf("simnet: peer speaks protocol versions [%d,%d], this build speaks [%d,%d]: no overlap",
+		e.GotMin, e.Got, MinProtoVersion, ProtoVersion)
+}
+
+// NegotiatedVersion returns the protocol generation the server should
+// record for an admitted peer: the newest generation both sides speak.
+func NegotiatedVersion(peerMax byte) byte {
+	if peerMax < ProtoVersion {
+		return peerMax
+	}
+	return ProtoVersion
 }
 
 // maxTokenLen bounds the handshake token on the wire so a hostile hello
@@ -77,16 +99,22 @@ type GlobalMsg struct {
 // HelloMsg is the party-to-server handshake sent once at connect: the
 // party's identity, an optional shared-secret token, and what the server
 // needs for weighting (dataset size) and stratified sampling (label
-// distribution). On the wire it opens with the protocol magic and version
-// bytes; Marshal stamps the build's ProtoVersion when Version is zero, so
-// ordinary callers never set it (tests craft skewed hellos by setting it
-// explicitly).
+// distribution). On the wire it opens with the protocol magic, the
+// newest version the party speaks and — from version 3 on — the oldest
+// version it still speaks, so both sides can negotiate across a rolling
+// upgrade. Marshal stamps the build's ProtoVersion/MinProtoVersion when
+// the fields are zero, so ordinary callers never set them (tests craft
+// skewed hellos by setting them explicitly).
 type HelloMsg struct {
 	ID        int
 	N         int
 	Token     string
 	LabelDist []float64
 	Version   byte
+	// MinVersion is the oldest protocol generation the party still
+	// speaks; zero means "same as Version" for pre-range layouts and is
+	// stamped with MinProtoVersion when Marshal emits a v3+ hello.
+	MinVersion byte
 	// Rejoin marks a re-hello from a party that was admitted earlier and
 	// lost its connection: the server re-admits it under its old ID (unless
 	// it was evicted for a protocol violation) and replies with a ResyncMsg
@@ -287,7 +315,19 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 		if m.Rejoin {
 			rejoin = 1
 		}
-		b := append(dst, msgHello, protoMagic, v, rejoin)
+		var b []byte
+		if v >= 3 {
+			minv := m.MinVersion
+			if minv == 0 {
+				minv = MinProtoVersion
+			}
+			b = append(dst, msgHello, protoMagic, v, minv, rejoin)
+		} else {
+			// Pre-range layout: exactly the bytes a v2 build emits, so
+			// tests (and a hypothetical downgrade path) can speak to old
+			// peers.
+			b = append(dst, msgHello, protoMagic, v, rejoin)
+		}
 		b = appendUint32(b, uint32(m.ID))
 		b = appendUint32(b, uint32(m.N))
 		b = appendString(b, m.Token)
@@ -392,11 +432,24 @@ func Unmarshal(b []byte) (any, error) {
 		if b[0] != protoMagic {
 			return nil, fmt.Errorf("simnet: hello magic 0x%02x, want 0x%02x (not a niidbench hello, or a pre-versioning peer)", b[0], protoMagic)
 		}
-		if b[1] != ProtoVersion {
-			return nil, &VersionError{Got: b[1]}
-		}
-		m.Version = b[1]
+		v := b[1]
+		minv := v // pre-range peers speak exactly one generation
 		b = b[2:]
+		if v >= 3 {
+			if len(b) < 1 {
+				return nil, fmt.Errorf("simnet: truncated hello version range")
+			}
+			minv = b[0]
+			b = b[1:]
+		}
+		// Admit on range overlap: the peer must still speak something we
+		// do ([minv, v] ∩ [MinProtoVersion, ProtoVersion] non-empty; an
+		// inverted peer range is skew too).
+		if v < MinProtoVersion || minv > ProtoVersion || minv > v {
+			return nil, &VersionError{Got: v, GotMin: minv}
+		}
+		m.Version = v
+		m.MinVersion = minv
 		if len(b) < 1 {
 			return nil, fmt.Errorf("simnet: truncated hello rejoin flag")
 		}

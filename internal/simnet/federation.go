@@ -110,6 +110,30 @@ type Federation struct {
 
 	roundsDone int   // completed rounds, for the ResyncMsg round stamp
 	prevBytes  int64 // byte watermark for per-round accounting
+
+	// versions records each admitted party's negotiated protocol
+	// generation (min of the peer's newest and ours), written at
+	// registration and on every rejoin under memMu.
+	versions []byte
+
+	// Resume, when non-nil, is the durable snapshot this federation
+	// continues from: the engine restores it before round startRound, and
+	// admission treats rejoin hellos from unknown parties as first
+	// contact (register + immediate ResyncMsg), because the restarted
+	// server has no live sessions for the parties that survived it.
+	Resume *fl.FederationSnapshot
+	// Checkpoint, when set, is invoked at round boundaries (every
+	// CheckpointEvery rounds; <=0 means every round) with a complete
+	// snapshot — server state, sampler position, metrics history and the
+	// per-party resync controls — for durable storage. An error aborts
+	// the run.
+	Checkpoint      func(*fl.FederationSnapshot) error
+	CheckpointEvery int
+	// InitialState, when non-nil, seeds the global model from a bare
+	// state-vector checkpoint before round 0 (the TCP mirror of
+	// Simulation.SetInitialState). Ignored when Resume is set — a full
+	// snapshot already carries the state.
+	InitialState []float64
 }
 
 // partyState is one party's position in the membership machine.
@@ -181,6 +205,39 @@ type partySession struct {
 	// proof the server admitted this party, which is what makes a later
 	// redial a rejoin rather than a first contact.
 	progressed bool
+	// cacheOn retains each trained round's reply (one extra state-length
+	// vector) so that a re-broadcast of the same round — a restored server
+	// redoing the round it lost, or a reply whose conn died mid-send — is
+	// answered by replaying the identical bytes instead of retraining.
+	// Local training is NOT idempotent (the batch-shuffle RNG, FedDyn's h
+	// and SCAFFOLD's c_i all advance per call), so replay is what keeps a
+	// crash-restarted run bitwise equal to the uninterrupted one. Enabled
+	// for rejoin-capable sessions (DialPartyOpts with Rejoin).
+	cacheOn bool
+	cache   replyCache
+}
+
+// replyCache is one round's finished uplink, kept verbatim.
+type replyCache struct {
+	valid  bool
+	round  int
+	n, tau int
+	loss   float64
+	delta  []float64
+	deltaC []float64
+}
+
+// store copies a trained update into the cache (reusing its buffers).
+func (c *replyCache) store(round int, u fl.Update) {
+	c.valid = true
+	c.round = round
+	c.n, c.tau, c.loss = u.N, u.Tau, u.TrainLoss
+	c.delta = append(c.delta[:0], u.Delta...)
+	if u.DeltaC != nil {
+		c.deltaC = append(c.deltaC[:0], u.DeltaC...)
+	} else {
+		c.deltaC = nil
+	}
 }
 
 func newPartySession(id int, local *data.Dataset, spec nn.ModelSpec, cfg fl.Config, seed uint64) (*partySession, error) {
@@ -241,7 +298,15 @@ func (s *partySession) run(conn Conn, token string, rejoin bool, helloTimeout ti
 		if !ok {
 			return fmt.Errorf("simnet: party %d expected resync, got %T", s.id, msg)
 		}
-		s.client.SetScaffoldControl(m.Control)
+		if s.client.ScaffoldControl() == nil {
+			// Only a party that lost its local SCAFFOLD state (a restarted
+			// process) adopts the server's tracked c_i. A live session's
+			// own c_i chain is the exact value; the server's telescoped sum
+			// of uploaded deltas equals it mathematically but not bitwise
+			// after the first round, and overwriting would fork the run
+			// from the never-dropped reference.
+			s.client.SetScaffoldControl(m.Control)
+		}
 		s.progressed = true // the server honored the rejoin
 	}
 	helloPending := true
@@ -292,13 +357,31 @@ func (s *partySession) run(conn Conn, token string, rejoin bool, helloTimeout ti
 			}
 		}
 		s.client.SetComputeBudget(tensor.Compute{Workers: g.Budget})
+		if s.cacheOn && s.cache.valid && g.Round == s.cache.round {
+			// The server re-asked for a round this session already trained
+			// — it restored from a checkpoint taken before our reply
+			// landed, or our uplink died mid-send. Replay the cached reply
+			// verbatim; retraining would advance the client's RNG and
+			// per-algorithm state a second time and fork the run.
+			if err := s.replayReply(conn, g); err != nil {
+				return fmt.Errorf("simnet: party %d replay: %w", s.id, err)
+			}
+			continue
+		}
+		var cache *replyCache
+		if s.cacheOn {
+			cache = &s.cache
+		}
 		if g.Chunk > 0 {
-			if err := partyTrainChunked(conn, s.client, g, s.cfg, &s.frame); err != nil {
+			if err := partyTrainChunked(conn, s.client, g, s.cfg, &s.frame, cache); err != nil {
 				return fmt.Errorf("simnet: party %d: %w", s.id, err)
 			}
 			continue
 		}
 		up := s.client.LocalTrain(g.State, g.Control, s.cfg)
+		if cache != nil {
+			cache.store(g.Round, up)
+		}
 		reply, err := Marshal(UpdateMsg{
 			Round: g.Round, N: up.N, Tau: up.Tau,
 			TrainLoss: up.TrainLoss, Delta: up.Delta, DeltaC: up.DeltaC,
@@ -310,6 +393,36 @@ func (s *partySession) run(conn Conn, token string, rejoin bool, helloTimeout ti
 			return fmt.Errorf("simnet: party %d send: %w", s.id, err)
 		}
 	}
+}
+
+// replayReply re-sends the cached uplink for g.Round in whichever framing
+// the server asked for, byte-identical to the original reply.
+func (s *partySession) replayReply(conn Conn, g GlobalMsg) error {
+	c := &s.cache
+	if g.Chunk > 0 {
+		total := len(c.delta) + len(c.deltaC)
+		return fl.ChunkStream(c.delta, c.deltaC, g.Chunk, func(offset int, chunk []float64) error {
+			b, err := AppendMarshal(s.frame[:0], UpdateChunkMsg{
+				Round: g.Round, Offset: offset, Total: total,
+				N: c.n, Tau: c.tau, TrainLoss: c.loss,
+				Last:  offset+len(chunk) == total,
+				Chunk: chunk,
+			})
+			if err != nil {
+				return err
+			}
+			s.frame = b
+			return conn.Send(b)
+		})
+	}
+	reply, err := Marshal(UpdateMsg{
+		Round: g.Round, N: c.n, Tau: c.tau,
+		TrainLoss: c.loss, Delta: c.delta, DeltaC: c.deltaC,
+	})
+	if err != nil {
+		return err
+	}
+	return conn.Send(reply)
 }
 
 // downlinkLimit bounds the frames a party accepts from the server: the
@@ -409,9 +522,15 @@ func recvGlobalChunked(conn Conn, first GlobalChunkMsg, buf *[]float64, max int)
 // serializes a view into the client's pooled workspace through one reused
 // encode buffer, so the party never materializes a second state-length
 // vector for the reply.
-func partyTrainChunked(conn Conn, client *fl.Client, m GlobalMsg, cfg fl.Config, frame *[]byte) error {
+func partyTrainChunked(conn Conn, client *fl.Client, m GlobalMsg, cfg fl.Config, frame *[]byte, cache *replyCache) error {
 	p := client.TrainStream(m.State, m.Control, cfg)
 	defer p.Release()
+	if cache != nil {
+		// Capture before streaming: even a reply that dies mid-send was
+		// trained, and must be replayed (not retrained) when the round is
+		// re-asked.
+		cache.store(m.Round, p.Update())
+	}
 	u := p.Trailer()
 	total := p.StreamLen()
 	return p.Chunks(m.Chunk, func(offset int, chunk []float64) error {
@@ -507,6 +626,20 @@ type ServerListener struct {
 	// violation; permanent) — from the round loop, before the next round
 	// samples. See Federation.OnEvict.
 	OnEvict func(*EvictionError)
+	// Resume, when non-nil, continues a federation from a durable
+	// snapshot instead of starting at round 0: the engine restores the
+	// server and sampler state, and redialing parties' rejoin hellos are
+	// admitted as first contacts with an immediate ResyncMsg. The
+	// snapshot's party count must match AcceptAndRun's. See
+	// Federation.Resume.
+	Resume *fl.FederationSnapshot
+	// Checkpoint and CheckpointEvery wire round-boundary snapshots; see
+	// Federation.Checkpoint.
+	Checkpoint      func(*fl.FederationSnapshot) error
+	CheckpointEvery int
+	// InitialState seeds round 0's global model from a bare state-vector
+	// checkpoint; ignored when Resume is set. See Federation.InitialState.
+	InitialState []float64
 }
 
 // Listen binds a TCP address for the federation server. Use "127.0.0.1:0"
@@ -545,8 +678,25 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 		return nil, err
 	}
 	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, Token: s.Token,
-		RoundTimeout: s.RoundTimeout, RejoinGrace: s.RejoinGrace, OnEvict: s.OnEvict}
+		RoundTimeout: s.RoundTimeout, RejoinGrace: s.RejoinGrace, OnEvict: s.OnEvict,
+		Resume: s.Resume, Checkpoint: s.Checkpoint, CheckpointEvery: s.CheckpointEvery,
+		InitialState: s.InitialState}
 	fed.initParties(numParties)
+	if s.Resume != nil {
+		// Admission needs the snapshot's round stamp and per-party resync
+		// controls before the first rejoin hello can arrive, and a
+		// wrong-size snapshot must be refused before any party is admitted
+		// into a federation that cannot run.
+		if s.Resume.NumParties != numParties {
+			return nil, fmt.Errorf("simnet: snapshot is for %d parties, AcceptAndRun called with %d", s.Resume.NumParties, numParties)
+		}
+		fed.roundsDone = s.Resume.Round
+		for i, c := range s.Resume.PartyControl {
+			if i < numParties && c != nil {
+				fed.resyncC[i] = append([]float64(nil), c...)
+			}
+		}
+	}
 	helloTimeout := s.HelloTimeout
 	if helloTimeout <= 0 {
 		helloTimeout = 10 * time.Second
@@ -626,6 +776,22 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 				delete(pending, c)
 				pendMu.Unlock()
 				switch {
+				case err == nil && h.Rejoin && fed.Resume != nil && !fed.knownParty(h.ID):
+					// A restored server: the survivors of the previous
+					// incarnation redial with Rejoin=true, but this process
+					// has no session for them — admit as first contact with
+					// an immediate ResyncMsg, counting toward the quorum
+					// that starts the resumed run.
+					_ = c.SetReadDeadline(time.Time{})
+					mu.Lock()
+					if admitted >= numParties {
+						err = fmt.Errorf("simnet: federation already has %d parties", numParties)
+					} else if err = fed.registerRestored(cc, h, numParties); err == nil {
+						if admitted++; admitted == numParties {
+							close(done)
+						}
+					}
+					mu.Unlock()
 				case err == nil && h.Rejoin:
 					// A rejoin is parked for the round loop; its hello
 					// deadline is cleared the same way an admission's is —
@@ -739,6 +905,10 @@ func DialPartyOpts(addr string, id int, local *data.Dataset, spec nn.ModelSpec, 
 	if err != nil {
 		return err
 	}
+	// A rejoin-capable party keeps its last trained reply so a restored
+	// server re-asking for that round gets the identical bytes back
+	// instead of a second (RNG-advancing) training pass.
+	s.cacheOn = opts.Rejoin
 	var faults *PartyFaults
 	if opts.Faults != nil && !opts.Faults.Empty() {
 		faults = opts.Faults.ForParty(id)
@@ -805,6 +975,18 @@ func (f *Federation) initParties(numParties int) {
 	f.dists = make([][]float64, numParties)
 	f.state = make([]partyState, numParties)
 	f.resyncC = make([][]float64, numParties)
+	f.versions = make([]byte, numParties)
+}
+
+// NegotiatedVersion returns the protocol generation negotiated with
+// party id at its latest (re)admission, or 0 if it never registered.
+func (f *Federation) NegotiatedVersion(id int) byte {
+	f.memMu.Lock()
+	defer f.memMu.Unlock()
+	if id < 0 || id >= len(f.versions) {
+		return 0
+	}
+	return f.versions[id]
 }
 
 // down reports whether a party is out of the federation (suspect or
@@ -921,6 +1103,7 @@ func (f *Federation) installQueuedRejoins() []int {
 		f.metas[id] = fl.UpdateMeta{N: r.h.N, Tau: fl.PredictTau(f.Cfg, r.h.N)}
 		f.dists[id] = sanitizeDist(r.h.LabelDist)
 		f.state[id] = partyAlive
+		f.versions[id] = NegotiatedVersion(r.h.Version)
 		f.conns = append(f.conns, r.conn)
 		f.memMu.Unlock()
 		if old != nil {
@@ -987,8 +1170,49 @@ func (f *Federation) register(c *CountingConn, h HelloMsg, numParties int) error
 	f.byParty[h.ID] = c
 	f.metas[h.ID] = fl.UpdateMeta{N: h.N, Tau: fl.PredictTau(f.Cfg, h.N)}
 	f.dists[h.ID] = sanitizeDist(h.LabelDist)
+	f.versions[h.ID] = NegotiatedVersion(h.Version)
 	f.memMu.Unlock()
 	return nil
+}
+
+// registerRestored admits a rejoin hello as a first contact: a server
+// restored from a snapshot has no live session for any party, so the
+// redialing survivors of the previous incarnation arrive with
+// Rejoin=true against empty tables. The party is registered and
+// immediately sent the ResyncMsg it is waiting for — round stamp from
+// the snapshot, its tracked SCAFFOLD c_i from the snapshot's
+// PartyControl — so the rejoin handshake completes exactly as it would
+// against a server that never died. On a failed handshake the
+// registration is rolled back so a redial can try again.
+func (f *Federation) registerRestored(c *CountingConn, h HelloMsg, numParties int) error {
+	if err := f.register(c, h, numParties); err != nil {
+		return err
+	}
+	rm := ResyncMsg{Round: f.roundsDone, ExpectTau: fl.PredictTau(f.Cfg, h.N)}
+	f.memMu.Lock()
+	rm.Control = f.resyncC[h.ID]
+	f.memMu.Unlock()
+	enc, err := Marshal(rm)
+	if err == nil {
+		err = c.Send(enc)
+	}
+	if err != nil {
+		f.memMu.Lock()
+		f.byParty[h.ID] = nil
+		f.memMu.Unlock()
+		return fmt.Errorf("simnet: restored-server resync to party %d: %w", h.ID, err)
+	}
+	return nil
+}
+
+// knownParty reports whether id currently has a registered conn.
+func (f *Federation) knownParty(id int) bool {
+	if id < 0 || id >= len(f.byParty) {
+		return false
+	}
+	f.memMu.Lock()
+	defer f.memMu.Unlock()
+	return f.byParty[id] != nil
 }
 
 // helloFrameLimit bounds a hello frame: ID + size + a maxTokenLen token +
@@ -1525,6 +1749,32 @@ func (f *Federation) serve(numParties int) (*fl.Result, error) {
 	engine, err := fl.NewEngine(cfg, server, eval, numParties, root.Split(), f.dists)
 	if err != nil {
 		return nil, err
+	}
+	if f.Resume != nil {
+		if err := engine.Restore(f.Resume); err != nil {
+			return nil, err
+		}
+	} else if f.InitialState != nil {
+		if err := engine.SetInitialState(f.InitialState); err != nil {
+			return nil, err
+		}
+	}
+	if f.Checkpoint != nil {
+		engine.CheckpointEvery = f.CheckpointEvery
+		engine.Checkpoint = func(snap *fl.FederationSnapshot) error {
+			// The engine snapshots everything it owns; the transport adds
+			// the per-party resync controls a restored server needs to
+			// answer rejoins.
+			f.memMu.Lock()
+			snap.PartyControl = make([][]float64, len(f.resyncC))
+			for i, c := range f.resyncC {
+				if c != nil {
+					snap.PartyControl[i] = append([]float64(nil), c...)
+				}
+			}
+			f.memMu.Unlock()
+			return f.Checkpoint(snap)
+		}
 	}
 	return engine.Run(f)
 }

@@ -33,13 +33,17 @@ func FuzzDecodeMsg(f *testing.F) {
 	seed(ResyncMsg{Round: 1, ExpectTau: 3})
 	f.Add([]byte{msgResync})
 	f.Add([]byte{msgResync, 0xFF, 0xFF, 0xFF, 0xFF})
-	// Hello version-preamble soup: a stale version (decodes to a
+	// Hello version-preamble soup: a future version still offering an
+	// overlapping range (admitted), a disjoint range (decodes to a
 	// VersionError, never a misaligned field read), a wrong magic, and
-	// preambles truncated at every byte.
+	// preambles truncated at every byte — including inside the v3 range.
 	seed(HelloMsg{ID: 1, N: 100, Version: 99})
+	seed(HelloMsg{ID: 3, N: 7, Version: ProtoVersion, MinVersion: MinProtoVersion, LabelDist: []float64{1}})
+	f.Add([]byte{msgHello, protoMagic, ProtoVersion + 2, ProtoVersion + 1, 0})
 	f.Add([]byte{msgHello})
 	f.Add([]byte{msgHello, protoMagic})
 	f.Add([]byte{msgHello, protoMagic, ProtoVersion})
+	f.Add([]byte{msgHello, protoMagic, ProtoVersion, MinProtoVersion})
 	f.Add([]byte{msgHello, 0x00, ProtoVersion, 1, 2, 3, 4})
 	f.Add([]byte{})
 	f.Add([]byte{msgUpdateChunk, 0, 1, 2})

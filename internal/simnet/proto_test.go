@@ -41,15 +41,16 @@ func TestCodecVersionedHello(t *testing.T) {
 		t.Fatalf("bad magic decoded as: %v", err)
 	}
 
-	// A stale version must surface as a typed VersionError carrying the
-	// peer's version, not as a misaligned decode of the fields behind it.
-	stale, err := Marshal(HelloMsg{ID: 2, N: 10, Version: ProtoVersion + 9})
+	// A peer whose whole supported range is ahead of this build must
+	// surface as a typed VersionError carrying the peer's range, not as a
+	// misaligned decode of the fields behind it.
+	stale, err := Marshal(HelloMsg{ID: 2, N: 10, Version: ProtoVersion + 9, MinVersion: ProtoVersion + 9})
 	if err != nil {
 		t.Fatal(err)
 	}
 	_, err = Unmarshal(stale)
 	var ve *VersionError
-	if !errors.As(err, &ve) || ve.Got != ProtoVersion+9 {
+	if !errors.As(err, &ve) || ve.Got != ProtoVersion+9 || ve.GotMin != ProtoVersion+9 {
 		t.Fatalf("stale version decoded as: %v", err)
 	}
 	if !strings.Contains(err.Error(), fmt.Sprint(ProtoVersion+9)) || !strings.Contains(err.Error(), fmt.Sprint(ProtoVersion)) {
@@ -61,6 +62,55 @@ func TestCodecVersionedHello(t *testing.T) {
 		if _, err := Unmarshal(b[:cut]); err == nil {
 			t.Fatalf("hello truncation at %d/%d decoded successfully", cut, len(b))
 		}
+	}
+}
+
+// TestCodecVersionRangeMatrix sweeps hello version ranges across the
+// admission boundary: overlap admits (recording the negotiated version),
+// no overlap rejects with a typed VersionError naming the peer's range.
+func TestCodecVersionRangeMatrix(t *testing.T) {
+	cases := []struct {
+		name       string
+		v, minv    byte
+		admit      bool
+		negotiated byte
+	}{
+		{"same generation", ProtoVersion, MinProtoVersion, true, ProtoVersion},
+		{"one generation behind (pre-range layout)", ProtoVersion - 1, ProtoVersion - 1, true, ProtoVersion - 1},
+		{"future peer still speaking ours", ProtoVersion + 2, MinProtoVersion, true, ProtoVersion},
+		{"future peer, overlap at our max", ProtoVersion + 5, ProtoVersion, true, ProtoVersion},
+		{"future peer, no overlap", ProtoVersion + 2, ProtoVersion + 1, false, 0},
+		{"ancient peer", MinProtoVersion - 1, MinProtoVersion - 1, false, 0},
+		{"inverted range", ProtoVersion, ProtoVersion + 7, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := Marshal(HelloMsg{ID: 1, N: 10, Version: tc.v, MinVersion: tc.minv, LabelDist: []float64{1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Unmarshal(b)
+			if !tc.admit {
+				var ve *VersionError
+				if !errors.As(err, &ve) {
+					t.Fatalf("range [%d,%d] decoded as: %v", tc.minv, tc.v, err)
+				}
+				if ve.Got != tc.v {
+					t.Fatalf("rejection carries max %d, want %d", ve.Got, tc.v)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("range [%d,%d] rejected: %v", tc.minv, tc.v, err)
+			}
+			h := out.(HelloMsg)
+			if h.Version != tc.v {
+				t.Fatalf("decoded version %d, want %d", h.Version, tc.v)
+			}
+			if got := NegotiatedVersion(h.Version); got != tc.negotiated {
+				t.Fatalf("negotiated %d, want %d", got, tc.negotiated)
+			}
+		})
 	}
 }
 
@@ -169,7 +219,7 @@ func TestVersionSkewRejectedAtAdmission(t *testing.T) {
 		_, _ = conn.Recv()
 		_ = conn.Close()
 	}
-	stale, err := Marshal(HelloMsg{ID: 0, N: 10, LabelDist: []float64{1}, Version: ProtoVersion + 41})
+	stale, err := Marshal(HelloMsg{ID: 0, N: 10, LabelDist: []float64{1}, Version: ProtoVersion + 41, MinVersion: ProtoVersion + 41})
 	if err != nil {
 		t.Fatal(err)
 	}

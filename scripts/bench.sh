@@ -27,6 +27,12 @@ go test -run '^$' \
 go test -run '^$' \
   -bench 'BenchmarkRoundParties' \
   -benchtime "${ROUNDBENCHTIME:-1s}" ./internal/fl/ | tee -a "$TMP"
+# Durability tax: one round-boundary checkpoint (snapshot capture, CRC
+# encode, tmp + fsync + atomic rename) across model sizes — what
+# -checkpoint-every 1 adds to every round.
+go test -run '^$' \
+  -bench 'BenchmarkRoundCheckpoint' \
+  -benchtime "${ROUNDBENCHTIME:-1s}" ./internal/fl/ | tee -a "$TMP"
 # Peak-memory scaling of the wire protocol: whole-message vs chunked
 # framing as in-flight parties grow, swept over chunk-size x frame-window
 # (reports peak-live-B, including the downlink broadcast's share).

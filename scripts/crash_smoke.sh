@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Crash-restart smoke for the durable federation: launch a real
+# fedserver/fedparty deployment with -checkpoint-dir, SIGKILL the server
+# once a round boundary is durable, restart it from the snapshot and
+# assert the federation completes. Exercises the whole recovery path —
+# snapshot restore, rejoin admission with resync, party reply replay —
+# over real TCP with real processes.
+#
+#   ./scripts/crash_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-7391}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+BIN="$WORK/bin"
+CKPT="$WORK/ckpt"
+mkdir -p "$BIN" "$CKPT"
+cleanup() {
+  kill -9 "${SERVER_PID:-0}" "${P0:-0}" "${P1:-0}" "${P2:-0}" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/fedserver" ./cmd/fedserver
+go build -o "$BIN/fedparty" ./cmd/fedparty
+
+SHARED=(-dataset adult -partition iid -parties 3 -rounds 40 -epochs 3 -batch 32
+        -lr 0.05 -algo scaffold -train 3000 -test 300 -seed 5 -min-parties 3)
+
+"$BIN/fedserver" "${SHARED[@]}" -addr "$ADDR" -checkpoint-dir "$CKPT" \
+  > "$WORK/server1.log" 2>&1 &
+SERVER_PID=$!
+
+"$BIN/fedparty" "${SHARED[@]}" -addr "$ADDR" -index 0 -rejoin > "$WORK/p0.log" 2>&1 & P0=$!
+"$BIN/fedparty" "${SHARED[@]}" -addr "$ADDR" -index 1 -rejoin > "$WORK/p1.log" 2>&1 & P1=$!
+"$BIN/fedparty" "${SHARED[@]}" -addr "$ADDR" -index 2 -rejoin > "$WORK/p2.log" 2>&1 & P2=$!
+
+# Wait for the first durable round boundary, then kill the server dead.
+for _ in $(seq 1 1500); do
+  [ -s "$CKPT/federation.snap" ] && break
+  sleep 0.02
+done
+if [ ! -s "$CKPT/federation.snap" ]; then
+  echo "FAIL: no snapshot appeared"; cat "$WORK/server1.log"; exit 1
+fi
+if ! kill -9 "$SERVER_PID" 2>/dev/null; then
+  echo "FAIL: server finished before the kill landed — crash not exercised"
+  cat "$WORK/server1.log"; exit 1
+fi
+wait "$SERVER_PID" 2>/dev/null || true
+echo "server killed after first durable round; restarting from $CKPT"
+
+"$BIN/fedserver" "${SHARED[@]}" -addr "$ADDR" -checkpoint-dir "$CKPT" \
+  > "$WORK/server2.log" 2>&1 &
+SERVER_PID=$!
+
+if ! wait "$SERVER_PID"; then
+  echo "FAIL: restarted server did not complete"; cat "$WORK/server2.log"; exit 1
+fi
+grep -q "restored snapshot at round" "$WORK/server2.log" || {
+  echo "FAIL: restarted server did not restore the snapshot"; cat "$WORK/server2.log"; exit 1; }
+grep -q "final accuracy" "$WORK/server2.log" || {
+  echo "FAIL: restarted server produced no result"; cat "$WORK/server2.log"; exit 1; }
+
+for P in "$P0" "$P1" "$P2"; do
+  wait "$P" || { echo "FAIL: a party exited non-zero"; cat "$WORK"/p*.log; exit 1; }
+done
+
+echo "crash-restart smoke OK:"
+grep -E "restored snapshot|final accuracy" "$WORK/server2.log"
