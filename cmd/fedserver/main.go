@@ -86,8 +86,12 @@ func main() {
 		fmt.Printf("fedserver: seeded initial model from %s\n", srv.LoadModel)
 	}
 
-	fmt.Printf("fedserver: listening on %s for %d parties (%s on %s, %s), wire protocol v%d (admits >= v%d)\n",
-		ln.Addr(), shared.Parties, cfg.Algorithm, shared.Dataset, shared.Partition, simnet.ProtoVersion, simnet.MinProtoVersion)
+	mode := "synchronous rounds"
+	if cfg.AsyncBuffer > 0 {
+		mode = fmt.Sprintf("buffered-async, new global every %d folds", cfg.AsyncBuffer)
+	}
+	fmt.Printf("fedserver: listening on %s for %d parties (%s on %s, %s; %s), wire protocol v%d (admits >= v%d)\n",
+		ln.Addr(), shared.Parties, cfg.Algorithm, shared.Dataset, shared.Partition, mode, simnet.ProtoVersion, simnet.MinProtoVersion)
 	res, err := ln.AcceptAndRun(shared.Parties, cfg, spec, test)
 	if err != nil {
 		log.Fatal(err)
@@ -99,6 +103,10 @@ func main() {
 	fmt.Println(report.Curve("test accuracy", accs))
 	fmt.Printf("final accuracy %s, %s per round on the wire\n",
 		report.Percent(res.FinalAccuracy), report.Bytes(res.CommBytesPerRound))
+	if res.Async != nil {
+		fmt.Printf("async: %d folds over %d generations, staleness mean %.2f max %d\n",
+			res.Async.Folds, len(res.Curve), res.Async.MeanStaleness, res.Async.MaxStaleness)
+	}
 	if *saveModel != "" {
 		if err := fl.SaveStateFile(*saveModel, res.FinalState); err != nil {
 			log.Fatal(err)

@@ -28,6 +28,7 @@ import (
 	"github.com/niid-bench/niidbench/internal/partition"
 	"github.com/niid-bench/niidbench/internal/report"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/simnet"
 	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
@@ -192,6 +193,9 @@ func cmdRun(args []string) error {
 	dtypeName := fs.String("dtype", "float64", "local-training compute precision: float64 or float32 (SIMD fast path)")
 	chunk := fs.Int("chunk", 65536, "stream broadcasts and updates in chunks of this many float64 elements (0 = whole messages); bit-identical either way")
 	chunkWindow := fs.Int("chunk-window", 4, "decoded chunk frames the server buffers per connection before backpressure")
+	asyncBuffer := fs.Int("async-buffer", 0, "buffered-async aggregation: fold updates as they arrive and publish a new global every M folds (0 = synchronous rounds)")
+	staleness := fs.Float64("staleness", 0, "async staleness-discount exponent a in 1/(1+tau)^a (0 = default 0.5)")
+	foldAhead := fs.Int("fold-ahead", 0, "sync chunked mode: parties past the fold cursor allowed to stage decoded updates (0 = default 4, 1 = serial drain)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,25 +224,28 @@ func cmdRun(args []string) error {
 		return err
 	}
 	cfg := fl.Config{
-		Algorithm:       fl.Algorithm(*algo),
-		Rounds:          *rounds,
-		LocalEpochs:     *epochs,
-		BatchSize:       *batch,
-		LR:              *lr,
-		Momentum:        0.9,
-		Mu:              *mu,
-		Alpha:           *alpha,
-		MoonMu:          *moonMu,
-		SampleFraction:  *fraction,
-		Seed:            *seed,
-		ServerOptimizer: fl.ServerOpt(*serverOpt),
-		Sampling:        fl.PartySampling(*sampling),
-		DPClip:          *dpClip,
-		DPNoise:         *dpNoise,
-		CompressTopK:    *topK,
-		DType:           dtype,
-		ChunkSize:       *chunk,
-		ChunkWindow:     *chunkWindow,
+		Algorithm:         fl.Algorithm(*algo),
+		Rounds:            *rounds,
+		LocalEpochs:       *epochs,
+		BatchSize:         *batch,
+		LR:                *lr,
+		Momentum:          0.9,
+		Mu:                *mu,
+		Alpha:             *alpha,
+		MoonMu:            *moonMu,
+		SampleFraction:    *fraction,
+		Seed:              *seed,
+		ServerOptimizer:   fl.ServerOpt(*serverOpt),
+		Sampling:          fl.PartySampling(*sampling),
+		DPClip:            *dpClip,
+		DPNoise:           *dpNoise,
+		CompressTopK:      *topK,
+		DType:             dtype,
+		ChunkSize:         *chunk,
+		ChunkWindow:       *chunkWindow,
+		AsyncBuffer:       *asyncBuffer,
+		StalenessExponent: *staleness,
+		FoldAhead:         *foldAhead,
 	}
 	var res *fl.Result
 	if *useTCP {
@@ -246,6 +253,14 @@ func cmdRun(args []string) error {
 			return fmt.Errorf("-load-model is not supported with -tcp")
 		}
 		res, err = runOverTCP(cfg, spec, locals, test)
+	} else if *asyncBuffer > 0 {
+		// Buffered-async aggregation is a transport-level protocol; the
+		// in-process lockstep Simulation has no notion of it, so run the
+		// federation over in-memory pipes instead.
+		if *loadModel != "" {
+			return fmt.Errorf("-load-model is not supported with -async-buffer")
+		}
+		res, err = simnet.RunLocal(cfg, spec, locals, test)
 	} else {
 		var sim *fl.Simulation
 		sim, err = fl.NewSimulation(cfg, spec, locals, test)
@@ -288,6 +303,10 @@ func printResult(dataset string, strat partition.Strategy, res *fl.Result) {
 	fmt.Printf("final accuracy: %s (best %s)\n", report.Percent(res.FinalAccuracy), report.Percent(res.BestAccuracy))
 	fmt.Printf("communication: %s/round, %s total\n", report.Bytes(res.CommBytesPerRound), report.Bytes(float64(res.TotalCommBytes)))
 	fmt.Printf("computation: %v total\n", res.ComputeTime)
+	if res.Async != nil {
+		fmt.Printf("async: %d folds over %d generations, staleness mean %.2f max %d\n",
+			res.Async.Folds, len(res.Curve), res.Async.MeanStaleness, res.Async.MaxStaleness)
+	}
 }
 
 func cmdPartitionStats(args []string) error {

@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "ablations",
+		"chaos", "async",
 	}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
@@ -125,6 +126,19 @@ func TestExperimentsSmoke(t *testing.T) {
 		}
 		if len(out.String()) < 50 {
 			t.Fatalf("%s produced almost no output: %q", id, out.String())
+		}
+	}
+}
+
+func TestAsyncSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := Run("async", Options{Scale: Smoke, Out: &out, Seed: 3, Datasets: []string{"adult"}}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"sync", "async M=1", "staleness", "folds"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("async output missing %q:\n%s", want, s)
 		}
 	}
 }

@@ -64,6 +64,19 @@ type Shared struct {
 	FaultSeed       uint64
 	DropProb        float64
 	Latency, Jitter time.Duration
+	// AsyncBuffer switches the server to buffered-async aggregation: it
+	// folds updates the moment they arrive and publishes a new global
+	// model every AsyncBuffer folds instead of running lockstep rounds
+	// (0 = synchronous). The server's value decides the mode; parties
+	// follow whichever protocol the server speaks.
+	AsyncBuffer int
+	// Staleness is the async staleness-discount exponent a in
+	// s(tau) = 1/(1+tau)^a (0 = the default 0.5).
+	Staleness float64
+	// FoldAhead bounds how many parties past the synchronous fold cursor
+	// may stage fully-decoded updates while they wait their turn
+	// (0 = the default 4; 1 reproduces the legacy serial drain).
+	FoldAhead int
 }
 
 // Register wires the shared flags into fs.
@@ -93,6 +106,9 @@ func (s *Shared) Register(fs *flag.FlagSet) {
 	fs.Float64Var(&s.DropProb, "drop-prob", 0, "party: per-frame probability of killing the connection (fault injection)")
 	fs.DurationVar(&s.Latency, "latency", 0, "party: injected delay per sent frame (fault injection)")
 	fs.DurationVar(&s.Jitter, "jitter", 0, "party: extra uniform delay per sent frame on top of -latency")
+	fs.IntVar(&s.AsyncBuffer, "async-buffer", 0, "buffered-async aggregation: fold updates as they arrive and publish a new global every M folds (0 = synchronous rounds); the server's value decides the mode")
+	fs.Float64Var(&s.Staleness, "staleness", 0, "async staleness-discount exponent a in 1/(1+tau)^a (0 = default 0.5)")
+	fs.IntVar(&s.FoldAhead, "fold-ahead", 0, "sync chunked mode: parties past the fold cursor allowed to stage decoded updates (0 = default 4, 1 = serial drain)")
 }
 
 // Server carries the server-only durability flags: where (and how often)
@@ -173,17 +189,20 @@ func (s *Shared) Build() (fl.Config, nn.ModelSpec, []*data.Dataset, *data.Datase
 		return fl.Config{}, nn.ModelSpec{}, nil, nil, err
 	}
 	cfg := fl.Config{
-		Algorithm:   fl.Algorithm(s.Algo),
-		Rounds:      s.Rounds,
-		LocalEpochs: s.Epochs,
-		BatchSize:   s.Batch,
-		LR:          s.LR,
-		Momentum:    0.9,
-		Mu:          s.Mu,
-		Seed:        s.Seed,
-		ChunkSize:   s.Chunk,
-		ChunkWindow: s.ChunkWindow,
-		MinParties:  s.MinParties,
+		Algorithm:         fl.Algorithm(s.Algo),
+		Rounds:            s.Rounds,
+		LocalEpochs:       s.Epochs,
+		BatchSize:         s.Batch,
+		LR:                s.LR,
+		Momentum:          0.9,
+		Mu:                s.Mu,
+		Seed:              s.Seed,
+		ChunkSize:         s.Chunk,
+		ChunkWindow:       s.ChunkWindow,
+		MinParties:        s.MinParties,
+		AsyncBuffer:       s.AsyncBuffer,
+		StalenessExponent: s.Staleness,
+		FoldAhead:         s.FoldAhead,
 	}
 	if _, err := cfg.Normalize(); err != nil {
 		return fl.Config{}, nn.ModelSpec{}, nil, nil, err

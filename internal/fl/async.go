@@ -1,0 +1,358 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// This file implements buffered-asynchronous aggregation (Config.AsyncBuffer):
+// the FedBuff-style relaxation of the synchronous round. The server folds
+// updates the moment they arrive, each weighted by a staleness discount
+// s(tau) = 1/(1+tau)^StalenessExponent where tau is how many global
+// generations behind the update's base model is, and mints a new global
+// generation every AsyncBuffer folds instead of barriering on the sampled
+// set. A generation plays the role a round plays in the synchronous engine:
+// it is the unit of metrics, evaluation cadence and checkpointing, and the
+// run completes after Config.Rounds generations.
+//
+// Unlike the synchronous path, async runs are not bitwise reproducible —
+// the fold order is the arrival order, which depends on scheduling — so
+// they are characterized statistically (accuracy-vs-generations,
+// accuracy-vs-wall-clock), the way the paper characterizes its algorithms.
+
+// AsyncTransport is implemented by transports that can drive the
+// buffered-async mode: RunAsync pushes every arriving update into the
+// coordinator (from any number of receiver goroutines) and rebroadcasts
+// the global after each flush, returning once the coordinator reports the
+// run complete or the federation is lost.
+type AsyncTransport interface {
+	// PartyMeta returns the aggregation metadata of party id.
+	PartyMeta(id int) UpdateMeta
+	// RunAsync feeds updates into the coordinator until Done.
+	RunAsync(c *AsyncCoordinator) error
+}
+
+// AsyncStats summarizes a buffered-async run: how many updates folded, how
+// stale they were, and how many arrived too stale or malformed to use.
+type AsyncStats struct {
+	// Folds is the number of updates folded into flushes.
+	Folds int
+	// MeanStaleness and MaxStaleness describe the generation lag
+	// distribution over all folded updates.
+	MeanStaleness float64
+	MaxStaleness  int
+}
+
+// AsyncCoordinator serializes the buffered-async aggregation: transports
+// call Fold from their receiver goroutines as updates complete, and the
+// coordinator owns the flush schedule, staleness weighting, metrics,
+// evaluation cadence and checkpointing. All methods are safe for
+// concurrent use.
+type AsyncCoordinator struct {
+	e  *Engine
+	mu sync.Mutex
+
+	gen    int  // completed flushes == current global generation
+	done   bool // gen reached Config.Rounds
+	failed error
+	// buffer is the effective flush threshold: Config.AsyncBuffer clamped
+	// to the party count, because each party contributes at most one
+	// update per generation it receives — a threshold above the
+	// population could never fill.
+	buffer int
+
+	// Flush-buffer accumulators, reset every AsyncBuffer folds.
+	buffered int
+	sumW     float64 // sum of discounted fold weights
+	tauNum   float64 // FedNova: sum of weight*tau over the buffer
+	loss     float64
+	ids      []int
+	lastAt   time.Time
+
+	// Run accumulators.
+	curve   []RoundMetrics
+	best    float64
+	bytes   int64
+	compute time.Duration
+	stats   AsyncStats
+	meter   byteMeter
+}
+
+func newAsyncCoordinator(e *Engine, tr AsyncTransport) *AsyncCoordinator {
+	c := &AsyncCoordinator{e: e, gen: e.startRound, lastAt: time.Now()}
+	if bm, ok := tr.(byteMeter); ok {
+		c.meter = bm
+	}
+	if e.restored != nil {
+		c.curve = append(c.curve, e.restored.Curve...)
+		c.best = e.restored.BestAccuracy
+		c.bytes = e.restored.TotalCommBytes
+		c.compute = e.restored.ComputeTime
+	}
+	c.done = c.gen >= e.cfg.Rounds
+	c.buffer = e.cfg.AsyncBuffer
+	if n := e.server.numParties; n > 0 && c.buffer > n {
+		c.buffer = n
+	}
+	if s := e.server; s.agg == nil {
+		s.agg = make([]float64, len(s.state))
+	}
+	return c
+}
+
+// Generation returns the current global generation (the number of
+// completed flushes).
+func (c *AsyncCoordinator) Generation() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Done reports whether the run has minted its final generation.
+func (c *AsyncCoordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done
+}
+
+// Failed returns the error that poisoned the run (a flush-boundary
+// checkpoint failure), or nil. Transports use it to stop feeding a run
+// that can no longer complete.
+func (c *AsyncCoordinator) Failed() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
+// GlobalSnapshot returns a copy of the current global state (and SCAFFOLD
+// control variate; nil otherwise) together with the generation it belongs
+// to, for broadcast to the parties.
+func (c *AsyncCoordinator) GlobalSnapshot() (gen int, state, control []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	state = append([]float64{}, c.e.server.State()...)
+	if sc := c.e.server.Control(); sc != nil {
+		control = append([]float64{}, sc...)
+	}
+	return c.gen, state, control
+}
+
+// staleness returns the discount s(tau) = 1/(1+tau)^a.
+func (c *AsyncCoordinator) staleness(tau int) float64 {
+	return 1 / math.Pow(1+float64(tau), c.e.cfg.StalenessExponent)
+}
+
+// Fold folds one complete update that trained against generation
+// trainedGen into the open flush buffer. It returns flushed=true when this
+// fold closed a buffer and minted a new generation (the transport should
+// then rebroadcast GlobalSnapshot), and done=true once the run has
+// completed all configured generations — folds after that are ignored.
+// A non-nil error means the update was rejected (malformed, or from a
+// future generation) and the transport should evict its party; the run
+// itself is not poisoned.
+func (c *AsyncCoordinator) Fold(id int, u Update, trainedGen int) (flushed, done bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return false, true, nil
+	}
+	if c.failed != nil {
+		return false, true, c.failed
+	}
+	s := c.e.server
+	if len(u.Delta) != len(s.state) {
+		return false, false, fmt.Errorf("fl: async update length %d, state %d", len(u.Delta), len(s.state))
+	}
+	if s.cfg.Algorithm == Scaffold && len(u.DeltaC) != s.paramLen {
+		return false, false, fmt.Errorf("fl: async SCAFFOLD update control length %d, want %d", len(u.DeltaC), s.paramLen)
+	}
+	if !validTau(u.N, u.Tau) {
+		return false, false, fmt.Errorf("fl: async update with non-positive tau %d", u.Tau)
+	}
+	if trainedGen < 0 || trainedGen > c.gen {
+		return false, false, fmt.Errorf("fl: async update trained against generation %d, current is %d", trainedGen, c.gen)
+	}
+	tau := c.gen - trainedGen
+	disc := c.staleness(tau)
+
+	// Base weight mirrors the synchronous rules — n_i (weighted), 1
+	// (unweighted and FedDyn's unweighted participant mean), n_i/tau_i
+	// scaled by the buffer's effective step count for FedNova — except the
+	// normalizer is the flush buffer's discounted weight sum instead of a
+	// round's sample, so the update magnitude stays scale-stable under any
+	// mix of stalenesses.
+	base := float64(u.N)
+	if s.cfg.Unweighted || s.cfg.Algorithm == FedDyn {
+		base = 1
+	}
+	w := base * disc
+	fold := w
+	if s.cfg.Algorithm == FedNova {
+		if u.Tau == 0 {
+			fold = 0
+		} else {
+			fold = w / float64(u.Tau)
+		}
+		c.tauNum += w * float64(u.Tau)
+	}
+	for i, d := range u.Delta {
+		s.agg[i] += fold * d
+	}
+	if s.cfg.Algorithm == FedDyn {
+		for i := 0; i < s.paramLen; i++ {
+			s.dynH[i] += disc * s.cfg.Alpha * u.Delta[i] / float64(s.numParties)
+		}
+	}
+	if s.cfg.Algorithm == Scaffold {
+		for i, d := range u.DeltaC {
+			s.control[i] += disc * d / float64(s.numParties)
+		}
+	}
+	c.sumW += w
+	c.buffered++
+	c.loss += u.TrainLoss
+	c.ids = append(c.ids, id)
+	c.stats.Folds++
+	c.stats.MeanStaleness += float64(tau) // sum; divided at Result assembly
+	if tau > c.stats.MaxStaleness {
+		c.stats.MaxStaleness = tau
+	}
+	if c.buffered < c.buffer {
+		return false, false, nil
+	}
+	if err := c.flush(); err != nil {
+		c.failed = err
+		return true, true, err
+	}
+	return true, c.done, nil
+}
+
+// flush closes the buffer: normalizes the accumulator by the discounted
+// weight sum, applies it through the server optimizer, records the
+// generation's metrics, evaluates on cadence and checkpoints. Called with
+// mu held.
+func (c *AsyncCoordinator) flush() error {
+	s := c.e.server
+	scale := 0.0
+	if c.sumW > 0 {
+		if s.cfg.Algorithm == FedNova {
+			// agg holds sum(w_i/tau_i * delta_i); the effective step count
+			// over the buffer is tauNum/sumW, and each weight normalizes by
+			// sumW, so the net scalar is tauNum/sumW^2.
+			scale = c.tauNum / (c.sumW * c.sumW)
+		} else {
+			scale = 1 / c.sumW
+		}
+	}
+	if scale != 0 {
+		for i := range s.agg {
+			s.agg[i] *= scale
+		}
+		s.applyUpdate(s.agg)
+		if s.cfg.Algorithm == FedDyn {
+			for i := 0; i < s.paramLen; i++ {
+				s.state[i] -= s.dynH[i] / s.cfg.Alpha
+			}
+		}
+	}
+	for i := range s.agg {
+		s.agg[i] = 0
+	}
+
+	g := c.gen
+	c.gen++
+	c.done = c.gen >= c.e.cfg.Rounds
+	now := time.Now()
+	m := RoundMetrics{
+		Round:        g,
+		TestAccuracy: -1,
+		TrainLoss:    c.loss / float64(c.buffered),
+		Duration:     now.Sub(c.lastAt),
+		Sampled:      append([]int(nil), c.ids...),
+	}
+	c.lastAt = now
+	if c.meter != nil {
+		m.CommBytes = c.meter.RoundBytes()
+	}
+	c.compute += m.Duration
+	if (g+1)%c.e.cfg.EvalEvery == 0 || g == c.e.cfg.Rounds-1 {
+		if c.e.eval != nil {
+			m.TestAccuracy = c.e.eval.Accuracy(s.State())
+			if m.TestAccuracy > c.best {
+				c.best = m.TestAccuracy
+			}
+		}
+	}
+	c.curve = append(c.curve, m)
+	c.bytes += m.CommBytes
+	c.buffered = 0
+	c.sumW = 0
+	c.tauNum = 0
+	c.loss = 0
+	c.ids = c.ids[:0]
+	return c.checkpoint(g)
+}
+
+// checkpoint fires the engine's Checkpoint hook on the configured cadence,
+// treating one generation as one round. Called with mu held.
+func (c *AsyncCoordinator) checkpoint(g int) error {
+	e := c.e
+	if e.Checkpoint == nil {
+		return nil
+	}
+	every := e.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	if (g+1)%every != 0 && g != e.cfg.Rounds-1 {
+		return nil
+	}
+	if err := e.Checkpoint(e.Snapshot(g+1, c.curve, c.best, c.bytes, c.compute)); err != nil {
+		return fmt.Errorf("fl: generation %d checkpoint: %w", g, err)
+	}
+	return nil
+}
+
+// RunAsync executes a buffered-async federation over the transport and
+// assembles the Result. The transport owns delivery and broadcast; the
+// coordinator owns aggregation, staleness weighting, metrics and
+// durability. Requires Config.AsyncBuffer > 0.
+func (e *Engine) RunAsync(tr AsyncTransport) (*Result, error) {
+	if e.cfg.AsyncBuffer <= 0 {
+		return nil, fmt.Errorf("fl: RunAsync needs AsyncBuffer > 0")
+	}
+	c := newAsyncCoordinator(e, tr)
+	if err := tr.RunAsync(c); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, c.failed
+	}
+	if !c.done {
+		return nil, fmt.Errorf("fl: async transport stopped at generation %d of %d", c.gen, e.cfg.Rounds)
+	}
+	res := &Result{
+		Config:         e.cfg,
+		ParamCount:     e.server.paramLen,
+		StateCount:     len(e.server.State()),
+		Curve:          c.curve,
+		BestAccuracy:   c.best,
+		TotalCommBytes: c.bytes,
+		ComputeTime:    c.compute,
+		FinalState:     append([]float64{}, e.server.State()...),
+	}
+	stats := c.stats
+	if stats.Folds > 0 {
+		stats.MeanStaleness /= float64(stats.Folds)
+	}
+	res.Async = &stats
+	if len(res.Curve) > 0 {
+		res.CommBytesPerRound = float64(res.TotalCommBytes) / float64(len(res.Curve))
+		res.FinalAccuracy = res.Curve[len(res.Curve)-1].TestAccuracy
+	}
+	return res, nil
+}

@@ -1,0 +1,230 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/nn"
+	"github.com/niid-bench/niidbench/internal/partition"
+	"github.com/niid-bench/niidbench/internal/rng"
+)
+
+func adultSpec() nn.ModelSpec {
+	spec, err := data.Model("adult")
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+func asyncFixture(t *testing.T) ([]*data.Dataset, *data.Dataset) {
+	t.Helper()
+	train, test, err := data.Load("adult", data.Config{TrainN: 300, TestN: 120, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, 3, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return locals, test
+}
+
+// lockstepAsync drives the coordinator like a synchronous federation:
+// every generation, every client trains against the current global and
+// folds immediately, in party order. With AsyncBuffer equal to the party
+// count every fold lands with zero staleness and the flush closes exactly
+// when the last client folds; with a smaller buffer the later clients of
+// an outer pass fold against an already-advanced generation, exercising
+// the staleness discount deterministically.
+type lockstepAsync struct {
+	sim *Simulation
+}
+
+func (l *lockstepAsync) PartyMeta(id int) UpdateMeta {
+	n := l.sim.Clients[id].Data.Len()
+	return UpdateMeta{N: n, Tau: PredictTau(l.sim.Cfg, n)}
+}
+
+func (l *lockstepAsync) RunAsync(c *AsyncCoordinator) error {
+	for !c.Done() {
+		gen, state, control := c.GlobalSnapshot()
+		for id, cl := range l.sim.Clients {
+			p := cl.TrainStream(state, control, l.sim.Cfg)
+			_, done, err := c.Fold(id, p.Update(), gen)
+			p.Release()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// TestAsyncLockstepMatchesSyncAllAlgorithms pins the buffered-async
+// aggregation semantics against the synchronous reference: when the async
+// schedule degenerates to lockstep — buffer equal to the party count, so
+// every generation folds exactly one zero-staleness update per party in
+// party order — the math is the synchronous round's for all six
+// algorithms (the discount is identically 1, and the flush normalizer
+// equals the round's weight sum). The floating-point grouping differs
+// (the sync fold pre-normalizes each weight, the async flush divides
+// once), so the comparison is near-equality, not bitwise.
+func TestAsyncLockstepMatchesSyncAllAlgorithms(t *testing.T) {
+	locals, test := asyncFixture(t)
+	for _, alg := range ExtendedAlgorithms() {
+		t.Run(string(alg), func(t *testing.T) {
+			cfg := Config{Algorithm: alg, Rounds: 2, LocalEpochs: 1, BatchSize: 32,
+				LR: 0.05, Mu: 0.01, Seed: 5}
+			sync, err := NewSimulation(cfg, adultSpec(), locals, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sync.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			acfg := cfg
+			acfg.AsyncBuffer = len(locals)
+			asim, err := NewSimulation(acfg, adultSpec(), locals, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := asim.engine.RunAsync(&lockstepAsync{sim: asim})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Async == nil {
+				t.Fatal("async run reported no AsyncStats")
+			}
+			if wantFolds := cfg.Rounds * len(locals); got.Async.Folds != wantFolds {
+				t.Fatalf("folds %d, want %d", got.Async.Folds, wantFolds)
+			}
+			if got.Async.MaxStaleness != 0 || got.Async.MeanStaleness != 0 {
+				t.Fatalf("lockstep schedule reported staleness (mean %v, max %d)",
+					got.Async.MeanStaleness, got.Async.MaxStaleness)
+			}
+			if len(got.FinalState) != len(want.FinalState) {
+				t.Fatalf("state length %d, want %d", len(got.FinalState), len(want.FinalState))
+			}
+			for i := range want.FinalState {
+				a, b := got.FinalState[i], want.FinalState[i]
+				scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+				if math.Abs(a-b) > 1e-6*scale {
+					t.Fatalf("state[%d]: async %v vs sync %v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestAsyncBufferClampsToParties pins the flush threshold clamp: each
+// party contributes at most one update per generation it receives, so a
+// buffer above the population could never fill and the run would stall.
+// The effective buffer must be the party count.
+func TestAsyncBufferClampsToParties(t *testing.T) {
+	locals, test := asyncFixture(t)
+	cfg := Config{Algorithm: FedAvg, Rounds: 2, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, AsyncBuffer: 64}
+	sim, err := NewSimulation(cfg, adultSpec(), locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.engine.RunAsync(&lockstepAsync{sim: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantFolds := cfg.Rounds * len(locals); res.Async.Folds != wantFolds {
+		t.Fatalf("folds %d, want %d (buffer not clamped to %d parties)",
+			res.Async.Folds, wantFolds, len(locals))
+	}
+}
+
+// TestAsyncStalenessAccounting runs the deterministic stale schedule:
+// buffer 1 with 3 lockstep clients flushes after every fold, so each
+// outer pass folds at staleness 0, 1, 2 — mean exactly 1, max exactly 2 —
+// and the run completes in one pass per three generations.
+func TestAsyncStalenessAccounting(t *testing.T) {
+	locals, test := asyncFixture(t)
+	cfg := Config{Algorithm: FedAvg, Rounds: 3, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, AsyncBuffer: 1}
+	sim, err := NewSimulation(cfg, adultSpec(), locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.engine.RunAsync(&lockstepAsync{sim: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Async.Folds != 3 {
+		t.Fatalf("folds %d, want 3", res.Async.Folds)
+	}
+	if res.Async.MeanStaleness != 1 || res.Async.MaxStaleness != 2 {
+		t.Fatalf("staleness mean %v max %d, want mean 1 max 2",
+			res.Async.MeanStaleness, res.Async.MaxStaleness)
+	}
+	for i, v := range res.FinalState {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("state[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestAsyncFoldRejections pins the coordinator's validation contract: a
+// malformed update (wrong length, future generation) is rejected with an
+// error but does not poison the run, and folds after completion are
+// ignored with done=true.
+func TestAsyncFoldRejections(t *testing.T) {
+	locals, test := asyncFixture(t)
+	cfg := Config{Algorithm: FedAvg, Rounds: 1, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, AsyncBuffer: 3}
+	sim, err := NewSimulation(cfg, adultSpec(), locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newAsyncCoordinator(sim.engine, nil)
+
+	if d := c.staleness(0); d != 1 {
+		t.Fatalf("staleness discount at tau 0: %v", d)
+	}
+	if d, want := c.staleness(1), 1/math.Sqrt(2); math.Abs(d-want) > 1e-15 {
+		t.Fatalf("staleness discount at tau 1: %v, want %v (default exponent 0.5)", d, want)
+	}
+
+	stateLen := len(sim.server.State())
+	good := func() Update {
+		n := locals[0].Len()
+		return Update{Delta: make([]float64, stateLen), N: n, Tau: PredictTau(sim.Cfg, n)}
+	}
+
+	if _, _, err := c.Fold(0, Update{Delta: make([]float64, 3), N: 10, Tau: 1}, 0); err == nil {
+		t.Fatal("short delta accepted")
+	}
+	if _, _, err := c.Fold(0, good(), 5); err == nil {
+		t.Fatal("future-generation update accepted")
+	}
+	u := good()
+	u.Tau = 0
+	if _, _, err := c.Fold(0, u, 0); err == nil {
+		t.Fatal("non-positive tau accepted")
+	}
+
+	// Fill the only generation; the run completes on the third fold.
+	for i := 0; i < 3; i++ {
+		flushed, done, err := c.Fold(i, good(), 0)
+		if err != nil {
+			t.Fatalf("fold %d: %v", i, err)
+		}
+		if (i == 2) != flushed || (i == 2) != done {
+			t.Fatalf("fold %d: flushed=%v done=%v", i, flushed, done)
+		}
+	}
+	if flushed, done, err := c.Fold(0, good(), 0); flushed || !done || err != nil {
+		t.Fatalf("post-completion fold: flushed=%v done=%v err=%v", flushed, done, err)
+	}
+}

@@ -307,6 +307,8 @@ func ConfigFingerprint(cfg Config) uint64 {
 	mixF(cfg.DPNoise)
 	mixF(cfg.CompressTopK)
 	mix(uint64(cfg.DType))
+	mix(uint64(cfg.AsyncBuffer))
+	mixF(cfg.StalenessExponent)
 	return h
 }
 

@@ -156,6 +156,33 @@ type Config struct {
 	// folds in lockstep with arrival. 0 means the default of 4; negative
 	// values are rejected. Ignored when ChunkSize is 0.
 	ChunkWindow int
+	// AsyncBuffer, when positive, switches the simnet transports from
+	// lockstep rounds to buffered-asynchronous aggregation: the server
+	// folds updates the moment they arrive — each weighted by a staleness
+	// discount keyed to the model generation the party trained against —
+	// and mints a new global generation every AsyncBuffer folds instead of
+	// barriering on the whole sample. Stragglers then cost only their own
+	// updates' freshness, never the round clock. Asynchronous runs are NOT
+	// bitwise reproducible (arrival order is scheduling-dependent); they
+	// are characterized statistically, accuracy-vs-generations and
+	// accuracy-vs-wall-clock. 0 (the default) keeps synchronous rounds,
+	// which remain bitwise pinned. SampleFraction is ignored in async mode:
+	// every live party trains continuously.
+	AsyncBuffer int
+	// StalenessExponent shapes the async staleness discount
+	// s(tau) = 1/(1+tau)^a, where tau is how many generations behind the
+	// current global an update's base model was. 0 means the default 0.5
+	// (square-root decay, the common FedBuff setting); larger values
+	// suppress stale updates harder. Ignored when AsyncBuffer is 0.
+	StalenessExponent float64
+	// FoldAhead bounds how many completed reply streams the synchronous
+	// chunked fold may stage ahead of the in-order fold cursor. The fold
+	// order (and therefore the result) is unchanged — bitwise identical
+	// for any value — but parties within the horizon drain their streams
+	// concurrently instead of serially behind a straggler, at
+	// O(FoldAhead x state) extra transient memory from the shared pool.
+	// 0 means the default 4; 1 reproduces the legacy serial drain.
+	FoldAhead int
 	// MinParties is the round quorum under elastic membership: a round
 	// attempt whose live party set (alive + rejoined, excluding suspects
 	// and evicted parties) is smaller than this is skipped and retried
@@ -285,6 +312,21 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.MinParties == 0 {
 		c.MinParties = 1
+	}
+	if c.AsyncBuffer < 0 {
+		return c, fmt.Errorf("fl: negative async buffer %d", c.AsyncBuffer)
+	}
+	if c.StalenessExponent < 0 {
+		return c, fmt.Errorf("fl: negative staleness exponent %v", c.StalenessExponent)
+	}
+	if c.StalenessExponent == 0 {
+		c.StalenessExponent = 0.5
+	}
+	if c.FoldAhead < 0 {
+		return c, fmt.Errorf("fl: negative fold-ahead %d", c.FoldAhead)
+	}
+	if c.FoldAhead == 0 {
+		c.FoldAhead = 4
 	}
 	if c.QuorumRetries < 0 {
 		return c, fmt.Errorf("fl: negative quorum retry budget %d", c.QuorumRetries)

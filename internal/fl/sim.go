@@ -47,6 +47,9 @@ type Result struct {
 	// FinalState is the final global model state (parameters then
 	// buffers), suitable for SaveStateFile.
 	FinalState []float64
+	// Async summarizes the buffered-async run (nil for synchronous
+	// rounds): fold count and staleness distribution.
+	Async *AsyncStats
 }
 
 // Simulation drives a full federated run over in-process parties. It is

@@ -68,7 +68,11 @@ type chanConn struct {
 	send   chan<- []byte
 	recv   <-chan []byte
 	closed chan struct{}
-	slot   *globalSlot // shared with the peer end for broadcast interning
+	// closeOnce is shared by both ends: either side (or both, racing —
+	// a party closing its session while the server tears the pipe down)
+	// may Close, and exactly one of them closes the shared channel.
+	closeOnce *sync.Once
+	slot      *globalSlot // shared with the peer end for broadcast interning
 }
 
 // Pipe returns two connected in-memory Conns. Because both ends live in
@@ -79,9 +83,10 @@ func Pipe() (Conn, Conn) {
 	ab := make(chan []byte, 4)
 	ba := make(chan []byte, 4)
 	closed := make(chan struct{})
+	once := new(sync.Once)
 	slot := &globalSlot{}
-	a := &chanConn{send: ab, recv: ba, closed: closed, slot: slot}
-	b := &chanConn{send: ba, recv: ab, closed: closed, slot: slot}
+	a := &chanConn{send: ab, recv: ba, closed: closed, closeOnce: once, slot: slot}
+	b := &chanConn{send: ba, recv: ab, closed: closed, closeOnce: once, slot: slot}
 	return a, b
 }
 
@@ -162,11 +167,7 @@ func (c *chanConn) Recv() ([]byte, error) {
 }
 
 func (c *chanConn) Close() error {
-	select {
-	case <-c.closed:
-	default:
-		close(c.closed)
-	}
+	c.closeOnce.Do(func() { close(c.closed) })
 	return nil
 }
 

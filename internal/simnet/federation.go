@@ -104,9 +104,8 @@ type Federation struct {
 	// ResyncMsg. Updated transactionally: a round's staged deltas are
 	// applied only after the stream's FinishUpdate succeeds, so corrupted
 	// or dropped streams never diverge the tracked value.
-	resyncC   [][]float64
-	ctrlStage []float64 // staging for the in-flight stream's control suffix
-	ctrlLen   int       // this round's control-vector length (0 outside SCAFFOLD)
+	resyncC [][]float64
+	ctrlLen int // this round's control-vector length (0 outside SCAFFOLD)
 
 	roundsDone int   // completed rounds, for the ResyncMsg round stamp
 	prevBytes  int64 // byte watermark for per-round accounting
@@ -198,9 +197,13 @@ type partySession struct {
 	id     int
 	cfg    fl.Config
 	client *fl.Client
-	frame  []byte    // reused chunk-frame encode buffer
-	dlBuf  []float64 // chunked-downlink assembly buffer, reused across rounds
-	hello  HelloMsg  // identity fields; Rejoin varies per attempt
+	frame  []byte // reused chunk-frame encode buffer
+	// dlFree recycles chunked-downlink assembly buffers across rounds and
+	// reconnects; the downlink reader draws from it and Release returns
+	// to it, so a steady synchronous session holds one state-length
+	// buffer, and a pipelined one at most the few in flight.
+	dlFree chan []float64
+	hello  HelloMsg // identity fields; Rejoin varies per attempt
 	// progressed flips once a session receives its first round broadcast —
 	// proof the server admitted this party, which is what makes a later
 	// redial a rejoin rather than a first contact.
@@ -309,90 +312,92 @@ func (s *partySession) run(conn Conn, token string, rejoin bool, helloTimeout ti
 		}
 		s.progressed = true // the server honored the rejoin
 	}
-	helloPending := true
-	for {
-		raw, err := conn.Recv()
-		if err != nil {
-			return fmt.Errorf("simnet: party %d recv: %w", s.id, err)
-		}
-		if helloPending {
-			helloPending = false
-			s.progressed = true
-			if helloTimeout > 0 && hasDeadline {
-				// The server answered; round gaps are its RoundTimeout's
-				// business, not the hello deadline's.
-				_ = dl.SetReadDeadline(time.Time{})
-			}
-		}
-		var g GlobalMsg
-		if len(raw) > 0 && raw[0] == msgGlobalChunk {
-			// Chunked downlink frames bypass the generic decoder so the
-			// round's FIRST frame also decodes straight into the
-			// persistent assembly buffer — once the buffer has grown to
-			// the model's stream length, a whole round's broadcast costs
-			// zero allocations, first frame included.
-			first, err := UnmarshalGlobalChunkInto(raw, s.dlBuf[:0])
-			if err != nil {
-				return fmt.Errorf("simnet: party %d decode: %w", s.id, err)
-			}
-			if g, err = recvGlobalChunked(conn, first, &s.dlBuf, s.client.StateCount()+s.client.ParamCount()); err != nil {
-				return fmt.Errorf("simnet: party %d: %w", s.id, err)
-			}
-		} else {
-			msg, err := Unmarshal(raw)
-			if err != nil {
-				return fmt.Errorf("simnet: party %d decode: %w", s.id, err)
-			}
-			switch m := msg.(type) {
-			case ShutdownMsg:
-				return nil
-			case GlobalMsg:
-				g = m
-			case GlobalRefMsg:
-				if g, err = takeGlobalRef(conn, m); err != nil {
-					return fmt.Errorf("simnet: party %d: %w", s.id, err)
-				}
-			default:
-				return fmt.Errorf("simnet: party %d unexpected message %T", s.id, msg)
-			}
-		}
-		s.client.SetComputeBudget(tensor.Compute{Workers: g.Budget})
-		if s.cacheOn && s.cache.valid && g.Round == s.cache.round {
-			// The server re-asked for a round this session already trained
-			// — it restored from a checkpoint taken before our reply
-			// landed, or our uplink died mid-send. Replay the cached reply
-			// verbatim; retraining would advance the client's RNG and
-			// per-algorithm state a second time and fork the run.
-			if err := s.replayReply(conn, g); err != nil {
-				return fmt.Errorf("simnet: party %d replay: %w", s.id, err)
-			}
-			continue
-		}
-		var cache *replyCache
-		if s.cacheOn {
-			cache = &s.cache
-		}
-		if g.Chunk > 0 {
-			if err := partyTrainChunked(conn, s.client, g, s.cfg, &s.frame, cache); err != nil {
-				return fmt.Errorf("simnet: party %d: %w", s.id, err)
-			}
-			continue
-		}
-		up := s.client.LocalTrain(g.State, g.Control, s.cfg)
-		if cache != nil {
-			cache.store(g.Round, up)
-		}
-		reply, err := Marshal(UpdateMsg{
-			Round: g.Round, N: up.N, Tau: up.Tau,
-			TrainLoss: up.TrainLoss, Delta: up.Delta, DeltaC: up.DeltaC,
-		})
-		if err != nil {
-			return err
-		}
-		if err := conn.Send(reply); err != nil {
-			return fmt.Errorf("simnet: party %d send: %w", s.id, err)
+	// The downlink reader owns Recv for the rest of this connection's
+	// life: broadcasts assemble (and queue) while the loop below trains,
+	// so downlink latency hides behind compute. Sends — replies and
+	// replays — stay on this goroutine: a conn has exactly one sender and
+	// one receiver at all times.
+	var clear func()
+	if helloTimeout > 0 && hasDeadline {
+		clear = func() {
+			// The server answered; round gaps are its RoundTimeout's
+			// business, not the hello deadline's.
+			_ = dl.SetReadDeadline(time.Time{})
 		}
 	}
+	if s.dlFree == nil {
+		s.dlFree = make(chan []float64, 4)
+	}
+	r := newDownlinkReader(conn, s.client.StateCount()+s.client.ParamCount(), s.dlFree, clear)
+	go r.loop()
+	defer r.stop()
+	for {
+		it := r.next()
+		if it.shutdown {
+			s.progressed = true
+			return nil
+		}
+		if it.err != nil {
+			if it.got {
+				s.progressed = true
+			}
+			return fmt.Errorf("simnet: party %d recv: %w", s.id, it.err)
+		}
+		s.progressed = true
+		if err := s.handleGlobal(conn, it.g); err != nil {
+			return err
+		}
+	}
+}
+
+// handleGlobal answers one round broadcast: replay, chunked prefix
+// training, or the monolithic reply. The handle is always released —
+// returning its assembly buffer to the session's free list — whatever
+// the outcome.
+func (s *partySession) handleGlobal(conn Conn, ig *incomingGlobal) error {
+	defer ig.Release()
+	s.client.SetComputeBudget(tensor.Compute{Workers: ig.budget})
+	if s.cacheOn && s.cache.valid && ig.round == s.cache.round {
+		// The server re-asked for a round this session already trained
+		// — it restored from a checkpoint taken before our reply
+		// landed, or our uplink died mid-send. Replay the cached reply
+		// verbatim; retraining would advance the client's RNG and
+		// per-algorithm state a second time and fork the run.
+		if err := s.replayReply(conn, GlobalMsg{Round: ig.round, Chunk: ig.chunk}); err != nil {
+			return fmt.Errorf("simnet: party %d replay: %w", s.id, err)
+		}
+		return nil
+	}
+	var cache *replyCache
+	if s.cacheOn {
+		cache = &s.cache
+	}
+	if ig.chunk > 0 {
+		if err := partyTrainChunked(conn, s.client, ig, s.cfg, &s.frame, cache); err != nil {
+			return fmt.Errorf("simnet: party %d: %w", s.id, err)
+		}
+		return nil
+	}
+	// Monolithic handles are published complete; the wait is a no-op
+	// guard.
+	if !ig.WaitAll() {
+		return fmt.Errorf("simnet: party %d recv: %w", s.id, ig.Err())
+	}
+	up := s.client.LocalTrain(ig.state, ig.control, s.cfg)
+	if cache != nil {
+		cache.store(ig.round, up)
+	}
+	reply, err := Marshal(UpdateMsg{
+		Round: ig.round, N: up.N, Tau: up.Tau,
+		TrainLoss: up.TrainLoss, Delta: up.Delta, DeltaC: up.DeltaC,
+	})
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(reply); err != nil {
+		return fmt.Errorf("simnet: party %d send: %w", s.id, err)
+	}
+	return nil
 }
 
 // replayReply re-sends the cached uplink for g.Round in whichever framing
@@ -517,25 +522,30 @@ func recvGlobalChunked(conn Conn, first GlobalChunkMsg, buf *[]float64, max int)
 	return g, nil
 }
 
-// partyTrainChunked trains one round and streams the update as
+// partyTrainChunked trains one round — beginning on the broadcast's
+// in-order state prefix while later downlink chunks are still in flight
+// (fl.Client.TrainStreamPrefixed) — and streams the update back as
 // UpdateChunkMsg frames of the server-requested size. Each frame
 // serializes a view into the client's pooled workspace through one reused
 // encode buffer, so the party never materializes a second state-length
 // vector for the reply.
-func partyTrainChunked(conn Conn, client *fl.Client, m GlobalMsg, cfg fl.Config, frame *[]byte, cache *replyCache) error {
-	p := client.TrainStream(m.State, m.Control, cfg)
+func partyTrainChunked(conn Conn, client *fl.Client, ig *incomingGlobal, cfg fl.Config, frame *[]byte, cache *replyCache) error {
+	p, err := client.TrainStreamPrefixed(ig, cfg)
+	if err != nil {
+		return err
+	}
 	defer p.Release()
 	if cache != nil {
 		// Capture before streaming: even a reply that dies mid-send was
 		// trained, and must be replayed (not retrained) when the round is
 		// re-asked.
-		cache.store(m.Round, p.Update())
+		cache.store(ig.round, p.Update())
 	}
 	u := p.Trailer()
 	total := p.StreamLen()
-	return p.Chunks(m.Chunk, func(offset int, chunk []float64) error {
+	return p.Chunks(ig.chunk, func(offset int, chunk []float64) error {
 		b, err := AppendMarshal((*frame)[:0], UpdateChunkMsg{
-			Round: m.Round, Offset: offset, Total: total,
+			Round: ig.round, Offset: offset, Total: total,
 			N: u.N, Tau: u.Tau, TrainLoss: u.TrainLoss,
 			Last:  offset+len(chunk) == total,
 			Chunk: chunk,
@@ -570,6 +580,11 @@ func RunLocal(cfg fl.Config, spec nn.ModelSpec, locals []*data.Dataset, test *da
 		go func(i int, ds *data.Dataset, conn Conn) {
 			defer wg.Done()
 			partyErrs[i] = ServeParty(conn, i, ds, spec, cfg, cfg.Seed+uint64(i)*7919+13, "")
+			// Close the party end when the session is over — the async
+			// server's receivers drain each conn until EOF, and the pipe
+			// only delivers one once an end closes (the TCP party's dial
+			// wrapper closes its socket the same way).
+			_ = conn.Close()
 		}(i, ds, partySide)
 	}
 	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns, local: true}
@@ -1300,9 +1315,10 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 	limit := recvLimitFor(f.Cfg.ChunkSize, len(global), len(control))
 	f.ctrlLen = len(control)
 	if f.Cfg.ChunkSize > 0 {
-		failed := f.broadcastChunked(gm, sampled, limit)
+		bf := &globalFrames{gm: gm, chunk: f.Cfg.ChunkSize}
+		failed := f.broadcastChunked(gm, bf, sampled, limit)
 		if len(failed) > 0 && f.RejoinGrace > 0 {
-			f.healBroadcast(gm, failed, limit)
+			f.healBroadcast(gm, bf, failed, limit)
 		}
 		if err := f.recvChunked(round, sampled, sink); err != nil {
 			return err
@@ -1380,7 +1396,7 @@ func (f *Federation) TrainRound(round int, sampled []int, global, control []floa
 // fold drops it). Evictions are applied only after every sender has
 // finished, so the fold's upfront dead-party reads never race a sender.
 // The IDs whose broadcast failed are returned for the heal window.
-func (f *Federation) broadcastChunked(gm GlobalMsg, sampled []int, limit uint32) []int {
+func (f *Federation) broadcastChunked(gm GlobalMsg, bf *globalFrames, sampled []int, limit uint32) []int {
 	var wg sync.WaitGroup
 	errs := make([]error, len(sampled))
 	for j, id := range sampled {
@@ -1392,7 +1408,7 @@ func (f *Federation) broadcastChunked(gm GlobalMsg, sampled []int, limit uint32)
 		wg.Add(1)
 		go func(j int, c *CountingConn) {
 			defer wg.Done()
-			errs[j] = f.sendGlobal(c, gm)
+			errs[j] = f.sendGlobal(c, gm, bf)
 		}(j, c)
 	}
 	wg.Wait()
@@ -1416,7 +1432,7 @@ func (f *Federation) broadcastChunked(gm GlobalMsg, sampled []int, limit uint32)
 // the aggregation is bitwise what it would have been without the fault.
 // Parties that do not come back in time stay suspect and are dropped by
 // the fold as usual. Round loop goroutine only.
-func (f *Federation) healBroadcast(gm GlobalMsg, failed []int, limit uint32) {
+func (f *Federation) healBroadcast(gm GlobalMsg, bf *globalFrames, failed []int, limit uint32) {
 	deadline := time.Now().Add(f.RejoinGrace)
 	poll := f.RejoinGrace / 50
 	if poll < time.Millisecond {
@@ -1434,7 +1450,7 @@ func (f *Federation) healBroadcast(gm GlobalMsg, failed []int, limit uint32) {
 			}
 			c := f.byParty[id]
 			c.SetRecvLimit(limit)
-			if err := f.sendGlobal(c, gm); err != nil {
+			if err := f.sendGlobal(c, gm, bf); err != nil {
 				f.evict(id, false, err)
 				continue
 			}
@@ -1443,33 +1459,66 @@ func (f *Federation) healBroadcast(gm GlobalMsg, failed []int, limit uint32) {
 	}
 }
 
+// globalFrames is a round broadcast's encode-once frame cache: the first
+// serializing sender marshals every GlobalChunkMsg frame exactly once,
+// and all later senders (the per-party broadcast goroutines and the heal
+// window's resends) ship the same immutable byte slices. Server encode
+// CPU is flat in K — a serialized round broadcast costs one encode pass
+// no matter how many TCP parties receive it — mirroring the pipe-side
+// GlobalRefMsg interning one layer down. Safe for concurrent use; the
+// slices must never be mutated after publication (tcpConn writes them
+// out, chanConn copies them).
+type globalFrames struct {
+	gm    GlobalMsg
+	chunk int
+	once  sync.Once
+	fr    [][]byte
+	err   error
+}
+
+// frames returns the shared serialized broadcast, encoding it on first
+// use so rounds whose conns all intern (all-pipe federations) never pay
+// for a serialization nobody reads.
+func (b *globalFrames) frames() ([][]byte, error) {
+	b.once.Do(func() {
+		total := len(b.gm.State) + len(b.gm.Control)
+		b.err = fl.ChunkStream(b.gm.State, b.gm.Control, b.chunk, func(off int, chunk []float64) error {
+			enc, err := Marshal(GlobalChunkMsg{
+				Round: b.gm.Round, Offset: off, Total: total, CtrlLen: len(b.gm.Control),
+				Budget: b.gm.Budget, Chunk: b.gm.Chunk,
+				Last:    off+len(chunk) == total,
+				Payload: chunk,
+			})
+			if err != nil {
+				return err
+			}
+			b.fr = append(b.fr, enc)
+			return nil
+		})
+	})
+	return b.fr, b.err
+}
+
 // sendGlobal ships one round broadcast to one party: published by
 // reference when the conn supports interning (in-process pipes — the
 // party then reads the server's buffer directly, so K parties hold one
-// copy), and otherwise streamed as GlobalChunkMsg frames of the
-// negotiated chunk size — state first, then SCAFFOLD's control, frames
-// never crossing the seam, mirroring the uplink framing. One encode
-// buffer is recycled across frames, so the sender never materializes a
-// second serialized copy of the state.
-func (f *Federation) sendGlobal(c *CountingConn, gm GlobalMsg) error {
+// copy), and otherwise as the round's shared encode-once frame set —
+// state first, then SCAFFOLD's control, frames never crossing the seam,
+// mirroring the uplink framing.
+func (f *Federation) sendGlobal(c *CountingConn, gm GlobalMsg, bf *globalFrames) error {
 	if handled, err := c.SendGlobalRef(gm); handled {
 		return err
 	}
-	total := len(gm.State) + len(gm.Control)
-	var frame []byte
-	return fl.ChunkStream(gm.State, gm.Control, f.Cfg.ChunkSize, func(off int, chunk []float64) error {
-		b, err := AppendMarshal(frame[:0], GlobalChunkMsg{
-			Round: gm.Round, Offset: off, Total: total, CtrlLen: len(gm.Control),
-			Budget: gm.Budget, Chunk: gm.Chunk,
-			Last:    off+len(chunk) == total,
-			Payload: chunk,
-		})
-		if err != nil {
+	frames, err := bf.frames()
+	if err != nil {
+		return err
+	}
+	for _, fr := range frames {
+		if err := c.Send(fr); err != nil {
 			return err
 		}
-		frame = b
-		return c.Send(b)
-	})
+	}
+	return nil
 }
 
 // chunkFrame is one decoded reply frame in flight between a connection's
@@ -1486,18 +1535,94 @@ type chunkFrame struct {
 	fatal bool
 }
 
+// foldGate bounds how far past the fold cursor the staging goroutines
+// may run: stager j may assemble its stream only once j < cursor +
+// ahead, so at most `ahead` complete streams are staged beyond the one
+// being folded — O(FoldAhead x stream) transient pool memory, no matter
+// how out-of-order the arrivals are. advance moves the cursor one slot
+// (folded, dropped, or dead — every slot counts); abort releases every
+// waiter when the round dies.
+type foldGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cursor  int
+	ahead   int
+	aborted bool
+}
+
+func newFoldGate(ahead int) *foldGate {
+	g := &foldGate{ahead: ahead}
+	if g.ahead < 1 {
+		g.ahead = 1
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// waitTurn blocks until slot j is within the staging window (always
+// immediate for the cursor slot itself) and reports false when the round
+// aborted instead.
+func (g *foldGate) waitTurn(j int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for j >= g.cursor+g.ahead && !g.aborted {
+		g.cond.Wait()
+	}
+	return !g.aborted
+}
+
+func (g *foldGate) advance() {
+	g.mu.Lock()
+	g.cursor++
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+func (g *foldGate) abort() {
+	g.mu.Lock()
+	g.aborted = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// stagedStream is one party's fully assembled (or failed) reply stream,
+// handed from its staging goroutine to the fold loop. buf holds the
+// complete stream values [0, total); whoever discards it returns it to
+// the shared pool.
+type stagedStream struct {
+	buf     *tensor.Tensor
+	trailer fl.Update
+	err     error
+	fatal   bool
+}
+
+var errRoundAborted = fmt.Errorf("simnet: round aborted")
+
 // recvChunked receives the sampled parties' chunk streams concurrently —
-// each connection feeding a bounded frame window — and folds them in
-// sampled order. A party whose stream arrives malformed (or whose conn
-// dies mid-stream) is dropped from the round, not fatal to it.
+// each connection feeding a bounded frame window into a per-party
+// staging goroutine — and folds the assembled streams in sampled order.
+// Staging is what fixes the serial straggler drain: every party's stream
+// is validated and assembled the moment its frames arrive (subject to
+// the fold-ahead window), so one slow party delays the fold by only its
+// own stream, never by holding the sample-order cursor while faster
+// later-slot parties sit buffered. The fold itself stays in sampled
+// order over whole assembled streams, so the aggregation's
+// floating-point sequence is bitwise what the serial drain produced. A
+// party whose stream arrives malformed (or whose conn dies mid-stream)
+// is dropped from the round, not fatal to it.
 func (f *Federation) recvChunked(round int, sampled []int, sink *fl.RoundSink) error {
 	frames := make([]chan chunkFrame, len(sampled))
+	staged := make([]chan stagedStream, len(sampled))
 	window := f.window()
+	gate := newFoldGate(f.Cfg.FoldAhead)
+	total := sink.StreamLen()
+	stateLen := total - f.ctrlLen
 	for j, id := range sampled {
 		if f.down(id) {
 			continue // no receiver; the fold drops this slot upfront
 		}
 		frames[j] = make(chan chunkFrame, window)
+		staged[j] = make(chan stagedStream, 1)
 		go func(j, id int) {
 			defer close(frames[j])
 			conn := f.byParty[id]
@@ -1523,78 +1648,99 @@ func (f *Federation) recvChunked(round int, sampled []int, sink *fl.RoundSink) e
 				}
 			}
 		}(j, id)
+		go f.stageChunkStream(j, id, round, total, sink.Meta(j), frames[j], staged[j], gate)
+	}
+	// fatal aborts the round: release every stager still waiting on the
+	// gate and recycle whatever the in-flight ones deliver, so no
+	// goroutine or pooled buffer outlives the round.
+	fatal := func(from int, err error) error {
+		gate.abort()
+		for _, ch := range staged[from:] {
+			if ch == nil {
+				continue
+			}
+			go func(ch chan stagedStream) {
+				if st := <-ch; st.buf != nil {
+					tensor.Shared.Put(st.buf)
+				}
+			}(ch)
+		}
+		return err
 	}
 	for j, id := range sampled {
-		var err error
 		if f.down(id) {
-			err = sink.Drop(j, fmt.Errorf("simnet: party %d left the federation in an earlier round", id))
-		} else {
-			err = f.foldChunkStream(j, id, round, frames[j], sink)
+			if err := sink.Drop(j, fmt.Errorf("simnet: party %d left the federation in an earlier round", id)); err != nil {
+				return fatal(j+1, err)
+			}
+			gate.advance()
+			continue
+		}
+		st := <-staged[j]
+		if st.err != nil {
+			// The stager classified the failure: fatal for the party's own
+			// framing (protocol violation, permanent), non-fatal for
+			// transport loss. Eviction stays on the round loop goroutine.
+			f.evict(id, st.fatal, st.err)
+			if err := sink.Drop(j, st.err); err != nil {
+				return fatal(j+1, err)
+			}
+			gate.advance()
+			continue
+		}
+		data := st.buf.Data()[:total]
+		err := sink.AddChunk(j, 0, data)
+		if err == nil {
+			err = sink.FinishUpdate(j, st.trailer)
 		}
 		if err != nil {
-			// Fatal round abort: unblock every remaining receiver (their
-			// windows may be full) so no goroutine outlives the round.
-			for _, ch := range frames[j:] {
-				if ch == nil {
-					continue
-				}
-				go func(ch chan chunkFrame) {
-					for fr := range ch {
-						if fr.buf != nil {
-							tensor.Shared.Put(fr.buf)
-						}
-					}
-				}(ch)
+			tensor.Shared.Put(st.buf)
+			f.evict(id, true, err)
+			if derr := sink.Drop(j, err); derr != nil {
+				return fatal(j+1, derr)
 			}
-			return err
+			gate.advance()
+			continue
 		}
+		f.applyControlDelta(id, data[stateLen:])
+		tensor.Shared.Put(st.buf)
+		gate.advance()
 	}
 	return nil
 }
 
-// foldChunkStream consumes one party's frame stream, staging valid chunks
-// into the server accumulator and completing the update at the Last
-// marker. Any malformed frame — wrong round, bad total, out-of-order or
-// oversized offset, inconsistent trailer — or a mid-stream transport
-// error drops this party's update (the round re-weights around it) and
-// evicts the party: closing its conn is what guarantees its receiver
-// goroutine terminates even if the Last marker never comes, so a
-// re-sampled conn can never end up with two concurrent readers. A
-// non-nil return means the round itself cannot continue.
-func (f *Federation) foldChunkStream(j, id, round int, frames chan chunkFrame, sink *fl.RoundSink) error {
-	total := sink.StreamLen()
-	meta := sink.Meta(j)
-	// The stream's tail [total-ctrlLen, total) is the party's SCAFFOLD
-	// control delta: stage it while folding so resyncC can be advanced —
-	// but only once FinishUpdate accepts the whole stream, so a stream
-	// dropped at frame k never half-applies its delta.
-	stateLen := total - f.ctrlLen
-	if f.ctrlLen > 0 {
-		if cap(f.ctrlStage) < f.ctrlLen {
-			f.ctrlStage = make([]float64, f.ctrlLen)
-		}
-		f.ctrlStage = f.ctrlStage[:f.ctrlLen]
-	}
-	drop := func(cause error, permanent bool) error {
-		f.evict(id, permanent, cause)
-		if err := sink.Drop(j, cause); err != nil {
-			return err
-		}
-		// Drain (and recycle) whatever the receiver still forwards; it
-		// stops at the Last marker or — forced by the eviction's conn
-		// close at the latest — on conn error.
-		go func() {
-			for fr := range frames {
-				if fr.buf != nil {
-					tensor.Shared.Put(fr.buf)
-				}
+// stageChunkStream assembles one party's frame stream into a pooled
+// buffer, validating every frame — wrong round, bad total, mismatched
+// trailer meta, oversized chunk, out-of-order or overflowing offset,
+// inconsistent last marker — as it lands, and hands the fold loop either
+// the complete stream or the classified failure. It always sends exactly
+// one stagedStream on out, then drains (and recycles) any frames its
+// receiver still forwards; the receiver stops at the Last marker or —
+// forced by the eviction's conn close at the latest — on conn error, so
+// a re-sampled conn can never end up with two concurrent readers.
+func (f *Federation) stageChunkStream(j, id, round, total int, meta fl.UpdateMeta, frames chan chunkFrame, out chan stagedStream, gate *foldGate) {
+	finish := func(st stagedStream) {
+		out <- st
+		for fr := range frames {
+			if fr.buf != nil {
+				tensor.Shared.Put(fr.buf)
 			}
-		}()
-		return nil
+		}
+	}
+	if !gate.waitTurn(j) {
+		finish(stagedStream{err: errRoundAborted})
+		return
+	}
+	buf := tensor.Shared.GetRaw(tensor.Float64, total)
+	data := buf.Data()
+	done := 0
+	fail := func(err error, fatal bool) {
+		tensor.Shared.Put(buf)
+		finish(stagedStream{err: err, fatal: fatal})
 	}
 	for fr := range frames {
 		if fr.err != nil {
-			return drop(fr.err, fr.fatal)
+			fail(fr.err, fr.fatal)
+			return
 		}
 		m := fr.msg
 		var err error
@@ -1614,6 +1760,10 @@ func (f *Federation) foldChunkStream(j, id, round int, frames chan chunkFrame, s
 			// above it (up to one whole state vector) would reintroduce
 			// the O(conns x state) buffering this mode exists to bound.
 			err = fmt.Errorf("simnet: party %d sent a %d-element frame, chunk size is %d", id, len(m.Chunk), f.Cfg.ChunkSize)
+		case m.Offset != done:
+			err = fmt.Errorf("simnet: party %d sent frame offset %d, expected %d", id, m.Offset, done)
+		case m.Offset+len(m.Chunk) > total:
+			err = fmt.Errorf("simnet: party %d frame [%d,%d) overflows stream length %d", id, m.Offset, m.Offset+len(m.Chunk), total)
 		case m.Last != (m.Offset+len(m.Chunk) == total):
 			err = fmt.Errorf("simnet: party %d frame [%d,%d) of %d has inconsistent last marker", id, m.Offset, m.Offset+len(m.Chunk), total)
 		case len(m.Chunk) == 0 && !m.Last:
@@ -1621,36 +1771,27 @@ func (f *Federation) foldChunkStream(j, id, round int, frames chan chunkFrame, s
 			// accepting one would let a party occupy its round slot
 			// forever without progressing its offset.
 			err = fmt.Errorf("simnet: party %d sent an empty non-final frame at offset %d", id, m.Offset)
-		default:
-			if err = sink.AddChunk(j, m.Offset, m.Chunk); err == nil && f.ctrlLen > 0 {
-				if m.Offset+len(m.Chunk) > stateLen {
-					skip := stateLen - m.Offset // chunk part still in the state region
-					if skip < 0 {
-						skip = 0
-					}
-					copy(f.ctrlStage[m.Offset+skip-stateLen:], m.Chunk[skip:])
-				}
-			}
 		}
-		last := err == nil && m.Last
-		trailer := fl.Update{N: m.N, Tau: m.Tau, TrainLoss: m.TrainLoss}
-		tensor.Shared.Put(fr.buf)
 		if err != nil {
+			tensor.Shared.Put(fr.buf)
 			// Every branch above is the party's own framing at fault:
 			// protocol violation, permanent.
-			return drop(err, true)
+			fail(err, true)
+			return
 		}
+		copy(data[done:], m.Chunk)
+		done += len(m.Chunk)
+		last := m.Last
+		trailer := fl.Update{N: m.N, Tau: m.Tau, TrainLoss: m.TrainLoss}
+		tensor.Shared.Put(fr.buf)
 		if last {
-			if err := sink.FinishUpdate(j, trailer); err != nil {
-				return drop(err, true)
-			}
-			f.applyControlDelta(id, f.ctrlStage[:f.ctrlLen])
-			return nil
+			finish(stagedStream{buf: buf, trailer: trailer})
+			return
 		}
 	}
 	// The receiver closed the channel without a Last marker or an error
 	// frame — it cannot, but fail safe rather than hang the round open.
-	return drop(fmt.Errorf("simnet: party %d chunk stream ended early", id), false)
+	fail(fmt.Errorf("simnet: party %d chunk stream ended early", id), false)
 }
 
 // applyControlDelta advances the party's tracked SCAFFOLD control variate
@@ -1776,10 +1917,17 @@ func (f *Federation) serve(numParties int) (*fl.Result, error) {
 			return f.Checkpoint(snap)
 		}
 	}
+	if cfg.AsyncBuffer > 0 {
+		return engine.RunAsync(f)
+	}
 	return engine.Run(f)
 }
 
 func (f *Federation) totalBytes() int64 {
+	// memMu: conns grows when a rejoin is installed, and in async mode
+	// the per-flush byte accounting reads from receiver goroutines.
+	f.memMu.Lock()
+	defer f.memMu.Unlock()
 	var total int64
 	for _, c := range f.conns {
 		total += c.Sent() + c.Received()

@@ -39,6 +39,7 @@ import (
 	"github.com/niid-bench/niidbench/internal/nn"
 	"github.com/niid-bench/niidbench/internal/partition"
 	"github.com/niid-bench/niidbench/internal/rng"
+	"github.com/niid-bench/niidbench/internal/simnet"
 	"github.com/niid-bench/niidbench/internal/tensor"
 )
 
@@ -119,6 +120,10 @@ const (
 // communication and computation costs).
 type Result = fl.Result
 
+// AsyncStats summarizes a buffered-async run: how many updates were
+// folded and how stale they were (see Result.Async; nil on sync runs).
+type AsyncStats = fl.AsyncStats
+
 // ModelSpec describes a model architecture and input geometry.
 type ModelSpec = nn.ModelSpec
 
@@ -149,6 +154,14 @@ func StatsOf(p Partition, labels []int, classes int) PartitionStats {
 
 // RunFederated partitions train with the strategy and runs the configured
 // federated algorithm, evaluating on test each round.
+//
+// Setting RunConfig.AsyncBuffer > 0 switches the run to buffered-async
+// aggregation: parties train and stream continuously, the server folds
+// each update the moment it arrives (discounted by staleness,
+// s(tau) = 1/(1+tau)^StalenessExponent) and publishes a new global model
+// every AsyncBuffer folds. The Result then carries one Curve entry per
+// model generation plus AsyncStats, and the run executes over in-process
+// transport pipes rather than the lockstep simulation.
 func RunFederated(cfg RunConfig, dataset string, strat Strategy, parties int, train, test *Dataset) (*Result, error) {
 	_, locals, err := strat.Split(train, parties, rng.New(cfg.Seed+0x9e37))
 	if err != nil {
@@ -158,16 +171,15 @@ func RunFederated(cfg RunConfig, dataset string, strat Strategy, parties int, tr
 	if err != nil {
 		return nil, err
 	}
-	sim, err := fl.NewSimulation(cfg, spec, locals, test)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run()
+	return RunFederatedWithSpec(cfg, spec, locals, test)
 }
 
 // RunFederatedWithSpec is RunFederated for custom models and pre-split
 // local datasets.
 func RunFederatedWithSpec(cfg RunConfig, spec ModelSpec, locals []*Dataset, test *Dataset) (*Result, error) {
+	if cfg.AsyncBuffer > 0 {
+		return simnet.RunLocal(cfg, spec, locals, test)
+	}
 	sim, err := fl.NewSimulation(cfg, spec, locals, test)
 	if err != nil {
 		return nil, err

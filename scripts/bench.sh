@@ -45,6 +45,13 @@ go test -run '^$' \
 go test -run '^$' \
   -bench 'BenchmarkRoundChurn' \
   -benchtime "${CHURNBENCHTIME:-2x}" ./internal/simnet/ | tee -a "$TMP"
+# Straggler resilience: global-model refresh rate with a quarter of the
+# parties on +5ms/frame links, synchronous rounds vs buffered-async at
+# buffer M in {1, K/4, K} (reports rounds/sec; async should beat sync by
+# >=2x at small M because rounds no longer wait for the slowest party).
+go test -run '^$' \
+  -bench 'BenchmarkRoundAsync' \
+  -benchtime "${ASYNCBENCHTIME:-2x}" ./internal/simnet/ | tee -a "$TMP"
 
 awk '
 BEGIN { print "{"; first = 1 }
