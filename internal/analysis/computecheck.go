@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ComputeCheck mechanizes the per-context parallelism discipline from
+// PR 3: process-global parallelism state is banned from the hot path.
+//
+//  1. The deprecated global shims — tensor.SetKernelParallelism,
+//     tensor.KernelParallelism, tensor.CapKernelsPerWorker — may be
+//     referenced only inside package tensor itself (the shim
+//     implementation and its regression tests). Anywhere else, two
+//     concurrent simulations in one process overwrite each other's
+//     setting; thread a tensor.Compute budget instead.
+//  2. The package-level kernel wrappers (tensor.MatMulInto and friends,
+//     which consult the deprecated global) may not be called from
+//     non-test code outside package tensor: kernel entry points must
+//     thread an explicit tensor.Compute receiver
+//     (Compute{Workers: n}.MatMulInto(...)).
+var ComputeCheck = &Analyzer{
+	Name: "computecheck",
+	Doc:  "forbid global-parallelism shims and free kernel wrappers outside internal/tensor; kernels take a tensor.Compute",
+	Run:  runComputeCheck,
+}
+
+// globalShims are the deprecated process-global knobs.
+var globalShims = map[string]bool{
+	"SetKernelParallelism": true,
+	"KernelParallelism":    true,
+	"CapKernelsPerWorker":  true,
+}
+
+// freeKernelWrappers are the package-level kernel entry points that run
+// under the deprecated global budget instead of an explicit Compute.
+var freeKernelWrappers = map[string]bool{
+	"MatMul":           true,
+	"MatMulInto":       true,
+	"MatMulTransAInto": true,
+	"MatMulTransBInto": true,
+	"Im2Col":           true,
+	"Im2ColInto":       true,
+	"Col2Im":           true,
+	"Col2ImInto":       true,
+}
+
+func runComputeCheck(pass *Pass) error {
+	if PkgIs(pass.Pkg, "tensor") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		isTest := pass.IsTestFile(f.Pos())
+		walk(f, func(n ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || !PkgIs(fn.Pkg(), "tensor") {
+				return
+			}
+			if fn.Signature().Recv() != nil {
+				return // Compute methods are exactly what callers should use
+			}
+			switch {
+			case globalShims[fn.Name()]:
+				pass.Reportf(id.Pos(), "tensor.%s is a deprecated process-global parallelism shim; outside internal/tensor, thread a tensor.Compute budget instead", fn.Name())
+			case !isTest && freeKernelWrappers[fn.Name()]:
+				pass.Reportf(id.Pos(), "tensor.%s runs under the deprecated global parallelism knob; kernel entry points must thread a tensor.Compute receiver (Compute{Workers: n}.%s)", fn.Name(), fn.Name())
+			}
+		})
+	}
+	return nil
+}

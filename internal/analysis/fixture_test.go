@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantPatternRe extracts the quoted or backquoted regexes from a
+// `// want "re1" `+"`re2`"+` ...` expectation comment.
+var wantPatternRe = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// runFixture loads testdata/<check>/src/<path> for each named fixture
+// package, runs the analyzer (with //lint:allow suppression applied,
+// exactly as niidlint does), and matches the surviving diagnostics
+// against the fixture's // want comments strictly in both directions:
+// a diagnostic with no matching want fails the test, and a want with no
+// matching diagnostic fails the test. Flipping either side of a fixture
+// therefore flips the test.
+func runFixture(t *testing.T, a *Analyzer, check string, pkgs ...string) {
+	t.Helper()
+	root := filepath.Join("testdata", check)
+	loader := SharedLoader()
+	for _, path := range pkgs {
+		pkg, err := loader.LoadFixture(root, path)
+		if err != nil {
+			t.Fatalf("loading fixture %s/%s: %v", check, path, err)
+		}
+		diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on fixture %s: %v", a.Name, path, err)
+		}
+		wants := collectWants(t, pkg)
+		for _, d := range diags {
+			key := wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+			matched := false
+			for i, w := range wants[key] {
+				if w != nil && w.MatchString(d.Message) {
+					wants[key][i] = nil
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, d.Check, d.Message)
+			}
+		}
+		for key, ws := range wants {
+			for _, w := range ws {
+				if w != nil {
+					t.Errorf("%s/src/%s: %s:%d: no diagnostic matched want %q", check, path, key.file, key.line, w)
+				}
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants parses every // want comment in the fixture package into
+// per-line compiled regexes.
+func collectWants(t *testing.T, pkg *Package) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := wantKey{file: filepath.Base(pos.Filename), line: pos.Line}
+				matches := wantPatternRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: // want comment with no quoted pattern", pos)
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeakCheck mechanizes the receiver-goroutine discipline of the
+// transport layer: every goroutine spawned in internal/simnet or
+// internal/fl must have a provable exit path. Concretely, an
+// unconditional `for { ... }` loop reachable from a `go` statement —
+// in the goroutine's own literal body or in a same-package function it
+// calls (followed to depth 3) — must contain a way out: a return, a
+// break/goto, or a call that never returns (panic, runtime.Goexit,
+// os.Exit, log.Fatal*, t.Fatal*). Loops with a condition terminate when
+// it turns false; `range` over a slice terminates, and `range` over a
+// channel exits when the sender closes it, which in this codebase is
+// always tied to a conn close — both are accepted.
+//
+// A goroutine whose only loop spins with no exit is exactly the leaked
+// receiver the goroutine-leak test registry keeps catching after the
+// fact; this check refuses it at build time. Genuinely intentional
+// spinners (none exist today) must carry
+// //lint:allow leakcheck <reason>.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "goroutines in simnet/fl must have a provable exit path (no unconditional loop without return/break)",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) error {
+	if !PkgIs(pass.Pkg, "fl") && !PkgIs(pass.Pkg, "simnet") {
+		return nil
+	}
+	funcDecls := indexFuncDecls(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		walk(f, func(n ast.Node) {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			checkGoroutineExit(pass, gs, funcDecls)
+		})
+	}
+	return nil
+}
+
+// indexFuncDecls maps this package's function and method objects to
+// their declarations so goroutine bodies can be followed through calls.
+func indexFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				idx[fn] = fd
+			}
+		}
+	}
+	return idx
+}
+
+func checkGoroutineExit(pass *Pass, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) {
+	var bodies []*ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		bodies = append(bodies, fun.Body)
+	default:
+		if fn := calleeObj(pass.TypesInfo, gs.Call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				bodies = append(bodies, fd.Body)
+			}
+		}
+	}
+	seen := make(map[*ast.BlockStmt]bool)
+	var visit func(body *ast.BlockStmt, depth int)
+	visit = func(body *ast.BlockStmt, depth int) {
+		if body == nil || seen[body] || depth > 3 {
+			return
+		}
+		seen[body] = true
+		walk(body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Cond == nil && !loopHasExit(pass, n) {
+					pass.Reportf(gs.Pos(), "goroutine reaches an unconditional loop (at %s) with no return, break, or terminating call: no provable exit path — tie its exit to a conn close, a context, or the goroutine-leak test registry", pass.Fset.Position(n.Pos()))
+				}
+			case *ast.CallExpr:
+				if fn := calleeObj(pass.TypesInfo, n); fn != nil && fn.Pkg() == pass.Pkg {
+					if fd, ok := decls[fn]; ok {
+						visit(fd.Body, depth+1)
+					}
+				}
+			}
+		})
+	}
+	for _, b := range bodies {
+		visit(b, 1)
+	}
+}
+
+// loopHasExit reports whether an unconditional for loop contains, outside
+// any nested function literal, a statement that can leave it.
+func loopHasExit(pass *Pass, loop *ast.ForStmt) bool {
+	found := false
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a return in a closure does not exit the loop
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			// break and goto leave the loop; labelled continue does not,
+			// but distinguishing labels here buys nothing — an author
+			// writing labelled control flow has an exit in mind, and the
+			// fixture locks the plain cases.
+			if n.Tok.String() == "break" || n.Tok.String() == "goto" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isTerminatingCall(pass, n) {
+				found = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(loop.Body, scan)
+	return found
+}
+
+// isTerminatingCall reports whether the call never returns.
+func isTerminatingCall(pass *Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := calleeObj(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	case "testing":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "FailNow"
+	}
+	return false
+}

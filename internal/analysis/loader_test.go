@@ -1,0 +1,39 @@
+package analysis
+
+import "testing"
+
+// TestLoadRealPackageCleanUnderSuite loads the wire-codec package from
+// the real module — test files included, whole stdlib closure
+// type-checked from source — and runs the full analyzer suite over it.
+// The merged tree must stay niidlint-clean, so any finding here is a
+// regression in either the package or an analyzer.
+func TestLoadRealPackageCleanUnderSuite(t *testing.T) {
+	pkgs, err := SharedLoader().LoadPackages("github.com/niid-bench/niidbench/internal/simnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Name != "simnet" {
+		t.Fatalf("package name %q, want simnet", pkg.Name)
+	}
+	hasTestFile := false
+	for _, f := range pkg.Syntax {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if len(name) > 8 && name[len(name)-8:] == "_test.go" {
+			hasTestFile = true
+		}
+	}
+	if !hasTestFile {
+		t.Fatal("target package loaded without its in-package test files; codeccheck's coverage rules need them")
+	}
+	diags, err := RunAnalyzers(pkg, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding on the real tree: %s", d)
+	}
+}

@@ -1,0 +1,37 @@
+package simnet
+
+import "encoding/binary"
+
+// peekLen reads a length prefix with no bounds guard at all.
+func peekLen(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b) // want `raw Uint32 length read is not preceded by a bounds guard`
+}
+
+// guardedLen checks the buffer first, so the read is admitted.
+func guardedLen(b []byte) uint32 {
+	if len(b) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// derivedLen reads through a view of a guarded buffer: the guard on the
+// source must carry to the derived slice.
+func derivedLen(b []byte) uint32 {
+	if len(b) < 8 {
+		return 0
+	}
+	trailer := b[len(b)-4:]
+	return binary.LittleEndian.Uint32(trailer)
+}
+
+// fixedLen reads from a fixed-size array, statically in range.
+func fixedLen(hdr [8]byte) uint64 {
+	return binary.LittleEndian.Uint64(hdr[:])
+}
+
+// allowedLen documents why its unguarded read is safe.
+func allowedLen(b []byte) uint16 {
+	//lint:allow codeccheck the framing layer hands this function exactly two bytes
+	return binary.LittleEndian.Uint16(b)
+}

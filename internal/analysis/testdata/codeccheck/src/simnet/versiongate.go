@@ -1,0 +1,7 @@
+package simnet
+
+// MarshalPing lives in a file that never references ProtoVersion, so a
+// layout change here could ship without touching version negotiation.
+func MarshalPing(dst []byte) []byte { // want `never references ProtoVersion`
+	return append(dst, 7)
+}

@@ -1,0 +1,25 @@
+package engine
+
+import "tensor"
+
+// badGlobal sets the process-global knob from outside package tensor.
+func badGlobal() {
+	tensor.SetKernelParallelism(4) // want `deprecated process-global parallelism shim`
+}
+
+// badWrapper calls a free kernel wrapper from non-test code.
+func badWrapper(dst, a, b []float64) {
+	tensor.MatMulInto(dst, a, b) // want `kernel entry points must thread a tensor.Compute receiver`
+}
+
+// goodCompute threads an explicit budget: clean.
+func goodCompute(dst, a, b []float64) {
+	cmp := tensor.Compute{Workers: 2}
+	cmp.MatMulInto(dst, a, b)
+}
+
+// allowedGlobal reads the knob with a recorded justification.
+func allowedGlobal() int {
+	//lint:allow computecheck migration shim asserted equal to zero during rollout
+	return tensor.KernelParallelism()
+}

@@ -1,0 +1,22 @@
+// Package tensor is a stub of the real internal/tensor parallelism
+// surface: the deprecated global shims, the free kernel wrappers that
+// consult them, and the Compute receiver callers should thread instead.
+package tensor
+
+var globalWorkers int
+
+// Deprecated global shims.
+func SetKernelParallelism(n int) { globalWorkers = n }
+func KernelParallelism() int     { return globalWorkers }
+func CapKernelsPerWorker(n int)  {}
+
+// Free kernel wrappers running under the global knob.
+func MatMul(a, b []float64) []float64 { return nil }
+func MatMulInto(dst, a, b []float64)  {}
+func Im2Col(src []float64) []float64  { return nil }
+
+// Compute is the explicit per-context budget.
+type Compute struct{ Workers int }
+
+func (c Compute) MatMulInto(dst, a, b []float64) {}
+func (c Compute) Im2Col(src []float64) []float64 { return nil }

@@ -1,0 +1,40 @@
+package fl
+
+import "sort"
+
+// foldUnsorted accumulates in map order: randomized per run, breaks the
+// bitwise pin.
+func foldUnsorted(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over a map iterates in randomized order`
+		s += v
+	}
+	return s
+}
+
+// foldSorted iterates a sorted key slice: the fold itself is
+// deterministic, and the key-collection range carries the recorded
+// order-independence argument.
+func foldSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	//lint:allow detercheck keys are sorted before any order-dependent use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// countEntries ranges a map where order provably cannot matter.
+func countEntries(m map[int]bool) int {
+	n := 0
+	//lint:allow detercheck counting entries is order-independent
+	for range m {
+		n++
+	}
+	return n
+}

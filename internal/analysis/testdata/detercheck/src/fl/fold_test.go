@@ -1,0 +1,13 @@
+package fl
+
+import "testing"
+
+// Test files are exempt: assertion order does not reach a fold.
+func TestMapRangeAllowedInTests(t *testing.T) {
+	m := map[int]float64{1: 1, 2: 2}
+	for k, v := range m {
+		if float64(k) != v {
+			t.Fatal(k, v)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package simnet
+
+// spin loops forever with no way out; flagged at every go statement
+// that reaches it.
+func spin() {
+	for {
+	}
+}
+
+// relay follows one more call before spinning (depth 2).
+func relay() {
+	spin()
+}
+
+func startBadLiteral() {
+	go func() { // want `no provable exit path`
+		for {
+		}
+	}()
+}
+
+func startBadNamed() {
+	go spin() // want `no provable exit path`
+}
+
+func startBadNested() {
+	go relay() // want `no provable exit path`
+}
+
+func startGoodSelect(ch chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func startGoodRange(ch chan int) {
+	go func() {
+		for v := range ch { // exits when the sender closes ch
+			_ = v
+		}
+	}()
+}
+
+func startGoodConditional(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}
+
+func startGoodPanic() {
+	go func() {
+		for {
+			panic("unreachable state")
+		}
+	}()
+}
+
+func startAllowed() {
+	//lint:allow leakcheck intentional spinner pinned by the scheduler fixture
+	go func() {
+		for {
+		}
+	}()
+}

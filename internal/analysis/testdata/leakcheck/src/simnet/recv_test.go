@@ -1,0 +1,16 @@
+package simnet
+
+import "testing"
+
+// Test files are exempt: test goroutines are bounded by the test
+// process and the goroutine-leak registry.
+func TestGoroutineInTestAllowed(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		for {
+			<-done
+			return
+		}
+	}()
+	close(done)
+}

@@ -846,6 +846,7 @@ func (s *ServerListener) AcceptAndRun(numParties int, cfg fl.Config, spec nn.Mod
 	stopAdmission := func() {
 		pendMu.Lock()
 		closed = true
+		//lint:allow detercheck expiring pending hello deadlines is order-independent: every conn gets the same instant and none feeds a fold
 		for c := range pending {
 			_ = c.SetReadDeadline(time.Now())
 		}

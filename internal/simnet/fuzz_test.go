@@ -50,6 +50,32 @@ func FuzzDecodeMsg(f *testing.F) {
 	f.Add([]byte{msgGlobalChunk, 0, 1, 2})
 	f.Add([]byte{msgGlobalRef, 9})
 	f.Add([]byte{99, 255, 255, 255, 255})
+	// Structured truncations: valid encodings cut at the tag, inside a
+	// length prefix, at a field boundary, and one byte short of complete —
+	// the exact offsets where a decoder is most likely to over-read.
+	seedTruncations := func(msg any) {
+		b, err := Marshal(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, cut := range []int{1, 3, len(b) / 2, len(b) - 1} {
+			if cut > 0 && cut < len(b) {
+				f.Add(append([]byte(nil), b[:cut]...))
+			}
+		}
+	}
+	seedTruncations(GlobalMsg{Round: 9, State: []float64{1, 2, 3, 4}, Control: []float64{-1}, Budget: 1, Chunk: 32})
+	seedTruncations(UpdateMsg{Round: 2, N: 5, Tau: 2, TrainLoss: 1.5, Delta: []float64{9, 8, 7}, DeltaC: []float64{6}})
+	seedTruncations(GlobalChunkMsg{Round: 1, Offset: 0, Total: 3, CtrlLen: 1, Budget: 1, Chunk: 2, Payload: []float64{5}})
+	// Hostile length prefixes: a GlobalMsg header whose state-length word
+	// claims ~1G elements with no payload behind it, and the same for the
+	// control vector. The decoder must refuse these before allocating.
+	f.Add([]byte{msgGlobal, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x3F})
+	f.Add([]byte{msgGlobal, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x3F, 0xF0, 0xFF, 0xFF, 0xFF, 0x3F})
+	// Trailing garbage after a complete frame must not decode silently.
+	if b, err := Marshal(ShutdownMsg{}); err == nil {
+		f.Add(append(b, 0xDE, 0xAD))
+	}
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		msg, err := Unmarshal(raw)

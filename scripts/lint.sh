@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo lint gate: go vet plus the niidlint analysis suite
+# (codeccheck, poolcheck, computecheck, detercheck, leakcheck).
+# CI runs this on every push; run it locally before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go run ./cmd/niidlint ./...
