@@ -196,6 +196,8 @@ func cmdRun(args []string) error {
 	asyncBuffer := fs.Int("async-buffer", 0, "buffered-async aggregation: fold updates as they arrive and publish a new global every M folds (0 = synchronous rounds)")
 	staleness := fs.Float64("staleness", 0, "async staleness-discount exponent a in 1/(1+tau)^a (0 = default 0.5)")
 	foldAhead := fs.Int("fold-ahead", 0, "sync chunked mode: parties past the fold cursor allowed to stage decoded updates (0 = default 4, 1 = serial drain)")
+	codec := fs.String("codec", "", "wire chunk codec over transports: f64 (raw, default), f32, int8, int4; negotiated per party at the hello")
+	fairShare := fs.Int("fair-share", 0, "async mode: max folds one party may contribute per buffer window (0 = default 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -246,6 +248,8 @@ func cmdRun(args []string) error {
 		AsyncBuffer:       *asyncBuffer,
 		StalenessExponent: *staleness,
 		FoldAhead:         *foldAhead,
+		Codec:             fl.Codec(*codec),
+		AsyncFairShare:    *fairShare,
 	}
 	var res *fl.Result
 	if *useTCP {

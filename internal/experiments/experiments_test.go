@@ -345,3 +345,19 @@ func TestConcurrentTrialsMatchSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestCodecSweepSmoke runs the accuracy-vs-bytes codec sweep at smoke
+// scale: all four codecs must complete over real TCP and the f64 row must
+// anchor the reduction column at 1.00x.
+func TestCodecSweepSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := Run("codec", Options{Scale: Smoke, Out: &out, Seed: 3, Datasets: []string{"adult"}}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"f64", "f32", "int8", "int4", "1.00x", "reduction"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("codec output missing %q:\n%s", want, s)
+		}
+	}
+}

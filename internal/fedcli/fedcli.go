@@ -77,6 +77,15 @@ type Shared struct {
 	// may stage fully-decoded updates while they wait their turn
 	// (0 = the default 4; 1 reproduces the legacy serial drain).
 	FoldAhead int
+	// Codec selects the wire chunk codec for broadcasts and update
+	// replies: f64 (raw, the default), f32, int8 or int4. The server's
+	// value is negotiated per party at the hello; parties that do not
+	// support it ride the raw wire.
+	Codec string
+	// FairShare caps how many folds one party may contribute to a single
+	// async buffer window (0 = the default 1); the effective cap is never
+	// below ceil(buffer/live) so a depleted federation still flushes.
+	FairShare int
 }
 
 // Register wires the shared flags into fs.
@@ -109,6 +118,8 @@ func (s *Shared) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.AsyncBuffer, "async-buffer", 0, "buffered-async aggregation: fold updates as they arrive and publish a new global every M folds (0 = synchronous rounds); the server's value decides the mode")
 	fs.Float64Var(&s.Staleness, "staleness", 0, "async staleness-discount exponent a in 1/(1+tau)^a (0 = default 0.5)")
 	fs.IntVar(&s.FoldAhead, "fold-ahead", 0, "sync chunked mode: parties past the fold cursor allowed to stage decoded updates (0 = default 4, 1 = serial drain)")
+	fs.StringVar(&s.Codec, "codec", "", "wire chunk codec: f64 (raw, default), f32, int8, int4; negotiated per party, old peers fall back to f64")
+	fs.IntVar(&s.FairShare, "fair-share", 0, "async mode: max folds one party may contribute per buffer window (0 = default 1)")
 }
 
 // Server carries the server-only durability flags: where (and how often)
@@ -203,6 +214,8 @@ func (s *Shared) Build() (fl.Config, nn.ModelSpec, []*data.Dataset, *data.Datase
 		AsyncBuffer:       s.AsyncBuffer,
 		StalenessExponent: s.Staleness,
 		FoldAhead:         s.FoldAhead,
+		Codec:             fl.Codec(s.Codec),
+		AsyncFairShare:    s.FairShare,
 	}
 	if _, err := cfg.Normalize(); err != nil {
 		return fl.Config{}, nn.ModelSpec{}, nil, nil, err

@@ -43,6 +43,11 @@ type AsyncStats struct {
 	// distribution over all folded updates.
 	MeanStaleness float64
 	MaxStaleness  int
+	// FairnessDropped counts updates discarded by the per-party fairness
+	// cap (Config.AsyncFairShare): a fast party that already contributed
+	// its share of the open buffer window has its surplus folds dropped so
+	// one party cannot dominate a generation.
+	FairnessDropped int
 }
 
 // AsyncCoordinator serializes the buffered-async aggregation: transports
@@ -71,6 +76,11 @@ type AsyncCoordinator struct {
 	ids      []int
 	lastAt   time.Time
 
+	// live is the transport's last-reported live party count (SetLive),
+	// which floors the fairness cap: cap x live must cover the buffer or a
+	// depleted federation could never flush. Starts at the full population.
+	live int
+
 	// Run accumulators.
 	curve   []RoundMetrics
 	best    float64
@@ -96,6 +106,7 @@ func newAsyncCoordinator(e *Engine, tr AsyncTransport) *AsyncCoordinator {
 	if n := e.server.numParties; n > 0 && c.buffer > n {
 		c.buffer = n
 	}
+	c.live = e.server.numParties
 	if s := e.server; s.agg == nil {
 		s.agg = make([]float64, len(s.state))
 	}
@@ -144,6 +155,48 @@ func (c *AsyncCoordinator) staleness(tau int) float64 {
 	return 1 / math.Pow(1+float64(tau), c.e.cfg.StalenessExponent)
 }
 
+// SetLive informs the coordinator of the transport's current live party
+// count, which the fairness cap uses as its floor (see fairShareCap).
+// Counts of zero or below are ignored — a momentarily empty federation
+// must not freeze the cap at an unusable value.
+func (c *AsyncCoordinator) SetLive(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.live = n
+	c.mu.Unlock()
+}
+
+// fairShareCap is the per-party fold limit within the open buffer window:
+// Config.AsyncFairShare, floored by ceil(buffer/live) so the surviving
+// parties can always fill a window between them — the cap slows a fast
+// party down relative to the window, it never deadlocks the flush
+// schedule. Called with mu held.
+func (c *AsyncCoordinator) fairShareCap() int {
+	limit := c.e.cfg.AsyncFairShare
+	if limit < 1 {
+		limit = 1
+	}
+	if c.live > 0 {
+		if floor := (c.buffer + c.live - 1) / c.live; floor > limit {
+			limit = floor
+		}
+	}
+	return limit
+}
+
+// countID counts id's occurrences in the open window's fold roster.
+func countID(ids []int, id int) int {
+	n := 0
+	for _, v := range ids {
+		if v == id {
+			n++
+		}
+	}
+	return n
+}
+
 // Fold folds one complete update that trained against generation
 // trainedGen into the open flush buffer. It returns flushed=true when this
 // fold closed a buffer and minted a new generation (the transport should
@@ -173,6 +226,15 @@ func (c *AsyncCoordinator) Fold(id int, u Update, trainedGen int) (flushed, done
 	}
 	if trainedGen < 0 || trainedGen > c.gen {
 		return false, false, fmt.Errorf("fl: async update trained against generation %d, current is %d", trainedGen, c.gen)
+	}
+	// Per-party fairness: a party that already contributed its share of
+	// this buffer window is dropped silently (not an error — the party did
+	// nothing wrong, it is just fast), so one 10x-faster party cannot crowd
+	// a generation with its own updates and starve the slow parties'
+	// influence on the model.
+	if limit := c.fairShareCap(); countID(c.ids, id) >= limit {
+		c.stats.FairnessDropped++
+		return false, false, nil
 	}
 	tau := c.gen - trainedGen
 	disc := c.staleness(tau)

@@ -228,3 +228,92 @@ func TestAsyncFoldRejections(t *testing.T) {
 		t.Fatalf("post-completion fold: flushed=%v done=%v err=%v", flushed, done, err)
 	}
 }
+
+// TestAsyncFairnessCapDropsFastParty is the regression test for the
+// fast-party buffer monopoly: with the default fair share of 1, a second
+// update from the same party inside one buffer window is dropped silently
+// (no error, no fold) and counted in FairnessDropped, so a 10x-faster
+// party cannot turn a "buffer of M" into "M copies of itself". The quota
+// resets at every flush.
+func TestAsyncFairnessCapDropsFastParty(t *testing.T) {
+	locals, test := asyncFixture(t)
+	cfg := Config{Algorithm: FedAvg, Rounds: 2, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, AsyncBuffer: 3}
+	sim, err := NewSimulation(cfg, adultSpec(), locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newAsyncCoordinator(sim.engine, nil)
+	stateLen := len(sim.server.State())
+	good := func(i int) Update {
+		n := locals[i].Len()
+		return Update{Delta: make([]float64, stateLen), N: n, Tau: PredictTau(sim.Cfg, n)}
+	}
+
+	if flushed, done, err := c.Fold(0, good(0), 0); flushed || done || err != nil {
+		t.Fatalf("first fold: flushed=%v done=%v err=%v", flushed, done, err)
+	}
+	// The fast party again, same window: dropped, not folded, not an error.
+	if flushed, done, err := c.Fold(0, good(0), 0); flushed || done || err != nil {
+		t.Fatalf("over-quota fold: flushed=%v done=%v err=%v", flushed, done, err)
+	}
+	if c.stats.FairnessDropped != 1 {
+		t.Fatalf("FairnessDropped %d, want 1", c.stats.FairnessDropped)
+	}
+	if c.stats.Folds != 1 {
+		t.Fatalf("folds %d after the drop, want 1", c.stats.Folds)
+	}
+	// The other parties fill the window; the third accepted fold flushes.
+	if flushed, _, err := c.Fold(1, good(1), 0); flushed || err != nil {
+		t.Fatalf("second party fold: flushed=%v err=%v", flushed, err)
+	}
+	flushed, done, err := c.Fold(2, good(2), 0)
+	if err != nil || !flushed || done {
+		t.Fatalf("window-filling fold: flushed=%v done=%v err=%v", flushed, done, err)
+	}
+	// New window, new quota: the fast party folds again.
+	if flushed, done, err := c.Fold(0, good(0), 1); flushed || done || err != nil {
+		t.Fatalf("post-flush fold: flushed=%v done=%v err=%v", flushed, done, err)
+	}
+	if c.stats.FairnessDropped != 1 {
+		t.Fatalf("FairnessDropped %d after flush, want still 1", c.stats.FairnessDropped)
+	}
+}
+
+// TestAsyncFairnessFloorDepletedFederation pins the liveness escape
+// hatch: when deaths shrink the federation below buffer/fair-share
+// feasibility, the effective cap rises to ceil(buffer/live) so the
+// survivors can still flush a window — a sole survivor may legally
+// contribute every fold of a 3-deep buffer.
+func TestAsyncFairnessFloorDepletedFederation(t *testing.T) {
+	locals, test := asyncFixture(t)
+	cfg := Config{Algorithm: FedAvg, Rounds: 1, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, AsyncBuffer: 3}
+	sim, err := NewSimulation(cfg, adultSpec(), locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newAsyncCoordinator(sim.engine, nil)
+	c.SetLive(1)
+	stateLen := len(sim.server.State())
+	n := locals[0].Len()
+	good := Update{Delta: make([]float64, stateLen), N: n, Tau: PredictTau(sim.Cfg, n)}
+	for i := 0; i < 3; i++ {
+		flushed, done, err := c.Fold(0, good, 0)
+		if err != nil {
+			t.Fatalf("fold %d: %v", i, err)
+		}
+		if (i == 2) != flushed || (i == 2) != done {
+			t.Fatalf("fold %d: flushed=%v done=%v", i, flushed, done)
+		}
+	}
+	if c.stats.FairnessDropped != 0 {
+		t.Fatalf("FairnessDropped %d, want 0: the floor must admit a sole survivor", c.stats.FairnessDropped)
+	}
+	// SetLive ignores non-positive party counts rather than poisoning the
+	// floor computation.
+	c.SetLive(0)
+	if c.live != 1 {
+		t.Fatalf("SetLive(0) changed live to %d", c.live)
+	}
+}

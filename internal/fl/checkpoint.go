@@ -309,6 +309,11 @@ func ConfigFingerprint(cfg Config) uint64 {
 	mix(uint64(cfg.DType))
 	mix(uint64(cfg.AsyncBuffer))
 	mixF(cfg.StalenessExponent)
+	// The wire codec is math-relevant — quantization is lossy, so a run
+	// resumed under a different codec would diverge — and the async fair
+	// share changes which folds count.
+	mixStr(string(cfg.Codec))
+	mix(uint64(cfg.AsyncFairShare))
 	return h
 }
 

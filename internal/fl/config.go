@@ -50,6 +50,34 @@ func ExtendedAlgorithms() []Algorithm {
 	return []Algorithm{FedAvg, FedProx, Scaffold, FedNova, FedDyn, Moon}
 }
 
+// Codec selects the wire encoding of chunk-frame payloads on the simnet
+// transports. The server's configured codec is negotiated per party at
+// the hello: a peer that does not advertise it (an older build) falls
+// back to raw float64, so mixed fleets keep federating. Quantization is
+// transport-only — the server accumulator, snapshots and every reported
+// metric stay float64 — but lossy: int8/int4 runs trade accuracy for
+// bytes and are not bitwise comparable to f64 runs.
+type Codec string
+
+// The chunk payload encodings (see internal/simnet quant.go for the
+// exact formats and error bounds).
+const (
+	// CodecF64 is the raw float64 wire — byte-identical to the
+	// pre-quantization protocol, lossless, the default and the
+	// negotiation fallback.
+	CodecF64 Codec = "f64"
+	// CodecF32 narrows payload elements to IEEE-754 float32 (~2x fewer
+	// bytes, relative error ≤ 2^-24).
+	CodecF32 Codec = "f32"
+	// CodecInt8 quantizes each chunk linearly to int8 with a per-chunk
+	// scale (~8x fewer bytes, absolute error ≤ scale/2 per element).
+	CodecInt8 Codec = "int8"
+	// CodecInt4 quantizes each chunk to 4-bit integers packed two per
+	// byte (~16x fewer bytes); the aggressive end of the
+	// accuracy-vs-bytes trade.
+	CodecInt4 Codec = "int4"
+)
+
 // ServerOpt selects the server-side optimizer applied to the aggregated
 // pseudo-gradient (the FedOpt family; Reddi et al., reference [62]).
 type ServerOpt string
@@ -169,6 +197,21 @@ type Config struct {
 	// which remain bitwise pinned. SampleFraction is ignored in async mode:
 	// every live party trains continuously.
 	AsyncBuffer int
+	// Codec selects the chunk-frame payload encoding on the simnet
+	// transports (default CodecF64, the raw lossless wire). Quantized
+	// codecs require ChunkSize > 0 — the chunk frame is the compression
+	// unit — and are negotiated per party at the hello with raw float64
+	// as the fallback toward older peers. See the Codec type.
+	Codec Codec
+	// AsyncFairShare caps how many of one generation's AsyncBuffer folds
+	// a single party may contribute (default 1), so a fast party's
+	// discounted updates cannot dominate the global between broadcasts.
+	// The effective cap is never below ceil(AsyncBuffer/live parties) —
+	// a buffer wider than the population must still be fillable — and
+	// over-cap arrivals are dropped, not queued (the party retrains
+	// against the next generation it receives, which is fresher anyway).
+	// Ignored when AsyncBuffer is 0.
+	AsyncFairShare int
 	// StalenessExponent shapes the async staleness discount
 	// s(tau) = 1/(1+tau)^a, where tau is how many generations behind the
 	// current global an update's base model was. 0 means the default 0.5
@@ -315,6 +358,31 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.AsyncBuffer < 0 {
 		return c, fmt.Errorf("fl: negative async buffer %d", c.AsyncBuffer)
+	}
+	if c.AsyncFairShare < 0 {
+		return c, fmt.Errorf("fl: negative async fair share %d", c.AsyncFairShare)
+	}
+	if c.AsyncFairShare == 0 {
+		c.AsyncFairShare = 1
+	}
+	if c.Codec == "" {
+		c.Codec = CodecF64
+	}
+	switch c.Codec {
+	case CodecF64, CodecF32, CodecInt8, CodecInt4:
+	default:
+		return c, fmt.Errorf("fl: unknown codec %q", c.Codec)
+	}
+	if c.Codec != CodecF64 && c.ChunkSize == 0 {
+		return c, fmt.Errorf("fl: codec %q requires chunked framing (set ChunkSize > 0): the chunk frame is the quantization unit", c.Codec)
+	}
+	if (c.Codec == CodecInt8 || c.Codec == CodecInt4) && c.CompressTopK > 0 {
+		// Top-k uploads keep only the largest-magnitude entries, so the
+		// per-chunk scale is set by the extreme survivors and every small
+		// kept entry quantizes to zero or near it — the sparse upload
+		// decodes as garbage. Fail at validation instead of mid-run.
+		return c, fmt.Errorf("fl: codec %q cannot be combined with CompressTopK %v: integer quantization's per-chunk scale destroys top-k's surviving small entries; use codec f32 with top-k, or %s alone",
+			c.Codec, c.CompressTopK, c.Codec)
 	}
 	if c.StalenessExponent < 0 {
 		return c, fmt.Errorf("fl: negative staleness exponent %v", c.StalenessExponent)

@@ -33,17 +33,19 @@ import (
 // async is not — and the encode happens once per generation, shared by
 // every sender (the encode-once cache the sync broadcast uses).
 
-// asyncHub publishes the newest encoded generation to the sender
-// goroutines. Senders wait for a generation newer than the one they last
-// shipped; publication keeps only the newest, so the hub is also the
-// conflation point.
+// asyncHub publishes the newest generation's encode-once frame cache to
+// the sender goroutines. Senders wait for a generation newer than the
+// one they last shipped, then pull their party's negotiated codec out of
+// the shared cache — each codec is serialized once per generation no
+// matter how many parties ride it. Publication keeps only the newest, so
+// the hub is also the conflation point.
 type asyncHub struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	gen    int
-	frames [][]byte
-	has    bool
-	done   bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	gen  int
+	bf   *globalFrames
+	has  bool
+	done bool
 }
 
 func newAsyncHub() *asyncHub {
@@ -52,13 +54,13 @@ func newAsyncHub() *asyncHub {
 	return h
 }
 
-// publish installs frames as the newest generation unless a newer one
+// publish installs bf as the newest generation unless a newer one
 // already landed (two receivers may flush back-to-back and race here —
 // generation order wins, not arrival order).
-func (h *asyncHub) publish(gen int, frames [][]byte) {
+func (h *asyncHub) publish(gen int, bf *globalFrames) {
 	h.mu.Lock()
 	if !h.has || gen > h.gen {
-		h.gen, h.frames, h.has = gen, frames, true
+		h.gen, h.bf, h.has = gen, bf, true
 	}
 	h.mu.Unlock()
 	h.cond.Broadcast()
@@ -80,7 +82,7 @@ func (h *asyncHub) isDone() bool {
 
 // waitNewer blocks until a generation newer than sent is published (ok
 // true) or the run is over (ok false).
-func (h *asyncHub) waitNewer(sent int) (gen int, frames [][]byte, ok bool) {
+func (h *asyncHub) waitNewer(sent int) (gen int, bf *globalFrames, ok bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for !h.done && (!h.has || h.gen <= sent) {
@@ -89,24 +91,16 @@ func (h *asyncHub) waitNewer(sent int) (gen int, frames [][]byte, ok bool) {
 	if h.done {
 		return 0, nil, false
 	}
-	return h.gen, h.frames, true
+	return h.gen, h.bf, true
 }
 
-// encodeGlobalGen serializes one generation's broadcast into its shared
-// immutable frame set: GlobalChunkMsg frames when chunking, a single
-// GlobalMsg frame otherwise. state and control must be snapshots the
-// aggregation will not mutate (fl.AsyncCoordinator.GlobalSnapshot copies).
-func encodeGlobalGen(gen int, state, control []float64, budget, chunk int) ([][]byte, error) {
+// newGlobalGen wraps one generation's broadcast in its shared
+// encode-once frame cache. state and control must be snapshots the
+// aggregation will not mutate (fl.AsyncCoordinator.GlobalSnapshot
+// copies); the frame sets encode lazily, per codec, on first use.
+func newGlobalGen(gen int, state, control []float64, budget, chunk int) *globalFrames {
 	gm := GlobalMsg{Round: gen, State: state, Control: control, Budget: budget, Chunk: chunk}
-	if chunk > 0 {
-		bf := &globalFrames{gm: gm, chunk: chunk}
-		return bf.frames()
-	}
-	enc, err := Marshal(gm)
-	if err != nil {
-		return nil, err
-	}
-	return [][]byte{enc}, nil
+	return &globalFrames{gm: gm, chunk: chunk}
 }
 
 // evictConn is the asynchronous eviction path. Unlike evict (round loop
@@ -183,14 +177,28 @@ func (f *Federation) liveParties() int {
 }
 
 // asyncSend pushes every newly minted generation to one party, always as
-// serialized frames. A send failure is transport loss toward that party
-// only; after the run completes the conn may already be torn down, so
-// late failures are not reported.
+// serialized frames in the party's negotiated wire codec (resolved once:
+// the codec is fixed for the conn's lifetime, renegotiated only by a
+// rejoin, which starts a fresh sender). A send failure is transport loss
+// toward that party only; after the run completes the conn may already
+// be torn down, so late failures are not reported.
 func (f *Federation) asyncSend(id int, c *CountingConn, hub *asyncHub, poke func()) {
+	codec := f.codecForParty(id)
 	sent := -1
 	for {
-		gen, frames, ok := hub.waitNewer(sent)
+		gen, bf, ok := hub.waitNewer(sent)
 		if !ok {
+			return
+		}
+		frames, err := bf.frames(codec)
+		if err != nil {
+			// An encode failure (a non-finite value the quantizer refused)
+			// poisons this codec's frame set for the generation; the party
+			// is cut loose as transport loss and may rejoin once a clean
+			// generation is minted.
+			if !hub.isDone() && f.evictConn(id, c, false, fmt.Errorf("simnet: encode for party %d: %w", id, err)) {
+				poke()
+			}
 			return
 		}
 		for _, fr := range frames {
@@ -256,9 +264,7 @@ func (f *Federation) asyncRecv(id int, c *CountingConn, hub *asyncHub, coord *fl
 		}
 		if flushed && !done {
 			gen, state, control := coord.GlobalSnapshot()
-			if frames, err := encodeGlobalGen(gen, state, control, budget, f.Cfg.ChunkSize); err == nil {
-				hub.publish(gen, frames)
-			}
+			hub.publish(gen, newGlobalGen(gen, state, control, budget, f.Cfg.ChunkSize))
 		}
 		if flushed || done {
 			poke()
@@ -313,6 +319,7 @@ func (f *Federation) recvAsyncUpdate(c *CountingConn, id, total, stateLen int, m
 	data := t.Data()[:total]
 	done := 0
 	round := 0
+	streamCodec := byte(0)
 	first := true
 	fail := func(err error, fatal bool) (fl.Update, int, *tensor.Tensor, error, bool) {
 		tensor.Shared.Put(t)
@@ -328,15 +335,18 @@ func (f *Federation) recvAsyncUpdate(c *CountingConn, id, total, stateLen int, m
 		if rerr != nil {
 			return fail(fmt.Errorf("simnet: recv from party %d: %w", id, rerr), false)
 		}
-		m, derr := UnmarshalChunkInto(raw, data[done:done:total])
+		m, codec, derr := decodeUpdateFrameInto(raw, data[done:done:total])
 		if derr != nil {
 			return fail(fmt.Errorf("simnet: bad frame from party %d: %w", id, derr), true)
 		}
 		if first {
-			round, first = m.Round, false
+			round, streamCodec, first = m.Round, codec, false
 		}
 		var verr error
 		switch {
+		case codec != streamCodec:
+			verr = fmt.Errorf("simnet: party %d switched wire codec %s -> %s mid-stream",
+				id, codecName(streamCodec), codecName(codec))
 		case m.Round != round:
 			verr = fmt.Errorf("simnet: party %d changed generation %d to %d mid-stream", id, round, m.Round)
 		case m.Total != total:
@@ -406,11 +416,14 @@ func (f *Federation) RunAsync(coord *fl.AsyncCoordinator) error {
 
 	var runErr error
 	if !coord.Done() {
-		frames, err := encodeGlobalGen(gen, state, control, budget, f.Cfg.ChunkSize)
-		if err != nil {
+		bf := newGlobalGen(gen, state, control, budget, f.Cfg.ChunkSize)
+		// Encode the configured codec eagerly so an unencodable initial
+		// state fails the run up front, as the old eager encode did,
+		// instead of surfacing as per-party evictions.
+		if _, err := bf.frames(wireCodec(f.Cfg.Codec)); err != nil {
 			return err
 		}
-		hub.publish(gen, frames)
+		hub.publish(gen, bf)
 		f.memMu.Lock()
 		type partyConn struct {
 			id int
@@ -427,7 +440,8 @@ func (f *Federation) RunAsync(coord *fl.AsyncCoordinator) error {
 			start(p.id, p.c)
 		}
 
-		var allDeadSince time.Time
+		var allDeadSince, belowQuorumSince time.Time
+		quorumBudget := time.Duration(f.Cfg.QuorumRetries) * f.Cfg.QuorumRetryWait
 		for {
 			if coord.Done() || coord.Failed() != nil {
 				break
@@ -442,8 +456,33 @@ func (f *Federation) RunAsync(coord *fl.AsyncCoordinator) error {
 			for _, id := range f.installQueuedRejoins() {
 				start(id, f.byParty[id])
 			}
-			if f.liveParties() > 0 {
+			live := f.liveParties()
+			coord.SetLive(live)
+			if live > 0 {
 				allDeadSince = time.Time{}
+				if live >= f.Cfg.MinParties {
+					belowQuorumSince = time.Time{}
+					continue
+				}
+				// Degraded below quorum but not dead: the async mirror of
+				// the synchronous skip-and-retry. Give rejoins the same
+				// total budget (QuorumRetries x QuorumRetryWait) the sync
+				// engine allows, then fail loudly with the same typed error
+				// instead of limping along on fewer parties than the
+				// operator required.
+				if belowQuorumSince.IsZero() {
+					belowQuorumSince = time.Now()
+				}
+				f.memMu.Lock()
+				queued := len(f.rejoins) > 0
+				f.memMu.Unlock()
+				if waited := time.Since(belowQuorumSince); !queued && waited >= quorumBudget {
+					runErr = &fl.QuorumError{
+						Round: coord.Generation(), Live: live, Min: f.Cfg.MinParties,
+						Attempts: f.Cfg.QuorumRetries,
+					}
+					break
+				}
 				continue
 			}
 			if allDeadSince.IsZero() {

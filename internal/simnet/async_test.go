@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -444,4 +445,129 @@ func TestFoldAheadStragglerIndependence(t *testing.T) {
 			t.Fatalf("round %d dropped %v", m.Round, m.Dropped)
 		}
 	}
+}
+
+// TestAsyncQuorumErrorBelowMinParties is the async quorum regression
+// test: a federation that sinks below Config.MinParties while some
+// parties remain alive must abort with the same typed *fl.QuorumError
+// the synchronous engine raises — previously the async loop only watched
+// for the all-dead case and would sit in the watchdog forever on a
+// half-dead federation. Three scripted parties hello; one closes its
+// connection, the other two stay connected but idle, and the server must
+// fail loudly after the quorum retry budget.
+func TestAsyncQuorumErrorBelowMinParties(t *testing.T) {
+	_, test, err := data.Load("adult", data.Config{TrainN: 60, TestN: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{
+		Algorithm: fl.FedAvg, Rounds: 5, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, ChunkSize: 64, AsyncBuffer: 2,
+		MinParties: 3, QuorumRetries: 5, QuorumRetryWait: 10 * time.Millisecond,
+	}
+	cfg, err = cfg.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := data.Model("adult")
+
+	const parties = 3
+	conns := make([]*CountingConn, parties)
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		serverSide, partySide := Pipe()
+		conns[i] = NewCountingConn(serverSide)
+		wg.Add(1)
+		go func(i int, conn Conn) {
+			defer wg.Done()
+			hello, err := Marshal(HelloMsg{ID: i, N: 100, LabelDist: []float64{0.5, 0.5}})
+			if err != nil {
+				t.Errorf("party %d hello marshal: %v", i, err)
+				return
+			}
+			if err := conn.Send(hello); err != nil {
+				t.Errorf("party %d hello: %v", i, err)
+				return
+			}
+			if i == 2 {
+				// The deserter: read one downlink frame, then vanish.
+				_, _ = conn.Recv()
+				_ = conn.Close()
+				return
+			}
+			// The survivors drain but never reply, so the generation
+			// cannot advance and only the quorum check can end the run.
+			// Like a real party, each closes its end on the server's
+			// goodbye — the async teardown waits for exactly that.
+			for {
+				raw, err := conn.Recv()
+				if err != nil || (len(raw) > 0 && raw[0] == msgShutdown) {
+					_ = conn.Close()
+					return
+				}
+			}
+		}(i, partySide)
+	}
+
+	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns, local: true}
+	_, serveErr := fed.serve(parties)
+	wg.Wait()
+	if serveErr == nil {
+		t.Fatal("half-dead federation below MinParties completed without error")
+	}
+	var qe *fl.QuorumError
+	if !errors.As(serveErr, &qe) {
+		t.Fatalf("error %v (%T), want a *fl.QuorumError", serveErr, serveErr)
+	}
+	if qe.Live != 2 || qe.Min != 3 {
+		t.Fatalf("QuorumError live=%d min=%d, want 2/3", qe.Live, qe.Min)
+	}
+	if qe.Attempts != cfg.QuorumRetries {
+		t.Fatalf("QuorumError attempts=%d, want the full budget %d", qe.Attempts, cfg.QuorumRetries)
+	}
+}
+
+// TestAsyncTCPFairnessFastParty runs the fairness cap end to end: one
+// party dials clean while the other three push every frame through a
+// per-frame latency plan, making party 0 roughly an order of magnitude
+// faster per round trip. With 4 live parties and a 2-deep buffer the
+// fair-share cap is 1, so no generation may fold the same party twice —
+// the monopoly the cap exists to prevent — and the run must still meet
+// the exact fold accounting.
+func TestAsyncTCPFairnessFastParty(t *testing.T) {
+	const parties = 4
+	train, test, err := data.Load("adult", data.Config{TrainN: 400, TestN: 120, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, locals, err := partition.Strategy{Kind: partition.Homogeneous}.Split(train, parties, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{
+		Algorithm: fl.FedAvg, Rounds: 4, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, ChunkSize: 512, AsyncBuffer: 2,
+	}
+	slow := &FaultPlan{Seed: 23, Latency: 3 * time.Millisecond, Jitter: 2 * time.Millisecond}
+	res, partyErrs := runAsyncTCP(t, cfg, locals, test, func(i int) *FaultPlan {
+		if i == 0 {
+			return nil
+		}
+		return slow
+	})
+	for i, err := range partyErrs {
+		if err != nil {
+			t.Fatalf("party %d: %v", i, err)
+		}
+	}
+	assertAsyncInvariants(t, res, cfg, parties)
+	for _, m := range res.Curve {
+		seen := map[int]int{}
+		for _, id := range m.Sampled {
+			if seen[id]++; seen[id] > 1 {
+				t.Fatalf("generation %d folded party %d twice: %v — fair-share cap regressed", m.Round, id, m.Sampled)
+			}
+		}
+	}
+	t.Logf("fairness drops under a 10x-fast party: %d", res.Async.FairnessDropped)
 }

@@ -15,14 +15,16 @@ import (
 
 // Message type tags.
 const (
-	msgGlobal      byte = 1
-	msgUpdate      byte = 2
-	msgShutdown    byte = 3
-	msgHello       byte = 4
-	msgUpdateChunk byte = 5
-	msgGlobalChunk byte = 6
-	msgGlobalRef   byte = 7
-	msgResync      byte = 8
+	msgGlobal       byte = 1
+	msgUpdate       byte = 2
+	msgShutdown     byte = 3
+	msgHello        byte = 4
+	msgUpdateChunk  byte = 5
+	msgGlobalChunk  byte = 6
+	msgGlobalRef    byte = 7
+	msgResync       byte = 8
+	msgUpdateChunkQ byte = 9
+	msgGlobalChunkQ byte = 10
 )
 
 // The hello opens with a fixed magic byte and a protocol version, so a
@@ -38,15 +40,19 @@ const (
 	// speaks. Version 1 covers the versioned hello itself plus the
 	// chunked downlink frames (GlobalChunkMsg/GlobalRefMsg); version 2
 	// adds the hello's rejoin flag and the ResyncMsg rejoin handshake;
-	// version 3 adds the hello's min-version byte for range negotiation.
-	ProtoVersion byte = 3
+	// version 3 adds the hello's min-version byte for range negotiation;
+	// version 4 adds the hello's codec-support mask and the quantized
+	// chunk frames (UpdateChunkQMsg/GlobalChunkQMsg).
+	ProtoVersion byte = 4
 	// MinProtoVersion is the oldest generation this build still admits.
 	// A version-3+ hello carries the peer's own [min,max] range; the
 	// server admits when the ranges overlap and records the negotiated
 	// version (the lower of the two maxima), so adjacent generations
 	// interoperate during rolling upgrades instead of reject-only
-	// admission. Versions 2 and 3 share every post-hello frame layout,
-	// which is what makes admitting a v2 party sound.
+	// admission. Versions 2 through 4 share every raw post-hello frame
+	// layout — the quantized frames are new in v4 but only negotiated
+	// toward peers whose hello advertises them, with raw float64 the
+	// fallback — which is what makes admitting a v2 or v3 party sound.
 	MinProtoVersion byte = 2
 )
 
@@ -120,6 +126,12 @@ type HelloMsg struct {
 	// it was evicted for a protocol violation) and replies with a ResyncMsg
 	// before the next round broadcast.
 	Rejoin bool
+	// Codecs is the bitmask of wire chunk codecs the sender can decode
+	// (bit c set ⇔ wire codec c; see the quant.go identifiers), carried
+	// by version-4+ hellos. Marshal stamps the build's full support mask
+	// when the field is zero; pre-v4 peers never send one and are
+	// treated as raw-f64-only by negotiation.
+	Codecs byte
 }
 
 // ResyncMsg is the server-to-party reply to a rejoin hello: everything a
@@ -189,6 +201,67 @@ type GlobalChunkMsg struct {
 	Payload []float64
 }
 
+// UpdateChunkQMsg is the quantized variant of UpdateChunkMsg: the same
+// stream header (offsets and Total count float64 elements of the logical
+// stream, so reassembly and validation are framing-independent) with the
+// payload carried as Codec-encoded bytes plus the chunk's dequantization
+// scale. Count is the payload's element count — explicit because int4
+// packs two elements per byte, so the byte length alone is ambiguous for
+// odd counts. Frames of one stream must all use one codec.
+type UpdateChunkQMsg struct {
+	Round     int
+	Offset    int
+	Total     int
+	N         int
+	Tau       int
+	Last      bool
+	TrainLoss float64
+	Codec     byte
+	Count     int
+	Scale     float64
+	Payload   []byte
+}
+
+// GlobalChunkQMsg is the quantized variant of GlobalChunkMsg, with the
+// same header semantics and the payload carried as Codec-encoded bytes
+// plus the chunk's dequantization scale (see UpdateChunkQMsg for why
+// Count is explicit).
+type GlobalChunkQMsg struct {
+	Round   int
+	Offset  int
+	Total   int
+	CtrlLen int
+	Budget  int
+	Chunk   int
+	Last    bool
+	Codec   byte
+	Count   int
+	Scale   float64
+	Payload []byte
+}
+
+// validateQuantPayload checks the invariants every quantized frame must
+// satisfy on both encode and decode: a genuinely quantized codec (raw
+// float64 streams use the raw frame types — one encoding per stream, so
+// a mid-stream format change is an error, not a surprise) and a payload
+// of exactly the codec's size for Count elements.
+func validateQuantPayload(codec byte, count int, payload []byte) error {
+	switch codec {
+	case wireCodecF32, wireCodecInt8, wireCodecInt4:
+	default:
+		return fmt.Errorf("simnet: quantized frame with non-quantized codec %s", codecName(codec))
+	}
+	want, err := quantizedLen(codec, count)
+	if err != nil {
+		return err
+	}
+	if len(payload) != want {
+		return fmt.Errorf("simnet: quantized payload of %d bytes for %d %s elements, want %d",
+			len(payload), count, codecName(codec), want)
+	}
+	return nil
+}
+
 // GlobalRefMsg is the interned form of a round broadcast used between the
 // ends of an in-process pipe: the round's state and control vectors are
 // published by reference through the pipe's shared slot (see
@@ -232,6 +305,29 @@ func appendFloats(b []byte, v []float64) []byte {
 func appendString(b []byte, s string) []byte {
 	b = appendUint32(b, uint32(len(s)))
 	return append(b, s...)
+}
+
+func appendBytes(b []byte, p []byte) []byte {
+	b = appendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// readBytes decodes a length-prefixed byte payload as a view into b —
+// zero-copy, bounded by the frame itself (the length is checked against
+// the remaining bytes before anything is touched, so a hostile prefix
+// cannot demand an allocation).
+func readBytes(b []byte) ([]byte, []byte, error) {
+	n, b, err := readUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	if len(b) < int(n) {
+		return nil, nil, fmt.Errorf("simnet: truncated byte payload (%d of %d bytes)", len(b), n)
+	}
+	return b[:n:n], b[n:], nil
 }
 
 func readUint32(b []byte) (uint32, []byte, error) {
@@ -285,7 +381,8 @@ func readString(b []byte) (string, []byte, error) {
 }
 
 // Marshal encodes a message. Supported types: GlobalMsg, HelloMsg,
-// UpdateMsg, UpdateChunkMsg, GlobalChunkMsg, GlobalRefMsg, ShutdownMsg.
+// UpdateMsg, UpdateChunkMsg, GlobalChunkMsg, UpdateChunkQMsg,
+// GlobalChunkQMsg, GlobalRefMsg, ResyncMsg, ShutdownMsg.
 func Marshal(msg any) ([]byte, error) {
 	return AppendMarshal(nil, msg)
 }
@@ -321,7 +418,17 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 			if minv == 0 {
 				minv = MinProtoVersion
 			}
-			b = append(dst, msgHello, protoMagic, v, minv, rejoin)
+			if v >= 4 {
+				codecs := m.Codecs
+				if codecs == 0 {
+					codecs = codecSupportMask
+				}
+				b = append(dst, msgHello, protoMagic, v, minv, codecs, rejoin)
+			} else {
+				// v3 layout: the range bytes without the codec mask,
+				// exactly what a v3 build emits.
+				b = append(dst, msgHello, protoMagic, v, minv, rejoin)
+			}
 		} else {
 			// Pre-range layout: exactly the bytes a v2 build emits, so
 			// tests (and a hypothetical downgrade path) can speak to old
@@ -377,6 +484,48 @@ func AppendMarshal(dst []byte, msg any) ([]byte, error) {
 		}
 		b = append(b, last)
 		b = appendFloats(b, m.Payload)
+		return b, nil
+	case UpdateChunkQMsg:
+		if err := validateQuantPayload(m.Codec, m.Count, m.Payload); err != nil {
+			return nil, err
+		}
+		b := append(dst, msgUpdateChunkQ)
+		b = appendUint32(b, uint32(m.Round))
+		b = appendUint32(b, uint32(m.Offset))
+		b = appendUint32(b, uint32(m.Total))
+		b = appendUint32(b, uint32(m.N))
+		b = appendUint32(b, uint32(m.Tau))
+		last := byte(0)
+		if m.Last {
+			last = 1
+		}
+		b = append(b, last)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.TrainLoss))
+		b = append(b, m.Codec)
+		b = appendUint32(b, uint32(m.Count))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Scale))
+		b = appendBytes(b, m.Payload)
+		return b, nil
+	case GlobalChunkQMsg:
+		if err := validateQuantPayload(m.Codec, m.Count, m.Payload); err != nil {
+			return nil, err
+		}
+		b := append(dst, msgGlobalChunkQ)
+		b = appendUint32(b, uint32(m.Round))
+		b = appendUint32(b, uint32(m.Offset))
+		b = appendUint32(b, uint32(m.Total))
+		b = appendUint32(b, uint32(m.CtrlLen))
+		b = appendUint32(b, uint32(m.Budget))
+		b = appendUint32(b, uint32(m.Chunk))
+		last := byte(0)
+		if m.Last {
+			last = 1
+		}
+		b = append(b, last)
+		b = append(b, m.Codec)
+		b = appendUint32(b, uint32(m.Count))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Scale))
+		b = appendBytes(b, m.Payload)
 		return b, nil
 	case GlobalRefMsg:
 		b := append(dst, msgGlobalRef)
@@ -444,9 +593,18 @@ func Unmarshal(b []byte) (any, error) {
 		}
 		// Admit on range overlap: the peer must still speak something we
 		// do ([minv, v] ∩ [MinProtoVersion, ProtoVersion] non-empty; an
-		// inverted peer range is skew too).
+		// inverted peer range is skew too). Checked before the v4 codec
+		// mask, so a skewed peer always gets the typed version error even
+		// off a short preamble.
 		if v < MinProtoVersion || minv > ProtoVersion || minv > v {
 			return nil, &VersionError{Got: v, GotMin: minv}
+		}
+		if v >= 4 {
+			if len(b) < 1 {
+				return nil, fmt.Errorf("simnet: truncated hello codec mask")
+			}
+			m.Codecs = b[0]
+			b = b[1:]
 		}
 		m.Version = v
 		m.MinVersion = minv
@@ -509,6 +667,18 @@ func Unmarshal(b []byte) (any, error) {
 		return m, nil
 	case msgGlobalChunk:
 		m, err := unmarshalGlobalChunk(b, nil)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgUpdateChunkQ:
+		m, err := unmarshalChunkQ(b)
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case msgGlobalChunkQ:
+		m, err := unmarshalGlobalChunkQ(b)
 		if err != nil {
 			return nil, err
 		}
@@ -600,6 +770,167 @@ func unmarshalGlobalChunk(b []byte, buf []float64) (GlobalChunkMsg, error) {
 		return m, err
 	}
 	return m, nil
+}
+
+// readQuantTrailer decodes the codec/count/scale/payload tail shared by
+// both quantized frame types and validates it.
+func readQuantTrailer(b []byte) (codec byte, count int, scale float64, payload []byte, err error) {
+	if len(b) < 1 {
+		return 0, 0, 0, nil, fmt.Errorf("simnet: truncated codec byte")
+	}
+	codec, b = b[0], b[1:]
+	n, b, err := readUint32(b)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	count = int(n)
+	if len(b) < 8 {
+		return 0, 0, 0, nil, fmt.Errorf("simnet: truncated quantization scale")
+	}
+	scale = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	if payload, _, err = readBytes(b); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if err := validateQuantPayload(codec, count, payload); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	return codec, count, scale, payload, nil
+}
+
+// unmarshalChunkQ decodes the body of an UpdateChunkQMsg. The payload is
+// a zero-copy view into b.
+func unmarshalChunkQ(b []byte) (UpdateChunkQMsg, error) {
+	var m UpdateChunkQMsg
+	fields := [5]*int{&m.Round, &m.Offset, &m.Total, &m.N, &m.Tau}
+	for _, f := range fields {
+		v, rest, err := readUint32(b)
+		if err != nil {
+			return m, err
+		}
+		*f = int(v)
+		b = rest
+	}
+	if len(b) < 1 {
+		return m, fmt.Errorf("simnet: truncated last marker")
+	}
+	m.Last = b[0] != 0
+	b = b[1:]
+	if len(b) < 8 {
+		return m, fmt.Errorf("simnet: truncated loss")
+	}
+	m.TrainLoss = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	var err error
+	if m.Codec, m.Count, m.Scale, m.Payload, err = readQuantTrailer(b); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// unmarshalGlobalChunkQ decodes the body of a GlobalChunkQMsg. The
+// payload is a zero-copy view into b.
+func unmarshalGlobalChunkQ(b []byte) (GlobalChunkQMsg, error) {
+	var m GlobalChunkQMsg
+	fields := [6]*int{&m.Round, &m.Offset, &m.Total, &m.CtrlLen, &m.Budget, &m.Chunk}
+	for _, f := range fields {
+		v, rest, err := readUint32(b)
+		if err != nil {
+			return m, err
+		}
+		*f = int(v)
+		b = rest
+	}
+	if len(b) < 1 {
+		return m, fmt.Errorf("simnet: truncated last marker")
+	}
+	m.Last = b[0] != 0
+	b = b[1:]
+	var err error
+	if m.Codec, m.Count, m.Scale, m.Payload, err = readQuantTrailer(b); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// dequantInto dequantizes a validated quantized payload into buf (reused
+// when it has the capacity, like readFloatsInto). The allocation is
+// bounded: count was validated against the payload's actual byte length,
+// which the transport's receive limit already capped.
+func dequantInto(buf []float64, codec byte, count int, scale float64, payload []byte) ([]float64, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	out := buf
+	if cap(out) < count {
+		out = make([]float64, count)
+	}
+	out = out[:count]
+	if err := dequantizeChunk(out, codec, payload, scale); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeUpdateFrameInto decodes one uplink chunk frame — raw
+// (UpdateChunkMsg) or quantized (UpdateChunkQMsg, dequantized into buf)
+// — into the raw form every downstream consumer handles, plus the wire
+// codec the frame used so stream assembly can enforce codec constancy.
+func decodeUpdateFrameInto(raw []byte, buf []float64) (UpdateChunkMsg, byte, error) {
+	if len(raw) == 0 {
+		return UpdateChunkMsg{}, 0, fmt.Errorf("simnet: empty message")
+	}
+	switch raw[0] {
+	case msgUpdateChunk:
+		m, err := unmarshalChunk(raw[1:], buf)
+		return m, wireCodecF64, err
+	case msgUpdateChunkQ:
+		q, err := unmarshalChunkQ(raw[1:])
+		if err != nil {
+			return UpdateChunkMsg{}, 0, err
+		}
+		chunk, err := dequantInto(buf, q.Codec, q.Count, q.Scale, q.Payload)
+		if err != nil {
+			return UpdateChunkMsg{}, 0, err
+		}
+		return UpdateChunkMsg{
+			Round: q.Round, Offset: q.Offset, Total: q.Total,
+			N: q.N, Tau: q.Tau, Last: q.Last, TrainLoss: q.TrainLoss,
+			Chunk: chunk,
+		}, q.Codec, nil
+	default:
+		return UpdateChunkMsg{}, 0, fmt.Errorf("simnet: expected update chunk, got message tag %d", raw[0])
+	}
+}
+
+/// decodeGlobalFrameInto is decodeUpdateFrameInto's downlink twin: one
+// broadcast chunk frame, raw or quantized, decoded into the raw form
+// (dequantizing into buf) plus the frame's wire codec.
+func decodeGlobalFrameInto(raw []byte, buf []float64) (GlobalChunkMsg, byte, error) {
+	if len(raw) == 0 {
+		return GlobalChunkMsg{}, 0, fmt.Errorf("simnet: empty message")
+	}
+	switch raw[0] {
+	case msgGlobalChunk:
+		m, err := unmarshalGlobalChunk(raw[1:], buf)
+		return m, wireCodecF64, err
+	case msgGlobalChunkQ:
+		q, err := unmarshalGlobalChunkQ(raw[1:])
+		if err != nil {
+			return GlobalChunkMsg{}, 0, err
+		}
+		payload, err := dequantInto(buf, q.Codec, q.Count, q.Scale, q.Payload)
+		if err != nil {
+			return GlobalChunkMsg{}, 0, err
+		}
+		return GlobalChunkMsg{
+			Round: q.Round, Offset: q.Offset, Total: q.Total,
+			CtrlLen: q.CtrlLen, Budget: q.Budget, Chunk: q.Chunk,
+			Last: q.Last, Payload: payload,
+		}, q.Codec, nil
+	default:
+		return GlobalChunkMsg{}, 0, fmt.Errorf("simnet: expected global chunk, got message tag %d", raw[0])
+	}
 }
 
 // unmarshalChunk decodes the body (everything after the tag byte) of an

@@ -33,6 +33,10 @@ type incomingGlobal struct {
 	round  int
 	budget int
 	chunk  int
+	// codec is the wire codec the broadcast arrived in; the reply streams
+	// back in the same codec. Zero (raw f64) for monolithic and interned
+	// broadcasts.
+	codec byte
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -233,7 +237,7 @@ func (r *downlinkReader) loop() {
 				r.clearDeadline()
 			}
 		}
-		if len(raw) > 0 && raw[0] == msgGlobalChunk {
+		if len(raw) > 0 && (raw[0] == msgGlobalChunk || raw[0] == msgGlobalChunkQ) {
 			if !r.recvChunkedGlobal(raw) {
 				return
 			}
@@ -286,7 +290,7 @@ func (r *downlinkReader) pushComplete(m GlobalMsg) bool {
 // Returns false when the reader must exit (terminal pushed or stopped).
 func (r *downlinkReader) recvChunkedGlobal(raw []byte) bool {
 	buf := r.takeBuf()
-	first, err := UnmarshalGlobalChunkInto(raw, buf[:0])
+	first, codec, err := decodeGlobalFrameInto(raw, buf[:0])
 	if err != nil {
 		r.push(dlItem{err: err, got: true})
 		return false
@@ -318,6 +322,7 @@ func (r *downlinkReader) recvChunkedGlobal(raw []byte) bool {
 	copy(buf, first.Payload) // no-op when the frame decoded in place
 
 	ig := newIncomingGlobal(first.Round, first.Budget, first.Chunk)
+	ig.codec = codec
 	ig.buf, ig.free = buf, r.free
 	ig.total = total
 	ig.state = buf[:total-ctrl]
@@ -340,14 +345,15 @@ func (r *downlinkReader) recvChunkedGlobal(raw []byte) bool {
 			r.push(dlItem{err: err, got: true})
 			return false
 		}
-		if m, err = UnmarshalGlobalChunkInto(raw, buf[done:done:total]); err != nil {
+		var c byte
+		if m, c, err = decodeGlobalFrameInto(raw, buf[done:done:total]); err != nil {
 			ig.fail(err)
 			r.push(dlItem{err: err, got: true})
 			return false
 		}
 		switch {
 		case m.Round != first.Round || m.Total != total || m.CtrlLen != ctrl ||
-			m.Budget != first.Budget || m.Chunk != first.Chunk:
+			m.Budget != first.Budget || m.Chunk != first.Chunk || c != codec:
 			err = fmt.Errorf("downlink frame header changed mid-stream")
 		case m.Offset != done || done+len(m.Payload) > total:
 			err = fmt.Errorf("downlink frame [%d,%d) of %d, expected offset %d",

@@ -114,6 +114,12 @@ type Federation struct {
 	// generation (min of the peer's newest and ours), written at
 	// registration and on every rejoin under memMu.
 	versions []byte
+	// codecs records the wire chunk codec negotiated with each party:
+	// the configured Cfg.Codec when the peer's hello advertised support
+	// for it (v4+ hellos carry the mask), raw float64 otherwise — the
+	// range-negotiation fallback that keeps older peers admitted.
+	// Written at registration and on every rejoin under memMu.
+	codecs []byte
 
 	// Resume, when non-nil, is the durable snapshot this federation
 	// continues from: the engine restores it before round startRound, and
@@ -198,6 +204,7 @@ type partySession struct {
 	cfg    fl.Config
 	client *fl.Client
 	frame  []byte // reused chunk-frame encode buffer
+	qbuf   []byte // reused quantized-payload scratch (quantized codecs only)
 	// dlFree recycles chunked-downlink assembly buffers across rounds and
 	// reconnects; the downlink reader draws from it and Release returns
 	// to it, so a steady synchronous session holds one state-length
@@ -363,7 +370,7 @@ func (s *partySession) handleGlobal(conn Conn, ig *incomingGlobal) error {
 		// landed, or our uplink died mid-send. Replay the cached reply
 		// verbatim; retraining would advance the client's RNG and
 		// per-algorithm state a second time and fork the run.
-		if err := s.replayReply(conn, GlobalMsg{Round: ig.round, Chunk: ig.chunk}); err != nil {
+		if err := s.replayReply(conn, GlobalMsg{Round: ig.round, Chunk: ig.chunk}, ig.codec); err != nil {
 			return fmt.Errorf("simnet: party %d replay: %w", s.id, err)
 		}
 		return nil
@@ -373,7 +380,7 @@ func (s *partySession) handleGlobal(conn Conn, ig *incomingGlobal) error {
 		cache = &s.cache
 	}
 	if ig.chunk > 0 {
-		if err := partyTrainChunked(conn, s.client, ig, s.cfg, &s.frame, cache); err != nil {
+		if err := partyTrainChunked(conn, s.client, ig, s.cfg, &s.frame, &s.qbuf, cache); err != nil {
 			return fmt.Errorf("simnet: party %d: %w", s.id, err)
 		}
 		return nil
@@ -401,13 +408,15 @@ func (s *partySession) handleGlobal(conn Conn, ig *incomingGlobal) error {
 }
 
 // replayReply re-sends the cached uplink for g.Round in whichever framing
-// the server asked for, byte-identical to the original reply.
-func (s *partySession) replayReply(conn Conn, g GlobalMsg) error {
+// and wire codec the server asked for. Quantization is deterministic, so
+// a replay re-quantizing the cached float64 update produces bytes
+// identical to the original reply.
+func (s *partySession) replayReply(conn Conn, g GlobalMsg, codec byte) error {
 	c := &s.cache
 	if g.Chunk > 0 {
 		total := len(c.delta) + len(c.deltaC)
 		return fl.ChunkStream(c.delta, c.deltaC, g.Chunk, func(offset int, chunk []float64) error {
-			b, err := AppendMarshal(s.frame[:0], UpdateChunkMsg{
+			b, err := appendUpdateFrame(s.frame[:0], &s.qbuf, codec, UpdateChunkMsg{
 				Round: g.Round, Offset: offset, Total: total,
 				N: c.n, Tau: c.tau, TrainLoss: c.loss,
 				Last:  offset+len(chunk) == total,
@@ -524,12 +533,14 @@ func recvGlobalChunked(conn Conn, first GlobalChunkMsg, buf *[]float64, max int)
 
 // partyTrainChunked trains one round — beginning on the broadcast's
 // in-order state prefix while later downlink chunks are still in flight
-// (fl.Client.TrainStreamPrefixed) — and streams the update back as
-// UpdateChunkMsg frames of the server-requested size. Each frame
-// serializes a view into the client's pooled workspace through one reused
-// encode buffer, so the party never materializes a second state-length
-// vector for the reply.
-func partyTrainChunked(conn Conn, client *fl.Client, ig *incomingGlobal, cfg fl.Config, frame *[]byte, cache *replyCache) error {
+// (fl.Client.TrainStreamPrefixed) — and streams the update back as chunk
+// frames of the server-requested size, in the same wire codec the
+// broadcast arrived in (the negotiated codec; a v3 server never sends
+// quantized frames, so an old server keeps getting raw replies). Each
+// frame serializes a view into the client's pooled workspace through one
+// reused encode buffer, so the party never materializes a second
+// state-length vector for the reply.
+func partyTrainChunked(conn Conn, client *fl.Client, ig *incomingGlobal, cfg fl.Config, frame, qbuf *[]byte, cache *replyCache) error {
 	p, err := client.TrainStreamPrefixed(ig, cfg)
 	if err != nil {
 		return err
@@ -544,7 +555,7 @@ func partyTrainChunked(conn Conn, client *fl.Client, ig *incomingGlobal, cfg fl.
 	u := p.Trailer()
 	total := p.StreamLen()
 	return p.Chunks(ig.chunk, func(offset int, chunk []float64) error {
-		b, err := AppendMarshal((*frame)[:0], UpdateChunkMsg{
+		b, err := appendUpdateFrame((*frame)[:0], qbuf, ig.codec, UpdateChunkMsg{
 			Round: ig.round, Offset: offset, Total: total,
 			N: u.N, Tau: u.Tau, TrainLoss: u.TrainLoss,
 			Last:  offset+len(chunk) == total,
@@ -555,6 +566,26 @@ func partyTrainChunked(conn Conn, client *fl.Client, ig *incomingGlobal, cfg fl.
 		}
 		*frame = b
 		return conn.Send(b)
+	})
+}
+
+// appendUpdateFrame encodes one uplink chunk frame into dst in the given
+// wire codec: the raw UpdateChunkMsg for f64, or its quantized twin with
+// the payload built in *qbuf (grown once, then reused frame after frame;
+// Marshal copies the payload, so the scratch never escapes).
+func appendUpdateFrame(dst []byte, qbuf *[]byte, codec byte, m UpdateChunkMsg) ([]byte, error) {
+	if codec == wireCodecF64 {
+		return AppendMarshal(dst, m)
+	}
+	payload, scale, err := quantizeChunk((*qbuf)[:0], codec, m.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	*qbuf = payload
+	return AppendMarshal(dst, UpdateChunkQMsg{
+		Round: m.Round, Offset: m.Offset, Total: m.Total,
+		N: m.N, Tau: m.Tau, Last: m.Last, TrainLoss: m.TrainLoss,
+		Codec: codec, Count: len(m.Chunk), Scale: scale, Payload: payload,
 	})
 }
 
@@ -992,6 +1023,7 @@ func (f *Federation) initParties(numParties int) {
 	f.state = make([]partyState, numParties)
 	f.resyncC = make([][]float64, numParties)
 	f.versions = make([]byte, numParties)
+	f.codecs = make([]byte, numParties)
 }
 
 // NegotiatedVersion returns the protocol generation negotiated with
@@ -1003,6 +1035,36 @@ func (f *Federation) NegotiatedVersion(id int) byte {
 		return 0
 	}
 	return f.versions[id]
+}
+
+// negotiatedCodec resolves the wire chunk codec for a party from its
+// hello: the configured codec when the peer both speaks version 4 (the
+// generation whose hello carries the support mask) and advertises the
+// bit, raw float64 otherwise. The fallback mirrors the version-range
+// negotiation — an old peer is admitted, it just rides the raw wire.
+func (f *Federation) negotiatedCodec(h HelloMsg) byte {
+	want := wireCodec(f.Cfg.Codec)
+	if want == wireCodecF64 {
+		return wireCodecF64
+	}
+	if NegotiatedVersion(h.Version) < 4 {
+		return wireCodecF64
+	}
+	if h.Codecs&(1<<want) == 0 {
+		return wireCodecF64
+	}
+	return want
+}
+
+// codecForParty returns the wire chunk codec negotiated with party id at
+// its latest (re)admission, or raw float64 if it never registered.
+func (f *Federation) codecForParty(id int) byte {
+	f.memMu.Lock()
+	defer f.memMu.Unlock()
+	if id < 0 || id >= len(f.codecs) {
+		return wireCodecF64
+	}
+	return f.codecs[id]
 }
 
 // down reports whether a party is out of the federation (suspect or
@@ -1120,6 +1182,7 @@ func (f *Federation) installQueuedRejoins() []int {
 		f.dists[id] = sanitizeDist(r.h.LabelDist)
 		f.state[id] = partyAlive
 		f.versions[id] = NegotiatedVersion(r.h.Version)
+		f.codecs[id] = f.negotiatedCodec(r.h)
 		f.conns = append(f.conns, r.conn)
 		f.memMu.Unlock()
 		if old != nil {
@@ -1187,6 +1250,7 @@ func (f *Federation) register(c *CountingConn, h HelloMsg, numParties int) error
 	f.metas[h.ID] = fl.UpdateMeta{N: h.N, Tau: fl.PredictTau(f.Cfg, h.N)}
 	f.dists[h.ID] = sanitizeDist(h.LabelDist)
 	f.versions[h.ID] = NegotiatedVersion(h.Version)
+	f.codecs[h.ID] = f.negotiatedCodec(h)
 	f.memMu.Unlock()
 	return nil
 }
@@ -1407,10 +1471,10 @@ func (f *Federation) broadcastChunked(gm GlobalMsg, bf *globalFrames, sampled []
 		c := f.byParty[id]
 		c.SetRecvLimit(limit)
 		wg.Add(1)
-		go func(j int, c *CountingConn) {
+		go func(j, id int, c *CountingConn) {
 			defer wg.Done()
-			errs[j] = f.sendGlobal(c, gm, bf)
-		}(j, c)
+			errs[j] = f.sendGlobal(c, gm, bf, f.codecForParty(id))
+		}(j, id, c)
 	}
 	wg.Wait()
 	var failed []int
@@ -1451,7 +1515,7 @@ func (f *Federation) healBroadcast(gm GlobalMsg, bf *globalFrames, failed []int,
 			}
 			c := f.byParty[id]
 			c.SetRecvLimit(limit)
-			if err := f.sendGlobal(c, gm, bf); err != nil {
+			if err := f.sendGlobal(c, gm, bf, f.codecForParty(id)); err != nil {
 				f.evict(id, false, err)
 				continue
 			}
@@ -1461,10 +1525,12 @@ func (f *Federation) healBroadcast(gm GlobalMsg, bf *globalFrames, failed []int,
 }
 
 // globalFrames is a round broadcast's encode-once frame cache: the first
-// serializing sender marshals every GlobalChunkMsg frame exactly once,
-// and all later senders (the per-party broadcast goroutines and the heal
-// window's resends) ship the same immutable byte slices. Server encode
-// CPU is flat in K — a serialized round broadcast costs one encode pass
+// serializing sender for each negotiated wire codec marshals that
+// codec's frame set exactly once, and all later senders of the same
+// codec (the per-party broadcast goroutines, the heal window's resends,
+// the async hub's per-party senders) ship the same immutable byte
+// slices. Server encode CPU stays flat in K — a serialized round
+// broadcast costs one encode pass per distinct codec in the federation,
 // no matter how many TCP parties receive it — mirroring the pipe-side
 // GlobalRefMsg interning one layer down. Safe for concurrent use; the
 // slices must never be mutated after publication (tcpConn writes them
@@ -1472,45 +1538,100 @@ func (f *Federation) healBroadcast(gm GlobalMsg, bf *globalFrames, failed []int,
 type globalFrames struct {
 	gm    GlobalMsg
 	chunk int
-	once  sync.Once
-	fr    [][]byte
-	err   error
+	sets  [4]codecFrames // indexed by wire codec
 }
 
-// frames returns the shared serialized broadcast, encoding it on first
-// use so rounds whose conns all intern (all-pipe federations) never pay
-// for a serialization nobody reads.
-func (b *globalFrames) frames() ([][]byte, error) {
-	b.once.Do(func() {
-		total := len(b.gm.State) + len(b.gm.Control)
-		b.err = fl.ChunkStream(b.gm.State, b.gm.Control, b.chunk, func(off int, chunk []float64) error {
-			enc, err := Marshal(GlobalChunkMsg{
-				Round: b.gm.Round, Offset: off, Total: total, CtrlLen: len(b.gm.Control),
-				Budget: b.gm.Budget, Chunk: b.gm.Chunk,
-				Last:    off+len(chunk) == total,
-				Payload: chunk,
+// codecFrames is one codec's lazily encoded frame set within a
+// globalFrames cache.
+type codecFrames struct {
+	once sync.Once
+	fr   [][]byte
+	err  error
+}
+
+// frames returns the shared serialized broadcast for one wire codec,
+// encoding it on first use so rounds whose conns all intern (all-pipe
+// f64 federations) never pay for a serialization nobody reads.
+func (b *globalFrames) frames(codec byte) ([][]byte, error) {
+	if int(codec) >= len(b.sets) {
+		return nil, fmt.Errorf("simnet: unknown wire codec %d", codec)
+	}
+	s := &b.sets[codec]
+	s.once.Do(func() { s.fr, s.err = encodeGlobalFrames(b.gm, b.chunk, codec) })
+	return s.fr, s.err
+}
+
+// encodeGlobalFrames serializes one round broadcast — state first, then
+// SCAFFOLD's control, frames never crossing the seam — in the given wire
+// codec. Quantized codecs encode each chunk independently with its own
+// scale (the chunk frame is the quantization unit); chunk <= 0 is the
+// monolithic framing mode, which only the raw codec supports
+// (fl.Config.Normalize enforces this pairing, so the error here is a
+// backstop, not a reachable configuration).
+func encodeGlobalFrames(gm GlobalMsg, chunk int, codec byte) ([][]byte, error) {
+	if chunk <= 0 {
+		if codec != wireCodecF64 {
+			return nil, fmt.Errorf("simnet: %s codec requires chunked framing", codecName(codec))
+		}
+		enc, err := Marshal(gm)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{enc}, nil
+	}
+	total := len(gm.State) + len(gm.Control)
+	var fr [][]byte
+	var scratch []byte
+	err := fl.ChunkStream(gm.State, gm.Control, chunk, func(off int, c []float64) error {
+		last := off+len(c) == total
+		var enc []byte
+		var err error
+		if codec == wireCodecF64 {
+			enc, err = Marshal(GlobalChunkMsg{
+				Round: gm.Round, Offset: off, Total: total, CtrlLen: len(gm.Control),
+				Budget: gm.Budget, Chunk: gm.Chunk, Last: last,
+				Payload: c,
 			})
-			if err != nil {
-				return err
+		} else {
+			var payload []byte
+			var scale float64
+			payload, scale, err = quantizeChunk(scratch[:0], codec, c)
+			if err == nil {
+				scratch = payload // Marshal copies the payload; reuse the scratch
+				enc, err = Marshal(GlobalChunkQMsg{
+					Round: gm.Round, Offset: off, Total: total, CtrlLen: len(gm.Control),
+					Budget: gm.Budget, Chunk: gm.Chunk, Last: last,
+					Codec: codec, Count: len(c), Scale: scale, Payload: payload,
+				})
 			}
-			b.fr = append(b.fr, enc)
-			return nil
-		})
+		}
+		if err != nil {
+			return err
+		}
+		fr = append(fr, enc)
+		return nil
 	})
-	return b.fr, b.err
+	if err != nil {
+		return nil, err
+	}
+	return fr, nil
 }
 
 // sendGlobal ships one round broadcast to one party: published by
-// reference when the conn supports interning (in-process pipes — the
-// party then reads the server's buffer directly, so K parties hold one
-// copy), and otherwise as the round's shared encode-once frame set —
-// state first, then SCAFFOLD's control, frames never crossing the seam,
-// mirroring the uplink framing.
-func (f *Federation) sendGlobal(c *CountingConn, gm GlobalMsg, bf *globalFrames) error {
-	if handled, err := c.SendGlobalRef(gm); handled {
-		return err
+// reference when the conn supports interning AND the party negotiated
+// the raw codec (in-process pipes — the party then reads the server's
+// buffer directly, so K parties hold one copy), and otherwise as the
+// round's shared encode-once frame set for the party's codec. Quantized
+// pipes deliberately serialize for real: the measured CommBytes then
+// reflects the quantized wire, and the quantization error a party sees
+// is identical across transports.
+func (f *Federation) sendGlobal(c *CountingConn, gm GlobalMsg, bf *globalFrames, codec byte) error {
+	if codec == wireCodecF64 {
+		if handled, err := c.SendGlobalRef(gm); handled {
+			return err
+		}
 	}
-	frames, err := bf.frames()
+	frames, err := bf.frames(codec)
 	if err != nil {
 		return err
 	}
@@ -1527,8 +1648,12 @@ func (f *Federation) sendGlobal(c *CountingConn, gm GlobalMsg, bf *globalFrames)
 // msg.Chunk; whoever discards the frame returns it to the shared pool.
 type chunkFrame struct {
 	msg UpdateChunkMsg
-	buf *tensor.Tensor
-	err error
+	// codec is the wire codec the frame arrived in; the stager enforces
+	// that it never changes mid-stream. msg.Chunk is always float64 —
+	// quantized payloads were dequantized into buf at decode.
+	codec byte
+	buf   *tensor.Tensor
+	err   error
 	// fatal classifies err: true for a decode failure (the party framed
 	// garbage — a protocol violation, permanent eviction), false for
 	// transport loss (conn death or a RoundTimeout expiry — the party may
@@ -1637,13 +1762,13 @@ func (f *Federation) recvChunked(round int, sampled []int, sink *fl.RoundSink) e
 					return
 				}
 				buf := tensor.Shared.GetRaw(tensor.Float64, f.Cfg.ChunkSize)
-				m, err := UnmarshalChunkInto(raw, buf.Data())
+				m, codec, err := decodeUpdateFrameInto(raw, buf.Data())
 				if err != nil {
 					tensor.Shared.Put(buf)
 					frames[j] <- chunkFrame{err: fmt.Errorf("simnet: bad frame from party %d: %w", id, err), fatal: true}
 					return
 				}
-				frames[j] <- chunkFrame{msg: m, buf: buf}
+				frames[j] <- chunkFrame{msg: m, codec: codec, buf: buf}
 				if m.Last {
 					return
 				}
@@ -1734,6 +1859,7 @@ func (f *Federation) stageChunkStream(j, id, round, total int, meta fl.UpdateMet
 	buf := tensor.Shared.GetRaw(tensor.Float64, total)
 	data := buf.Data()
 	done := 0
+	streamCodec, sawFrame := byte(0), false
 	fail := func(err error, fatal bool) {
 		tensor.Shared.Put(buf)
 		finish(stagedStream{err: err, fatal: fatal})
@@ -1746,6 +1872,12 @@ func (f *Federation) stageChunkStream(j, id, round, total int, meta fl.UpdateMet
 		m := fr.msg
 		var err error
 		switch {
+		case sawFrame && fr.codec != streamCodec:
+			// The wire codec is a stream-level property: a party that
+			// switches encodings mid-stream is framing garbage, exactly like
+			// a mid-stream header change.
+			err = fmt.Errorf("simnet: party %d switched wire codec %s -> %s mid-stream",
+				id, codecName(streamCodec), codecName(fr.codec))
 		case m.Round != round:
 			err = fmt.Errorf("simnet: party %d sent a frame for round %d during round %d", id, m.Round, round)
 		case m.Total != total:
@@ -1780,6 +1912,7 @@ func (f *Federation) stageChunkStream(j, id, round, total int, meta fl.UpdateMet
 			fail(err, true)
 			return
 		}
+		streamCodec, sawFrame = fr.codec, true
 		copy(data[done:], m.Chunk)
 		done += len(m.Chunk)
 		last := m.Last

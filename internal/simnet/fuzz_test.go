@@ -26,6 +26,17 @@ func FuzzDecodeMsg(f *testing.F) {
 		Chunk: 5, Last: true, Payload: []float64{1, -2}})
 	seed(GlobalRefMsg{Round: 3, StateLen: 8, CtrlLen: 4, Budget: 1, Chunk: 64})
 	seed(ShutdownMsg{})
+	// Quantized chunk frames: one per codec, plus corrupted trailers — a
+	// codec byte the decoder does not know, a count that disagrees with
+	// the payload length, and a non-finite scale.
+	seed(UpdateChunkQMsg{Round: 2, Offset: 37, Total: 74, N: 10, Tau: 3, Last: true,
+		TrainLoss: 0.5, Codec: wireCodecInt8, Count: 3, Scale: 0.5, Payload: []byte{1, 0xFF, 0x7F}})
+	seed(UpdateChunkQMsg{Round: 1, Offset: 0, Total: 4, N: 5, Tau: 2, Last: true,
+		TrainLoss: 0.25, Codec: wireCodecInt4, Count: 4, Scale: 0.125, Payload: []byte{0x9A, 0xB8}})
+	seed(GlobalChunkQMsg{Round: 2, Offset: 5, Total: 12, CtrlLen: 4, Budget: 1,
+		Chunk: 5, Last: true, Codec: wireCodecF32, Count: 2, Scale: 0, Payload: []byte{0, 0, 0x80, 0x3F, 0, 0, 0, 0xC0}})
+	f.Add([]byte{msgUpdateChunkQ, 0, 1, 2})
+	f.Add([]byte{msgGlobalChunkQ, 0, 1, 2})
 	// Elastic-membership frames: a rejoin hello and both resync shapes
 	// (with and without a SCAFFOLD control vector).
 	seed(HelloMsg{ID: 2, N: 50, Token: "t", Rejoin: true, LabelDist: []float64{0.25, 0.75}})
@@ -67,6 +78,13 @@ func FuzzDecodeMsg(f *testing.F) {
 	seedTruncations(GlobalMsg{Round: 9, State: []float64{1, 2, 3, 4}, Control: []float64{-1}, Budget: 1, Chunk: 32})
 	seedTruncations(UpdateMsg{Round: 2, N: 5, Tau: 2, TrainLoss: 1.5, Delta: []float64{9, 8, 7}, DeltaC: []float64{6}})
 	seedTruncations(GlobalChunkMsg{Round: 1, Offset: 0, Total: 3, CtrlLen: 1, Budget: 1, Chunk: 2, Payload: []float64{5}})
+	seedTruncations(UpdateChunkQMsg{Round: 1, Offset: 0, Total: 3, N: 5, Tau: 2, Last: true,
+		TrainLoss: 0.5, Codec: wireCodecInt8, Count: 3, Scale: 0.5, Payload: []byte{1, 2, 3}})
+	seedTruncations(GlobalChunkQMsg{Round: 1, Offset: 0, Total: 3, CtrlLen: 1, Budget: 1,
+		Chunk: 2, Last: true, Codec: wireCodecInt4, Count: 3, Scale: 0.25, Payload: []byte{0x12, 0x03}})
+	// A v4 hello truncated right before its codec mask must surface as a
+	// version/truncation error, never a misaligned read of later fields.
+	f.Add([]byte{msgHello, protoMagic, ProtoVersion, MinProtoVersion, 0x0F})
 	// Hostile length prefixes: a GlobalMsg header whose state-length word
 	// claims ~1G elements with no payload behind it, and the same for the
 	// control vector. The decoder must refuse these before allocating.
@@ -93,6 +111,18 @@ func FuzzDecodeMsg(f *testing.F) {
 		if m, err := UnmarshalGlobalChunkInto(raw, small[:]); err == nil {
 			if m.Payload != nil && len(m.Payload) <= len(small) && &m.Payload[0] != &small[0] {
 				t.Fatal("small downlink payload did not land in the caller's buffer")
+			}
+		}
+		// The codec-dispatching decoders must uphold the same invariants
+		// over both raw and quantized frames.
+		if m, _, err := decodeUpdateFrameInto(raw, small[:]); err == nil {
+			if m.Chunk != nil && len(m.Chunk) <= len(small) && &m.Chunk[0] != &small[0] {
+				t.Fatal("small decoded chunk did not land in the caller's buffer")
+			}
+		}
+		if m, _, err := decodeGlobalFrameInto(raw, small[:]); err == nil {
+			if m.Payload != nil && len(m.Payload) <= len(small) && &m.Payload[0] != &small[0] {
+				t.Fatal("small decoded downlink payload did not land in the caller's buffer")
 			}
 		}
 	})

@@ -1,0 +1,497 @@
+package simnet
+
+import (
+	"encoding/hex"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/niid-bench/niidbench/internal/data"
+	"github.com/niid-bench/niidbench/internal/fl"
+)
+
+// quantTestVector builds a deterministic chunk with mixed signs and
+// magnitudes spanning several orders, plus the exact-zero and max-|v|
+// elements every codec must handle.
+func quantTestVector(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(float64(i)*1.7+0.3) * math.Pow(10, float64(i%5)-2)
+	}
+	if n > 0 {
+		v[0] = 0
+	}
+	return v
+}
+
+// TestQuantizeDequantizeErrorBounds pins each codec's worst-case
+// per-element reconstruction error: f64 is exact, f32 is IEEE narrowing
+// (relative error at most 2^-24, asserted at 2^-23 for rounding slack),
+// and the integer codecs are linear with a per-chunk scale, so the error
+// is at most half a quantization step.
+func TestQuantizeDequantizeErrorBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 65} {
+		v := quantTestVector(n)
+		maxAbs := 0.0
+		for _, x := range v {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for _, codec := range []byte{wireCodecF32, wireCodecInt8, wireCodecInt4} {
+			payload, scale, err := quantizeChunk(nil, codec, v)
+			if err != nil {
+				t.Fatalf("n=%d %s: quantize: %v", n, codecName(codec), err)
+			}
+			if want, err := quantizedLen(codec, n); err != nil || len(payload) != want {
+				t.Fatalf("n=%d %s: payload %d bytes, want %d (err %v)", n, codecName(codec), len(payload), want, err)
+			}
+			got := make([]float64, n)
+			if err := dequantizeChunk(got, codec, payload, scale); err != nil {
+				t.Fatalf("n=%d %s: dequantize: %v", n, codecName(codec), err)
+			}
+			for i := range v {
+				var bound float64
+				switch codec {
+				case wireCodecF32:
+					bound = math.Abs(v[i]) * math.Exp2(-23)
+				case wireCodecInt8, wireCodecInt4:
+					bound = scale/2 + 1e-12
+				}
+				if d := math.Abs(got[i] - v[i]); d > bound {
+					t.Fatalf("n=%d %s: element %d error %g exceeds bound %g (v=%g got=%g scale=%g)",
+						n, codecName(codec), i, d, bound, v[i], got[i], scale)
+				}
+			}
+			// The integer scales are pinned to the chunk's max magnitude.
+			switch codec {
+			case wireCodecInt8:
+				if want := maxAbs / 127; scale != want {
+					t.Fatalf("n=%d int8 scale %g, want %g", n, scale, want)
+				}
+			case wireCodecInt4:
+				if want := maxAbs / 7; scale != want {
+					t.Fatalf("n=%d int4 scale %g, want %g", n, scale, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeRejectsNonFinite: NaN and Inf chunks must be refused at
+// encode time by the scaled integer codecs — a non-finite element would
+// silently poison the per-chunk scale and every neighbour in the chunk.
+// (f32 is a plain narrowing: non-finite values cross it faithfully, the
+// same way they would cross the raw f64 wire.)
+func TestQuantizeRejectsNonFinite(t *testing.T) {
+	for _, codec := range []byte{wireCodecInt8, wireCodecInt4} {
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			if _, _, err := quantizeChunk(nil, codec, []float64{1, bad, 3}); err == nil {
+				t.Fatalf("%s: non-finite element %v quantized without error", codecName(codec), bad)
+			}
+		}
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		payload, scale, err := quantizeChunk(nil, wireCodecF32, []float64{bad})
+		if err != nil {
+			t.Fatalf("f32: narrowing %v errored: %v", bad, err)
+		}
+		got := make([]float64, 1)
+		if err := dequantizeChunk(got, wireCodecF32, payload, scale); err != nil {
+			t.Fatalf("f32: dequantize %v: %v", bad, err)
+		}
+		if !math.IsNaN(bad) && got[0] != bad {
+			t.Fatalf("f32: %v narrowed to %v", bad, got[0])
+		}
+		if math.IsNaN(bad) && !math.IsNaN(got[0]) {
+			t.Fatalf("f32: NaN narrowed to %v", got[0])
+		}
+	}
+}
+
+// TestQuantizedDecodeRejectsCorruptTrailers: a decoded quantized frame
+// whose trailer lies — unknown codec byte, payload length disagreeing
+// with the element count, or a non-finite scale — must error, never
+// reconstruct garbage.
+func TestQuantizedDecodeRejectsCorruptTrailers(t *testing.T) {
+	base := UpdateChunkQMsg{Round: 1, Offset: 0, Total: 4, N: 5, Tau: 2, Last: true,
+		TrainLoss: 0.5, Codec: wireCodecInt8, Count: 4, Scale: 0.5, Payload: []byte{1, 2, 3, 4}}
+	cases := []struct {
+		name string
+		mut  func(m UpdateChunkQMsg) UpdateChunkQMsg
+	}{
+		{"unknown codec", func(m UpdateChunkQMsg) UpdateChunkQMsg { m.Codec = 7; return m }},
+		{"short payload", func(m UpdateChunkQMsg) UpdateChunkQMsg { m.Payload = m.Payload[:2]; return m }},
+		{"long payload", func(m UpdateChunkQMsg) UpdateChunkQMsg { m.Payload = append(m.Payload, 9); return m }},
+		{"nan scale", func(m UpdateChunkQMsg) UpdateChunkQMsg { m.Scale = math.NaN(); return m }},
+		{"inf scale", func(m UpdateChunkQMsg) UpdateChunkQMsg { m.Scale = math.Inf(1); return m }},
+	}
+	for _, tc := range cases {
+		b, err := Marshal(tc.mut(base))
+		if err != nil {
+			// Rejected at encode is equally safe.
+			continue
+		}
+		if _, _, err := decodeUpdateFrameInto(b, nil); err == nil {
+			t.Fatalf("%s: corrupt quantized frame decoded without error", tc.name)
+		}
+	}
+}
+
+// TestQuantizedFrameRoundTripAllCodecs drives the production encode and
+// decode paths end to end for both wire directions: uplink frames through
+// appendUpdateFrame -> decodeUpdateFrameInto, downlink frames through the
+// encode-once broadcast cache -> decodeGlobalFrameInto. The reconstructed
+// vectors must respect the per-codec error bounds and the reported codec
+// byte must match what was negotiated.
+func TestQuantizedFrameRoundTripAllCodecs(t *testing.T) {
+	const n = 50
+	v := quantTestVector(n)
+	for _, codec := range []byte{wireCodecF64, wireCodecF32, wireCodecInt8, wireCodecInt4} {
+		// Uplink: one update chunk frame.
+		var qbuf []byte
+		frame, err := appendUpdateFrame(nil, &qbuf, codec, UpdateChunkMsg{
+			Round: 2, Offset: 0, Total: n, N: 9, Tau: 3, Last: true, TrainLoss: 0.25, Chunk: v,
+		})
+		if err != nil {
+			t.Fatalf("%s: encode uplink: %v", codecName(codec), err)
+		}
+		m, gotCodec, err := decodeUpdateFrameInto(frame, make([]float64, 0, n))
+		if err != nil {
+			t.Fatalf("%s: decode uplink: %v", codecName(codec), err)
+		}
+		if gotCodec != codec {
+			t.Fatalf("uplink codec %s, want %s", codecName(gotCodec), codecName(codec))
+		}
+		if m.Round != 2 || m.N != 9 || m.Tau != 3 || !m.Last || m.TrainLoss != 0.25 || m.Total != n {
+			t.Fatalf("%s: uplink header mangled: %+v", codecName(codec), m)
+		}
+		assertQuantClose(t, codecName(codec)+" uplink", v, m.Chunk, codec)
+
+		// Downlink: the encode-once cache serializes the generation into
+		// chunked frames for this codec; a scripted receiver reassembles.
+		state, control := v[:n-10], v[n-10:]
+		bf := newGlobalGen(4, state, control, 1, 16)
+		frames, err := bf.frames(codec)
+		if err != nil {
+			t.Fatalf("%s: encode downlink: %v", codecName(codec), err)
+		}
+		got := make([]float64, 0, n)
+		for i, raw := range frames {
+			gm, c, err := decodeGlobalFrameInto(raw, nil)
+			if err != nil {
+				t.Fatalf("%s: decode downlink frame %d: %v", codecName(codec), i, err)
+			}
+			if c != codec {
+				t.Fatalf("downlink frame %d codec %s, want %s", i, codecName(c), codecName(codec))
+			}
+			if gm.Round != 4 || gm.Total != n || gm.CtrlLen != 10 {
+				t.Fatalf("%s: downlink header mangled: %+v", codecName(codec), gm)
+			}
+			if gm.Last != (i == len(frames)-1) {
+				t.Fatalf("%s: frame %d Last=%v", codecName(codec), i, gm.Last)
+			}
+			got = append(got, gm.Payload...)
+		}
+		assertQuantClose(t, codecName(codec)+" downlink", v, got, codec)
+
+		// The cache must hand every caller the identical frame set: the
+		// whole point of encode-once is one serialization per codec.
+		again, err := bf.frames(codec)
+		if err != nil {
+			t.Fatalf("%s: second frames(): %v", codecName(codec), err)
+		}
+		if len(again) != len(frames) {
+			t.Fatalf("%s: frame count changed between calls", codecName(codec))
+		}
+		for i := range frames {
+			if &frames[i][0] != &again[i][0] {
+				t.Fatalf("%s: frames() re-encoded instead of returning the cached set", codecName(codec))
+			}
+		}
+	}
+}
+
+// assertQuantClose checks got against want under codec's error bound.
+func assertQuantClose(t *testing.T, label string, want, got []float64, codec byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: reconstructed %d elements, want %d", label, len(got), len(want))
+	}
+	maxAbs := 0.0
+	for _, x := range want {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for i := range want {
+		var bound float64
+		switch codec {
+		case wireCodecF64:
+			bound = 0
+		case wireCodecF32:
+			bound = math.Abs(want[i]) * math.Exp2(-23)
+		case wireCodecInt8:
+			// Per-chunk scale: the bound is half a step of the worst chunk.
+			bound = maxAbs/127/2 + 1e-12
+		case wireCodecInt4:
+			bound = maxAbs/7/2 + 1e-12
+		}
+		if d := math.Abs(got[i] - want[i]); d > bound {
+			t.Fatalf("%s: element %d error %g exceeds bound %g", label, i, d, bound)
+		}
+	}
+}
+
+// TestRawWireBitwisePin freezes the exact byte encodings of the raw f64
+// frames against hex literals captured before the quantized codec landed:
+// codec=f64 must stay byte-identical to the pre-codec wire, so a mixed
+// fleet of old and new builds interoperates frame for frame.
+func TestRawWireBitwisePin(t *testing.T) {
+	cases := []struct {
+		msg  any
+		want string
+	}{
+		{UpdateChunkMsg{Round: 3, Offset: 2, Total: 5, N: 10, Tau: 4, Last: true,
+			TrainLoss: 0.125, Chunk: []float64{1.5, -2, 0.25}},
+			"050300000002000000050000000a0000000400000001000000000000c03f03000000000000000000f83f00000000000000c0000000000000d03f"},
+		{GlobalChunkMsg{Round: 7, Offset: 0, Total: 3, CtrlLen: 1, Budget: 2,
+			Chunk: 4, Last: true, Payload: []float64{0.5, -1, 8}},
+			"060700000000000000030000000100000002000000040000000103000000000000000000e03f000000000000f0bf0000000000002040"},
+		{GlobalMsg{Round: 1, State: []float64{1, -0.5}, Control: []float64{2}, Budget: 1, Chunk: 0},
+			"0101000000010000000000000002000000000000000000f03f000000000000e0bf010000000000000000000040"},
+		{UpdateMsg{Round: 2, N: 6, Tau: 3, TrainLoss: 0.75, Delta: []float64{-4, 0.125}, DeltaC: []float64{1}},
+			"02020000000600000003000000000000000000e83f0200000000000000000010c0000000000000c03f01000000000000000000f03f"},
+	}
+	for _, tc := range cases {
+		b, err := Marshal(tc.msg)
+		if err != nil {
+			t.Fatalf("%T: marshal: %v", tc.msg, err)
+		}
+		if got := hex.EncodeToString(b); got != tc.want {
+			t.Fatalf("%T wire encoding drifted:\n got %s\nwant %s", tc.msg, got, tc.want)
+		}
+	}
+	// The raw uplink encode path must route through the same pinned
+	// encoding when the negotiated codec is f64.
+	var qbuf []byte
+	frame, err := appendUpdateFrame(nil, &qbuf, wireCodecF64, cases[0].msg.(UpdateChunkMsg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hex.EncodeToString(frame) != cases[0].want {
+		t.Fatal("appendUpdateFrame(f64) diverged from the pinned raw encoding")
+	}
+}
+
+// TestNegotiatedCodecVersionSkew pins the hello negotiation table: the
+// configured codec applies only when the peer speaks v4+ AND advertises
+// the codec bit; everything else — v2/v3 peers, masks missing the bit, or
+// an f64 configuration — rides the raw float64 wire.
+func TestNegotiatedCodecVersionSkew(t *testing.T) {
+	fed := func(c fl.Codec) *Federation { return &Federation{Cfg: fl.Config{Codec: c}} }
+	cases := []struct {
+		name  string
+		cfg   fl.Codec
+		hello HelloMsg
+		want  byte
+	}{
+		{"f64 config ignores mask", fl.CodecF64, HelloMsg{Version: ProtoVersion, Codecs: codecSupportMask}, wireCodecF64},
+		{"empty config is f64", "", HelloMsg{Version: ProtoVersion, Codecs: codecSupportMask}, wireCodecF64},
+		{"v4 peer with bit", fl.CodecInt8, HelloMsg{Version: ProtoVersion, Codecs: codecSupportMask}, wireCodecInt8},
+		{"v3 peer falls back", fl.CodecInt8, HelloMsg{Version: 3}, wireCodecF64},
+		{"v2 peer falls back", fl.CodecInt4, HelloMsg{Version: 2}, wireCodecF64},
+		{"future peer with bit", fl.CodecF32, HelloMsg{Version: ProtoVersion + 3, Codecs: codecSupportMask}, wireCodecF32},
+		{"v4 peer missing bit", fl.CodecInt4, HelloMsg{Version: ProtoVersion, Codecs: 1 << wireCodecInt8}, wireCodecF64},
+		{"v4 peer f64-only mask", fl.CodecF32, HelloMsg{Version: ProtoVersion, Codecs: 1 << wireCodecF64}, wireCodecF64},
+	}
+	for _, tc := range cases {
+		if got := fed(tc.cfg).negotiatedCodec(tc.hello); got != tc.want {
+			t.Fatalf("%s: negotiated %s, want %s", tc.name, codecName(got), codecName(tc.want))
+		}
+	}
+}
+
+// TestRunLocalQuantizedCodecs runs the same federation under every codec:
+// the lossy wires must still learn (accuracy within a hair of the f64
+// baseline) while cutting the measured round bytes — int8 by at least 2x
+// over raw float64, the PR's headline claim, at unit-test scale.
+func TestRunLocalQuantizedCodecs(t *testing.T) {
+	cfg, locals, test := smallFederation(t)
+	cfg.ChunkSize = 256
+	spec, _ := data.Model("adult")
+	base, err := RunLocal(cfg, spec, locals, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		codec fl.Codec
+		// maxBytesFrac bounds the codec's measured bytes as a fraction of
+		// the f64 baseline; maxAccLoss bounds the accuracy cost.
+		maxBytesFrac float64
+		maxAccLoss   float64
+	}{
+		{fl.CodecF32, 0.55, 0.01},
+		{fl.CodecInt8, 0.20, 0.02},
+		{fl.CodecInt4, 0.12, 0.05},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.codec), func(t *testing.T) {
+			c := cfg
+			c.Codec = tc.codec
+			res, err := RunLocal(c, spec, locals, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FinalAccuracy < base.FinalAccuracy-tc.maxAccLoss {
+				t.Fatalf("accuracy %v under %s vs %v at f64: lost more than %v",
+					res.FinalAccuracy, tc.codec, base.FinalAccuracy, tc.maxAccLoss)
+			}
+			frac := float64(res.TotalCommBytes) / float64(base.TotalCommBytes)
+			if frac > tc.maxBytesFrac {
+				t.Fatalf("%s moved %d bytes vs %d at f64 (%.2fx), want <= %.2fx",
+					tc.codec, res.TotalCommBytes, base.TotalCommBytes, frac, tc.maxBytesFrac)
+			}
+		})
+	}
+}
+
+// TestVersionSkewPartyRidesRawWire is the mixed-fleet integration check:
+// a server configured for int8 serves one v4 party and one v3 party over
+// pipes. The v4 party must receive quantized downlink frames; the v3
+// party — which cannot advertise a codec mask — must be admitted anyway
+// and served the raw float64 wire (here the pipes' interned descriptor,
+// which only f64-negotiated parties are eligible for).
+func TestVersionSkewPartyRidesRawWire(t *testing.T) {
+	_, test, err := data.Load("adult", data.Config{TrainN: 60, TestN: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{
+		Algorithm: fl.FedAvg, Rounds: 1, LocalEpochs: 1, BatchSize: 32,
+		LR: 0.05, Seed: 5, ChunkSize: 64, Codec: fl.CodecInt8,
+	}
+	cfg, err = cfg.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := data.Model("adult")
+
+	const parties = 2
+	const partyN = 100
+	tau := fl.PredictTau(cfg, partyN)
+	conns := make([]*CountingConn, parties)
+	sawQ := make([]bool, parties)
+	sawRaw := make([]bool, parties)
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		serverSide, partySide := Pipe()
+		conns[i] = NewCountingConn(serverSide)
+		hello := HelloMsg{ID: i, N: partyN, LabelDist: []float64{0.5, 0.5}}
+		if i == 1 {
+			// Party 1 impersonates an old build: v3 hello, no codec mask.
+			hello.Version = 3
+			hello.MinVersion = 2
+		}
+		wg.Add(1)
+		go func(i int, conn Conn, hello HelloMsg) {
+			defer wg.Done()
+			hb, err := Marshal(hello)
+			if err != nil {
+				t.Errorf("party %d hello marshal: %v", i, err)
+				return
+			}
+			if err := conn.Send(hb); err != nil {
+				t.Errorf("party %d hello: %v", i, err)
+				return
+			}
+			var round, total int
+			for {
+				raw, err := conn.Recv()
+				if err != nil {
+					t.Errorf("party %d downlink: %v", i, err)
+					return
+				}
+				if len(raw) > 0 && (raw[0] == msgGlobalChunk || raw[0] == msgGlobalChunkQ) {
+					if raw[0] == msgGlobalChunkQ {
+						sawQ[i] = true
+					} else {
+						sawRaw[i] = true
+					}
+					m, _, err := decodeGlobalFrameInto(raw, nil)
+					if err != nil {
+						t.Errorf("party %d downlink frame: %v", i, err)
+						return
+					}
+					round, total = m.Round, m.Total
+					if m.Last {
+						break
+					}
+					continue
+				}
+				msg, err := Unmarshal(raw)
+				if err != nil {
+					t.Errorf("party %d downlink decode: %v", i, err)
+					return
+				}
+				ref, ok := msg.(GlobalRefMsg)
+				if !ok {
+					t.Errorf("party %d: unexpected downlink message %T", i, msg)
+					return
+				}
+				sawRaw[i] = true
+				g, err := takeGlobalRef(conn, ref)
+				if err != nil {
+					t.Errorf("party %d ref: %v", i, err)
+					return
+				}
+				round, total = g.Round, len(g.State)+len(g.Control)
+				break
+			}
+			// Reply with zero deltas on the raw wire — the server accepts
+			// either encoding on the uplink regardless of negotiation.
+			zero := make([]float64, cfg.ChunkSize)
+			for off := 0; off < total; off += cfg.ChunkSize {
+				chunk := zero
+				if off+len(chunk) > total {
+					chunk = zero[:total-off]
+				}
+				b, err := Marshal(UpdateChunkMsg{
+					Round: round, Offset: off, Total: total,
+					N: partyN, Tau: tau,
+					Last:  off+len(chunk) == total,
+					Chunk: chunk,
+				})
+				if err != nil {
+					t.Errorf("party %d frame marshal: %v", i, err)
+					return
+				}
+				if err := conn.Send(b); err != nil {
+					t.Errorf("party %d uplink: %v", i, err)
+					return
+				}
+			}
+			for {
+				if _, err := conn.Recv(); err != nil {
+					return
+				}
+			}
+		}(i, partySide, hello)
+	}
+
+	fed := &Federation{Cfg: cfg, Spec: cfg.ResolveSpec(spec), Test: test, conns: conns, local: true}
+	res, serveErr := fed.serve(parties)
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	if len(res.Curve) != cfg.Rounds {
+		t.Fatalf("completed %d/%d rounds", len(res.Curve), cfg.Rounds)
+	}
+	if !sawQ[0] || sawRaw[0] {
+		t.Fatalf("v4 party: quantized=%v raw=%v, want the int8 wire", sawQ[0], sawRaw[0])
+	}
+	if sawQ[1] || !sawRaw[1] {
+		t.Fatalf("v3 party: quantized=%v raw=%v, want the raw f64 fallback", sawQ[1], sawRaw[1])
+	}
+}

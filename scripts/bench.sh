@@ -52,19 +52,26 @@ go test -run '^$' \
 go test -run '^$' \
   -bench 'BenchmarkRoundAsync' \
   -benchtime "${ASYNCBENCHTIME:-2x}" ./internal/simnet/ | tee -a "$TMP"
+# Quantized wire codecs: bytes/round and round CPU per codec x K (the
+# encode-once broadcast cache keeps quantization cost per round, not per
+# party), plus the isolated per-generation broadcast encode cost.
+go test -run '^$' \
+  -bench 'BenchmarkRoundCodec|BenchmarkBroadcastEncode' \
+  -benchtime "${CODECBENCHTIME:-2x}" ./internal/simnet/ | tee -a "$TMP"
 
 awk '
 BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
-  ns = ""; bytes = ""; allocs = ""; peak = ""; rps = ""
+  ns = ""; bytes = ""; allocs = ""; peak = ""; rps = ""; bpr = ""
   for (i = 2; i <= NF; i++) {
     if ($(i) == "ns/op") ns = $(i-1)
     if ($(i) == "B/op") bytes = $(i-1)
     if ($(i) == "allocs/op") allocs = $(i-1)
     if ($(i) == "peak-live-B") peak = $(i-1)
     if ($(i) == "rounds/sec") rps = $(i-1)
+    if ($(i) == "bytes/round") bpr = $(i-1)
   }
   if (ns == "") next
   if (!first) printf ",\n"
@@ -74,6 +81,7 @@ BEGIN { print "{"; first = 1 }
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
   if (peak != "") printf ", \"peak_live_bytes\": %s", peak
   if (rps != "") printf ", \"rounds_per_sec\": %s", rps
+  if (bpr != "") printf ", \"bytes_per_round\": %s", bpr
   printf "}"
 }
 END { print "\n}" }
